@@ -1,0 +1,116 @@
+// Command oocbench reproduces the paper's evaluation tables.
+//
+//	oocbench            # all tables at the paper's sizes
+//	oocbench -table 2   # one table
+//	oocbench -quick     # capped search budgets (seconds instead of minutes)
+//
+// Table 2 compares code generation time between the uniform-sampling
+// baseline (full logarithmic grid, brute force) and the DCS approach;
+// Table 3 compares measured vs. predicted sequential disk I/O times of the
+// generated codes on the simulated disk; Table 4 runs the generated
+// parallel code on the simulated GA/DRA cluster with 2 and 4 processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/machine"
+	"repro/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oocbench: ")
+	var (
+		table   = flag.Int("table", 0, "table to reproduce (1, 2, 3, 4; 0 = all)")
+		quick   = flag.Bool("quick", false, "cap search budgets for a fast run")
+		seed    = flag.Int64("seed", 1, "DCS solver seed")
+		small   = flag.Bool("small", false, "only the (140,120) size")
+		scaling = flag.Bool("scaling", false, "also run the higher-order coupled-cluster scaling study")
+	)
+	flag.Parse()
+
+	opt := tables.Options{Seed: *seed}
+	if *quick {
+		opt.SamplingCombos = 200000
+		opt.DCSEvals = 60000
+	}
+	sizes := tables.PaperSizes
+	if *small {
+		sizes = sizes[:1]
+	}
+
+	run2 := func() {
+		rows, err := tables.Table2(sizes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatTable2(rows))
+		for _, r := range rows {
+			fmt.Printf("  (%d,%d): uniform sampling explored %d tile combinations; DCS used %d cost evaluations\n",
+				r.Size.N, r.Size.V, r.UniformCombos, r.DCSEvals)
+		}
+		fmt.Println()
+	}
+	run3 := func() {
+		rows, err := tables.Table3(sizes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatTable3(rows))
+	}
+	run4 := func() {
+		rows, err := tables.Table4(sizes[0], []int{2, 4}, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatTable4(rows))
+	}
+
+	run1 := func() {
+		cfg := machine.OSCItanium2()
+		fmt.Println("Table 1: configuration of the modelled system")
+		fmt.Printf("  node: %s\n", cfg.Name)
+		fmt.Printf("  memory limit for generated code: %d GB\n", cfg.MemoryLimit/machine.GB)
+		fmt.Printf("  disk: %.0f ms seek, %.0f/%.0f MB/s read/write\n",
+			cfg.Disk.SeekTime*1000, cfg.Disk.ReadBandwidth/1e6, cfg.Disk.WriteBandwidth/1e6)
+		fmt.Printf("  min I/O blocks: %d MB read / %d MB write\n",
+			cfg.Disk.MinReadBlock/machine.MB, cfg.Disk.MinWriteBlock/machine.MB)
+		fmt.Printf("  flop rate: %.1f Gflop/s\n\n", cfg.FlopRate/1e9)
+	}
+
+	runScaling := func() {
+		workloads, err := tables.ScalingWorkloads()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := tables.ScalingStudy(workloads, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatScaling(rows))
+	}
+
+	switch *table {
+	case 0:
+		run1()
+		run2()
+		run3()
+		run4()
+	case 1:
+		run1()
+	case 2:
+		run2()
+	case 3:
+		run3()
+	case 4:
+		run4()
+	default:
+		log.Fatalf("unknown table %d (have 1, 2, 3, 4)", *table)
+	}
+	if *scaling {
+		runScaling()
+	}
+}

@@ -1,0 +1,81 @@
+// Command oocsweep emits parameter-sweep series as CSV: disk I/O time vs.
+// memory limit, processor count, or problem size for the four-index
+// transform workload.
+//
+//	oocsweep -sweep memory  > memory.csv
+//	oocsweep -sweep procs   > procs.csv
+//	oocsweep -sweep size    > size.csv
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oocsweep: ")
+	var (
+		kind  = flag.String("sweep", "memory", "memory | procs | size")
+		seed  = flag.Int64("seed", 1, "solver seed")
+		evals = flag.Int("evals", 0, "solver budget (0 = default)")
+		n     = flag.Int64("n", 140, "N for the four-index workload")
+		v     = flag.Int64("v", 120, "V for the four-index workload")
+		list  = flag.String("points", "", "comma-separated sweep points (GB for memory, counts for procs, N for size)")
+	)
+	flag.Parse()
+
+	opt := sweep.Options{Seed: *seed, Evals: *evals}
+	var s sweep.Series
+	var err error
+	switch *kind {
+	case "memory":
+		limits := []int64{machine.GB / 2, machine.GB, 2 * machine.GB, 4 * machine.GB, 8 * machine.GB}
+		if *list != "" {
+			limits = limits[:0]
+			for _, gb := range mustInts(*list) {
+				limits = append(limits, gb*machine.GB)
+			}
+		}
+		s, err = sweep.MemoryLimit(func() *loops.Program {
+			return loops.FourIndexAbstract(*n, *v)
+		}, limits, opt)
+	case "procs":
+		procs := []int{1, 2, 4, 8}
+		if *list != "" {
+			procs = procs[:0]
+			for _, p := range mustInts(*list) {
+				procs = append(procs, int(p))
+			}
+		}
+		s, err = sweep.Processors(*n, *v, procs, opt)
+	case "size":
+		ns := []int64{60, 80, 100, 120, 140, 160, 180}
+		if *list != "" {
+			ns = mustInts(*list)
+		}
+		s, err = sweep.ProblemSize(ns, float64(*v)/float64(*n), opt)
+	default:
+		log.Fatalf("unknown sweep %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustInts(s string) []int64 {
+	out, err := cliutil.ParseInts(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

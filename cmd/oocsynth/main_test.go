@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseRanges(t *testing.T) {
+	got, err := parseRanges("m=35000, n=35000,i=40000,j=40000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["m"] != 35000 || got["j"] != 40000 || len(got) != 4 {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "m", "m=x", "m=-3", "m=0"} {
+		if _, err := parseRanges(bad); err == nil {
+			t.Errorf("parseRanges(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"dcs":      core.DCS,
+		"sampling": core.UniformSampling,
+		"uniform":  core.UniformSampling,
+		"csa":      core.DCSConstrainedAnnealing,
+		"random":   core.RandomSearch,
+		"DCS":      core.DCS,
+	}
+	for in, want := range cases {
+		got, err := parseStrategy(in)
+		if err != nil {
+			t.Fatalf("parseStrategy(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("parseStrategy(%q) = %v", in, got)
+		}
+	}
+	if _, err := parseStrategy("nope"); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestBuildProgram(t *testing.T) {
+	p, err := buildProgram("two-index", "", "", 40000, 35000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranges["i"] != 40000 || p.Ranges["m"] != 35000 {
+		t.Fatalf("two-index ranges wrong: %v", p.Ranges)
+	}
+	p, err = buildProgram("four-index", "", "", 140, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ArraysOfKind(1 /* intermediates */)) != 3 {
+		t.Fatal("four-index should have 3 intermediates")
+	}
+	p, err = buildProgram("", "X[i] = A[i,j] * B[j]", "i=4,j=5", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildProgram("bogus", "", "", 0, 0); err == nil {
+		t.Error("bogus workload should fail")
+	}
+	if _, err := buildProgram("", "", "", 0, 0); err == nil {
+		t.Error("no spec and no workload should fail")
+	}
+	if _, err := buildProgram("", "X[i] =", "i=4", 0, 0); err == nil {
+		t.Error("bad spec should fail")
+	}
+}

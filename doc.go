@@ -1,0 +1,14 @@
+// Package repro is a complete Go reproduction of "Efficient Synthesis of
+// Out-of-Core Algorithms Using a Nonlinear Optimization Solver" (Krishnan
+// et al., IPPS 2004): a compiler that turns abstract tensor-contraction
+// loop programs into concrete out-of-core code by jointly optimizing disk
+// I/O placements and tile sizes with a discrete constrained search solver,
+// together with the simulated machine, disk, and GA/DRA-cluster substrates
+// the paper's evaluation requires.
+//
+// The root package holds only the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper plus the design-choice
+// ablations. The implementation lives under internal/ — see README.md for
+// the architecture map, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,133 @@
+package cachetile
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/nlp"
+	"repro/internal/placement"
+	"repro/internal/tiling"
+)
+
+func fig4Plan(t *testing.T) *codegen.Plan {
+	t.Helper()
+	prog := loops.TwoIndexFused(35000, 40000)
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.OSCItanium2()
+	cfg.MemoryLimit = 1 * machine.GB
+	m, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nlp.Build(m)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 2000, "j": 2000, "m": 2000, "n": 2000}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestBlockProgramStructure(t *testing.T) {
+	plan := fig4Plan(t)
+	var comp *codegen.Compute
+	var find func(ns []codegen.Node)
+	find = func(ns []codegen.Node) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *codegen.Loop:
+				find(n.Body)
+			case *codegen.Compute:
+				if comp == nil {
+					comp = n
+				}
+			}
+		}
+	}
+	find(plan.Body)
+	if comp == nil {
+		t.Fatal("no compute block found")
+	}
+	prog, err := BlockProgram(plan, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The block's "disk arrays" are the in-memory buffers; their extents
+	// are the outer tile sizes.
+	if got := prog.Ranges["i"]; got != 2000 {
+		t.Fatalf("block extent i = %d, want tile 2000", got)
+	}
+	if len(prog.ArraysOfKind(loops.Output)) != 1 {
+		t.Fatal("block must have one output buffer")
+	}
+	if len(prog.ArraysOfKind(loops.Input)) != 2 {
+		t.Fatalf("block should have 2 input buffers, got %v", prog.ArraysOfKind(loops.Input))
+	}
+}
+
+func TestOptimizePlanFig4(t *testing.T) {
+	plan := fig4Plan(t)
+	cache := ItaniumL3()
+	results, err := OptimizePlan(plan, cache, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d blocks, want 2 (producer and consumer of T)", len(results))
+	}
+	for _, r := range results {
+		if r.TrafficSeconds <= 0 {
+			t.Fatalf("block %s: no traffic modelled", r.Statement)
+		}
+		// Cache buffers fit the cache.
+		if mem := r.Synthesis.Plan.MemoryBytes(); mem > cache.CacheBytes {
+			t.Fatalf("block %s: cache buffers %d exceed cache %d", r.Statement, mem, cache.CacheBytes)
+		}
+		// Cache tiles are within the block extents.
+		for x, tl := range r.Tiles {
+			if tl < 1 || tl > r.Synthesis.Request.Program.Ranges[x] {
+				t.Fatalf("block %s: tile %s=%d out of range", r.Statement, x, tl)
+			}
+		}
+	}
+}
+
+func TestCacheTilingBeatsUnblocked(t *testing.T) {
+	// The optimized cache tiles must beat the degenerate single-row
+	// blocking (cache tile 1 along everything), mirroring the disk-level
+	// result one level down.
+	plan := fig4Plan(t)
+	results, err := OptimizePlan(plan, ItaniumL3(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		p := r.Synthesis.Problem
+		ones := map[string]int64{}
+		for _, v := range p.TileVars {
+			ones[v] = 1
+		}
+		naive := p.Objective(p.Encode(ones, nil))
+		if r.TrafficSeconds >= naive {
+			t.Fatalf("block %s: optimized %.4f not below unblocked %.4f", r.Statement, r.TrafficSeconds, naive)
+		}
+	}
+}
+
+func TestMachineForTranslation(t *testing.T) {
+	c := ItaniumL3()
+	m := c.machineFor()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MemoryLimit != c.CacheBytes || m.Disk.MinReadBlock != c.LineBytes {
+		t.Fatalf("translation wrong: %+v", m)
+	}
+}

@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"2g":   2 * machine.GB,
+		"1.5G": machine.GB + machine.GB/2,
+		"512m": 512 * machine.MB,
+		"64K":  64 * machine.KB,
+		"1000": 1000,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "zz", "-1g", "0"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 8 {
+		t.Fatalf("ParseInts = %v", got)
+	}
+	for _, bad := range []string{"", "a", "1,-2", "1,,2"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) should fail", bad)
+		}
+	}
+}

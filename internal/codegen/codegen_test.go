@@ -1,0 +1,185 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/nlp"
+	"repro/internal/placement"
+	"repro/internal/tiling"
+)
+
+func fig4Problem(t *testing.T) *nlp.Problem {
+	t.Helper()
+	prog := loops.TwoIndexFused(35000, 40000)
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.OSCItanium2()
+	cfg.MemoryLimit = 1 * machine.GB
+	m, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nlp.Build(m)
+}
+
+func TestGenerateFig4Structure(t *testing.T) {
+	p := fig4Problem(t)
+	tiles := map[string]int64{"i": 2000, "j": 2000, "m": 2000, "n": 2000}
+	// Leaf placements everywhere, T in memory (all candidate 0) — the
+	// paper's Fig. 4(b) configuration.
+	plan, err := Generate(p, p.Encode(tiles, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	for _, want := range []string{
+		"ZeroFill BDisk",
+		"FOR iT, nT",
+		"T[1..Tn,1..Ti] = 0",
+		"FOR jT",
+		"= Read ADisk",
+		"= Read C2Disk",
+		"FOR iI, nI, jI",
+		"FOR mT",
+		"= Read C1Disk",
+		"= Read BDisk",
+		"FOR iI, nI, mI",
+		"Write BDisk",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("concrete code missing %q:\n%s", want, s)
+		}
+	}
+	// T is in memory: no T disk array, no T I/O.
+	if strings.Contains(s, "TDisk") {
+		t.Fatalf("in-memory T must not touch disk:\n%s", s)
+	}
+	if len(plan.DiskArrays) != 4 { // A, C1, C2, B
+		t.Fatalf("disk arrays = %d, want 4", len(plan.DiskArrays))
+	}
+}
+
+func TestGenerateDiskIntermediate(t *testing.T) {
+	p := fig4Problem(t)
+	tiles := map[string]int64{"i": 2000, "j": 2000, "m": 2000, "n": 2000}
+	// Select T's disk candidate (index 1).
+	plan, err := Generate(p, p.Encode(tiles, map[string]int{"T": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "Write TDisk") || !strings.Contains(s, "Read TDisk") {
+		t.Fatalf("disk intermediate must read and write TDisk:\n%s", s)
+	}
+	found := false
+	for _, da := range plan.DiskArrays {
+		if da.Name == "T" {
+			found = true
+			if da.NeedsInit {
+				t.Fatal("T's disk write has no redundant loops; no init pass needed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("T missing from disk arrays")
+	}
+	// The write buffer is zero-filled (no RMW), named T.w.
+	if !strings.Contains(s, "T.w[") {
+		t.Fatalf("missing producer buffer T.w:\n%s", s)
+	}
+	if !strings.Contains(s, "T.r[") {
+		t.Fatalf("missing consumer buffer T.r:\n%s", s)
+	}
+}
+
+func TestMemoryBytesMatchesBuffers(t *testing.T) {
+	p := fig4Problem(t)
+	tiles := map[string]int64{"i": 100, "j": 200, "m": 300, "n": 400}
+	plan, err := Generate(p, p.Encode(tiles, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A[Ti,Tj] + C1[Tm,Ti] + C2[Tn,Tj] + T[Tn,Ti] + B[Tm,Tn] elements ×8.
+	want := int64(100*200+300*100+400*200+400*100+300*400) * 8
+	if got := plan.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	// It must agree with the NLP memory model.
+	if got := p.MemoryUsage(p.Encode(tiles, nil)); got != float64(want) {
+		t.Fatalf("NLP memory %g disagrees with plan %d", got, want)
+	}
+}
+
+func TestPredictedCarriedOver(t *testing.T) {
+	p := fig4Problem(t)
+	x := p.Encode(map[string]int64{"i": 2000, "j": 2000, "m": 2000, "n": 2000}, nil)
+	plan, err := Generate(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Predicted != p.Objective(x) {
+		t.Fatalf("Predicted %g != objective %g", plan.Predicted, p.Objective(x))
+	}
+	if plan.PredictedReadBytes <= 0 || plan.PredictedWriteBytes <= 0 {
+		t.Fatal("predicted byte totals missing")
+	}
+}
+
+func TestBufferMaxElems(t *testing.T) {
+	p := fig4Problem(t)
+	tiles := map[string]int64{"i": 50, "j": 60, "m": 70, "n": 80}
+	// A's "above nT" candidate has buffer Ti×Nj.
+	plan, err := Generate(p, p.Encode(tiles, map[string]int{"A": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range plan.Buffers {
+		if b.Array == "A" {
+			if b.MaxElems != 50*40000 {
+				t.Fatalf("A buffer MaxElems = %d, want Ti×Nj = %d", b.MaxElems, 50*40000)
+			}
+			return
+		}
+	}
+	t.Fatal("A buffer not found")
+}
+
+func TestFourIndexGeneratesAllArrays(t *testing.T) {
+	prog := loops.FourIndexAbstract(140, 120)
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := placement.Enumerate(tree, machine.OSCItanium2(), placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nlp.Build(m)
+	tiles := map[string]int64{}
+	for _, v := range p.TileVars {
+		tiles[v] = 30
+	}
+	plan, err := Generate(p, p.Encode(tiles, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	// T1 must be on disk (too large for memory), with an init pass (its
+	// write has the redundant summation loop p above it at the default
+	// leaf placement).
+	if !strings.Contains(s, "Write T1Disk") {
+		t.Fatalf("T1 must go to disk:\n%s", s)
+	}
+	// T2/T3 default to in-memory.
+	if strings.Contains(s, "T2Disk") || strings.Contains(s, "T3Disk") {
+		t.Fatalf("T2/T3 should stay in memory at default selection:\n%s", s)
+	}
+	if len(plan.DiskArrays) != 7 { // 5 inputs + T1 + B
+		t.Fatalf("disk arrays = %d, want 7", len(plan.DiskArrays))
+	}
+}

@@ -1,0 +1,86 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+)
+
+// String renders the concrete program in the paper's Fig. 4(b) notation.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// concrete out-of-core code for %q\n", p.Prog.Name)
+	fmt.Fprintf(&b, "// memory: %d bytes of buffers (limit %d)\n", p.MemoryBytes(), p.Cfg.MemoryLimit)
+	for _, da := range p.DiskArrays {
+		init := ""
+		if da.NeedsInit {
+			init = "  // zero-initialized"
+		}
+		fmt.Fprintf(&b, "// disk: %s%v %s%s\n", da.Name, da.Dims, da.Kind, init)
+	}
+	writeNodes(&b, p, p.Body, 0)
+	return b.String()
+}
+
+func writeNodes(b *strings.Builder, p *Plan, ns []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *Loop:
+			// Coalesce perfect chains of loops for compactness.
+			chain := []string{n.Index + "T"}
+			body := n.Body
+			for len(body) == 1 {
+				inner, ok := body[0].(*Loop)
+				if !ok {
+					break
+				}
+				chain = append(chain, inner.Index+"T")
+				body = inner.Body
+			}
+			fmt.Fprintf(b, "%sFOR %s\n", ind, strings.Join(chain, ", "))
+			writeNodes(b, p, body, depth+1)
+		case *IO:
+			if n.Read {
+				fmt.Fprintf(b, "%s%s = Read %sDisk\n", ind, bufString(n.Buffer), n.Array)
+			} else {
+				fmt.Fprintf(b, "%sWrite %sDisk = %s\n", ind, n.Array, bufString(n.Buffer))
+			}
+		case *ZeroBuf:
+			fmt.Fprintf(b, "%s%s = 0\n", ind, bufString(n.Buffer))
+		case *InitPass:
+			fmt.Fprintf(b, "%sZeroFill %sDisk (tile-by-tile init pass)\n", ind, n.Array)
+		case *Compute:
+			intra := make([]string, len(n.Intra))
+			for i, x := range n.Intra {
+				intra[i] = x + "I"
+			}
+			fmt.Fprintf(b, "%sFOR %s\n", ind, strings.Join(intra, ", "))
+			parts := make([]string, len(n.Factors))
+			for i, f := range n.Factors {
+				parts[i] = bufString(f)
+			}
+			fmt.Fprintf(b, "%s  %s += %s\n", ind, bufString(n.Out), strings.Join(parts, " * "))
+		}
+	}
+}
+
+// bufString renders a buffer in the paper's notation: A[1..Ti,1..Nj].
+func bufString(buf *Buffer) string {
+	if len(buf.Dims) == 0 {
+		return buf.Name
+	}
+	var parts []string
+	for _, d := range buf.Dims {
+		switch d.Class {
+		case placement.ExtTile:
+			parts = append(parts, "1..T"+d.Index)
+		case placement.ExtFull:
+			parts = append(parts, "1..N"+d.Index)
+		default:
+			parts = append(parts, "1")
+		}
+	}
+	return buf.Name + "[" + strings.Join(parts, ",") + "]"
+}

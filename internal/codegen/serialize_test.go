@@ -1,0 +1,49 @@
+package codegen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := fig4Problem(t)
+	tiles := map[string]int64{"i": 2000, "j": 2000, "m": 2000, "n": 2000}
+	// Include a disk intermediate for full node coverage.
+	plan, err := Generate(p, p.Encode(tiles, map[string]int{"T": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != plan.String() {
+		t.Fatalf("round trip changed the concrete code:\n--- original ---\n%s\n--- reloaded ---\n%s",
+			plan, back)
+	}
+	if back.MemoryBytes() != plan.MemoryBytes() {
+		t.Fatalf("memory changed: %d vs %d", back.MemoryBytes(), plan.MemoryBytes())
+	}
+	if back.Predicted != plan.Predicted {
+		t.Fatal("predicted cost changed")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalPlanErrors(t *testing.T) {
+	if _, err := UnmarshalPlan([]byte("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"body":[{"kind":"alien"}]}`)); err == nil {
+		t.Error("unknown node kind must fail")
+	}
+	if _, err := UnmarshalPlan([]byte(`{"body":[{"kind":"io","buffer":5}]}`)); err == nil {
+		t.Error("bad buffer index must fail")
+	}
+}

@@ -1,0 +1,155 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+)
+
+// Validate statically checks a concrete plan's structural invariants
+// before execution:
+//
+//  1. every buffer dimension's index is bound by an enclosing tiling loop
+//     when its extent class requires it (tile dims need their loop);
+//  2. every Compute's output and factor buffers are defined (read, zeroed,
+//     or read-modify-written) on the path before the compute executes;
+//  3. every buffer written to disk was instantiated beforehand;
+//  4. disk arrays referenced by I/O and init passes are declared;
+//  5. read-modify-write accumulation (a read and a write of the same
+//     buffer wrapping a subtree) only targets zero-initialized arrays;
+//  6. the static buffer memory fits the machine's memory limit.
+//
+// The execution engine would surface most of these dynamically; Validate
+// reports them before any I/O happens.
+func (p *Plan) Validate() error {
+	diskArrays := map[string]DiskArray{}
+	for _, da := range p.DiskArrays {
+		diskArrays[da.Name] = da
+	}
+	if mem := p.MemoryBytes(); mem > p.Cfg.MemoryLimit {
+		return fmt.Errorf("codegen: plan uses %d bytes of buffers, limit %d", mem, p.Cfg.MemoryLimit)
+	}
+
+	defined := map[*Buffer]bool{}
+	open := map[string]bool{} // loop indices currently open
+	var walk func(ns []Node) error
+	checkBufferBinding := func(b *Buffer) error {
+		for _, d := range b.Dims {
+			if d.Class == placement.ExtTile && !open[d.Index] {
+				return fmt.Errorf("codegen: buffer %q tile dimension %q used outside its tiling loop", b.Name, d.Index)
+			}
+		}
+		return nil
+	}
+	walk = func(ns []Node) error {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				if n.Tile < 1 || n.Tile > n.Range {
+					return fmt.Errorf("codegen: loop %s has tile %d outside [1,%d]", n.Index, n.Tile, n.Range)
+				}
+				if open[n.Index] {
+					return fmt.Errorf("codegen: loop index %q opened twice", n.Index)
+				}
+				open[n.Index] = true
+				if err := walk(n.Body); err != nil {
+					return err
+				}
+				delete(open, n.Index)
+			case *IO:
+				if _, ok := diskArrays[n.Array]; !ok {
+					return fmt.Errorf("codegen: I/O on undeclared disk array %q", n.Array)
+				}
+				if err := checkBufferBinding(n.Buffer); err != nil {
+					return err
+				}
+				if n.Read {
+					defined[n.Buffer] = true
+				} else if !defined[n.Buffer] {
+					return fmt.Errorf("codegen: write of buffer %q before it is defined", n.Buffer.Name)
+				}
+			case *ZeroBuf:
+				if err := checkBufferBinding(n.Buffer); err != nil {
+					return err
+				}
+				defined[n.Buffer] = true
+			case *InitPass:
+				da, ok := diskArrays[n.Array]
+				if !ok {
+					return fmt.Errorf("codegen: init pass on undeclared disk array %q", n.Array)
+				}
+				if !da.NeedsInit {
+					return fmt.Errorf("codegen: init pass on %q which does not need one", n.Array)
+				}
+			case *Compute:
+				for _, b := range append([]*Buffer{n.Out}, n.Factors...) {
+					if !defined[b] {
+						return fmt.Errorf("codegen: compute uses undefined buffer %q", b.Name)
+					}
+					if err := checkBufferBinding(b); err != nil {
+						return err
+					}
+				}
+				if n.Stmt == nil {
+					return fmt.Errorf("codegen: compute without a statement")
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Body); err != nil {
+		return err
+	}
+
+	// Every read-modify-written array must be zero-initialized; every
+	// NeedsInit array must actually get an init pass.
+	rmwArrays := rmwTargets(p.Body, map[*Buffer]bool{})
+	for name := range rmwArrays {
+		da, ok := diskArrays[name]
+		if !ok || !da.NeedsInit {
+			return fmt.Errorf("codegen: array %q is read-modify-written but not zero-initialized", name)
+		}
+	}
+	inits := map[string]bool{}
+	collectInits(p.Body, inits)
+	for _, da := range p.DiskArrays {
+		if da.NeedsInit && !inits[da.Name] {
+			return fmt.Errorf("codegen: disk array %q needs a zero-init pass but has none", da.Name)
+		}
+	}
+	return nil
+}
+
+// rmwTargets finds arrays whose buffer is read and later written at the
+// same nesting level (the read-modify-write pattern).
+func rmwTargets(ns []Node, seenRead map[*Buffer]bool) map[string]bool {
+	out := map[string]bool{}
+	var walk func(ns []Node)
+	walk = func(ns []Node) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				walk(n.Body)
+			case *IO:
+				if n.Read {
+					seenRead[n.Buffer] = true
+				} else if seenRead[n.Buffer] {
+					out[n.Array] = true
+				}
+			}
+		}
+	}
+	walk(ns)
+	return out
+}
+
+func collectInits(ns []Node, out map[string]bool) {
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *Loop:
+			collectInits(n.Body, out)
+		case *InitPass:
+			out[n.Array] = true
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+func validPlan(t *testing.T) *Plan {
+	t.Helper()
+	p := fig4Problem(t)
+	tiles := map[string]int64{"i": 2000, "j": 2000, "m": 2000, "n": 2000}
+	plan, err := Generate(p, p.Encode(tiles, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestValidateAcceptsGeneratedPlan(t *testing.T) {
+	if err := validPlan(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func findLoop(ns []Node, idx string) *Loop {
+	for _, n := range ns {
+		if l, ok := n.(*Loop); ok {
+			if l.Index == idx {
+				return l
+			}
+			if inner := findLoop(l.Body, idx); inner != nil {
+				return inner
+			}
+		}
+	}
+	return nil
+}
+
+func TestValidateCatchesBadTile(t *testing.T) {
+	plan := validPlan(t)
+	findLoop(plan.Body, "j").Tile = 0
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "tile") {
+		t.Fatalf("zero tile not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesUndefinedComputeBuffer(t *testing.T) {
+	plan := validPlan(t)
+	// Remove all reads of A: the compute then uses an undefined buffer.
+	var strip func(ns []Node) []Node
+	strip = func(ns []Node) []Node {
+		var out []Node
+		for _, n := range ns {
+			if io, ok := n.(*IO); ok && io.Array == "A" && io.Read {
+				continue
+			}
+			if l, ok := n.(*Loop); ok {
+				l.Body = strip(l.Body)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	plan.Body = strip(plan.Body)
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "undefined buffer") {
+		t.Fatalf("undefined compute buffer not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingInitPass(t *testing.T) {
+	plan := validPlan(t)
+	var out []Node
+	for _, n := range plan.Body {
+		if _, ok := n.(*InitPass); ok {
+			continue
+		}
+		out = append(out, n)
+	}
+	plan.Body = out
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "init") {
+		t.Fatalf("missing init pass not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesMemoryOverrun(t *testing.T) {
+	plan := validPlan(t)
+	plan.Cfg.MemoryLimit = 16
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("memory overrun not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesUnknownDiskArray(t *testing.T) {
+	plan := validPlan(t)
+	// Point the first IO at a bogus array.
+	var firstIO *IO
+	var find func(ns []Node)
+	find = func(ns []Node) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *IO:
+				if firstIO == nil {
+					firstIO = n
+				}
+			case *Loop:
+				find(n.Body)
+			}
+		}
+	}
+	find(plan.Body)
+	if firstIO == nil {
+		t.Fatal("no IO found")
+	}
+	firstIO.Array = "bogus"
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown disk array not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesDanglingTileDim(t *testing.T) {
+	plan := validPlan(t)
+	// Hoist A's read to the root: its tile dims escape their loops.
+	var theIO *IO
+	var strip func(ns []Node) []Node
+	strip = func(ns []Node) []Node {
+		var out []Node
+		for _, n := range ns {
+			if io, ok := n.(*IO); ok && io.Array == "A" && io.Read {
+				theIO = io
+				continue
+			}
+			if l, ok := n.(*Loop); ok {
+				l.Body = strip(l.Body)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	plan.Body = strip(plan.Body)
+	if theIO == nil {
+		t.Fatal("A read not found")
+	}
+	plan.Body = append([]Node{theIO}, plan.Body...)
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "outside its tiling loop") {
+		t.Fatalf("dangling tile dim not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesDoubleLoop(t *testing.T) {
+	plan := validPlan(t)
+	l := findLoop(plan.Body, "i")
+	l.Body = []Node{&Loop{Index: "i", Range: l.Range, Tile: l.Tile, Body: l.Body}}
+	if err := plan.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("double loop not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesSpuriousInitPass(t *testing.T) {
+	plan := validPlan(t)
+	plan.Body = append([]Node{&InitPass{Array: "A"}}, plan.Body...)
+	if err := plan.Validate(); err == nil {
+		t.Fatal("spurious init pass not caught")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/nlp"
+)
+
+// AlignLastDimTiles applies the spatial-locality adjustment of the
+// synthesis lineage (Cociorva et al.): after the solver has chosen tile
+// sizes, the tile of every loop that indexes the fastest-varying (last)
+// dimension of any array is raised to at least minRun elements, provided
+// the adjusted assignment remains feasible. Larger last-dimension tiles
+// make every disk section span long contiguous runs, which the refined
+// seek-per-run disk model (trace.RunAwareTime) rewards.
+//
+// The adjustment is greedy and conservative: indexes are processed in
+// sorted order; for each, the largest target ≤ min(range, minRun) that
+// keeps the assignment feasible is kept (halving on failure, reverting if
+// even the original fails — which cannot happen for a feasible input).
+func AlignLastDimTiles(prob *nlp.Problem, x []int64, minRun int64) []int64 {
+	out := append([]int64(nil), x...)
+
+	// Collect the loop indices that appear as the last (fastest-varying)
+	// dimension of some array.
+	lastDims := map[string]bool{}
+	for _, arr := range prob.Model.Prog.Arrays {
+		if n := len(arr.OrigIndices); n > 0 {
+			lastDims[arr.OrigIndices[n-1]] = true
+		}
+	}
+	var names []string
+	for name := range lastDims {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pos := map[string]int{}
+	for i, v := range prob.TileVars {
+		pos[v] = i
+	}
+	for _, name := range names {
+		i, ok := pos[name]
+		if !ok {
+			continue
+		}
+		_, hi := prob.Bounds(i)
+		target := minRun
+		if target > hi {
+			target = hi
+		}
+		if out[i] >= target {
+			continue
+		}
+		orig := out[i]
+		for t := target; t > orig; t /= 2 {
+			out[i] = t
+			if prob.Feasible(out) {
+				break
+			}
+			out[i] = orig
+		}
+	}
+	return out
+}

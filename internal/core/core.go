@@ -1,0 +1,291 @@
+// Package core is the public façade of the out-of-core synthesis system.
+// It wires the full pipeline of the paper together: abstract program →
+// loop tiling → candidate I/O placement enumeration → nonlinear
+// constrained problem → solver (DCS or the uniform-sampling baseline) →
+// concrete out-of-core code, and offers helpers to execute the result on
+// simulated or real disks.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/dcs"
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/nlp"
+	"repro/internal/placement"
+	"repro/internal/sampling"
+	"repro/internal/tensor"
+	"repro/internal/tiling"
+)
+
+// Strategy selects the synthesis search algorithm.
+type Strategy int
+
+const (
+	// DCS formulates the search as a nonlinear constrained problem and
+	// solves it with the discrete constrained search solver (the paper's
+	// approach).
+	DCS Strategy = iota
+	// UniformSampling is the baseline: log-uniform brute-force tile
+	// search with greedy I/O placement.
+	UniformSampling
+	// DCSConstrainedAnnealing uses the CSA variant of the solver.
+	DCSConstrainedAnnealing
+	// RandomSearch is the ablation baseline: random feasible sampling.
+	RandomSearch
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DCS:
+		return "DCS"
+	case UniformSampling:
+		return "uniform-sampling"
+	case DCSConstrainedAnnealing:
+		return "DCS-CSA"
+	case RandomSearch:
+		return "random-search"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Request describes one synthesis task.
+type Request struct {
+	Program  *loops.Program
+	Machine  machine.Config
+	Strategy Strategy
+	// Seed makes solver-based strategies deterministic.
+	Seed int64
+	// MaxEvals bounds the solver budget (DCS strategies); 0 uses the
+	// solver default.
+	MaxEvals int
+	// MaxTime bounds the solver wall clock (0: unbounded).
+	MaxTime time.Duration
+	// Sampling configures the uniform-sampling strategy.
+	Sampling sampling.Options
+	// Placement configures candidate enumeration.
+	Placement placement.Options
+	// AutoFuse applies greedy loop fusion (contracting intermediates, as
+	// in Fig. 1) before tiling. The paper's workloads arrive pre-fused;
+	// programs lowered from arbitrary contraction specs benefit from it.
+	AutoFuse bool
+	// AlignTiles, when positive, applies the spatial-locality adjustment
+	// of the synthesis lineage after solving: the tile size of every loop
+	// indexing the fastest-varying dimension of an array is raised to at
+	// least this many elements (when the assignment stays feasible), so
+	// disk sections occupy long contiguous runs.
+	AlignTiles int64
+}
+
+// Synthesis is the result of a synthesis run.
+type Synthesis struct {
+	Request Request
+	Tree    *tiling.Tree
+	Model   *placement.Model
+	Problem *nlp.Problem
+	X       []int64
+	Assign  nlp.Assignment
+	Plan    *codegen.Plan
+	// GenTime is the code-generation (search) time — the quantity Table 2
+	// compares across approaches.
+	GenTime time.Duration
+	// SolverEvals is the number of cost-model evaluations performed.
+	SolverEvals int64
+}
+
+// Synthesize runs the full pipeline.
+func Synthesize(req Request) (*Synthesis, error) {
+	if req.Program == nil {
+		return nil, fmt.Errorf("core: no program")
+	}
+	if err := req.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if req.AutoFuse {
+		req.Program = loops.FuseGreedy(req.Program)
+	}
+	tree, err := tiling.Tile(req.Program)
+	if err != nil {
+		return nil, err
+	}
+	model, err := placement.Enumerate(tree, req.Machine, req.Placement)
+	if err != nil {
+		return nil, err
+	}
+	prob := nlp.Build(model)
+
+	start := time.Now()
+	var x []int64
+	var evals int64
+	switch req.Strategy {
+	case DCS, DCSConstrainedAnnealing, RandomSearch:
+		strat := dcs.DLM
+		if req.Strategy == DCSConstrainedAnnealing {
+			strat = dcs.CSA
+		}
+		if req.Strategy == RandomSearch {
+			strat = dcs.RandomSearch
+		}
+		res, err := dcs.Solve(prob, dcs.Options{
+			Strategy: strat,
+			Seed:     req.Seed,
+			MaxEvals: req.MaxEvals,
+			MaxTime:  req.MaxTime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Feasible {
+			return nil, fmt.Errorf("core: %v found no feasible configuration (memory limit %d too tight?)", req.Strategy, req.Machine.MemoryLimit)
+		}
+		x = res.X
+		evals = int64(res.Evals)
+	case UniformSampling:
+		res, err := sampling.Search(prob, req.Sampling)
+		if err != nil {
+			return nil, err
+		}
+		x = res.X
+		evals = res.Combos
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", req.Strategy)
+	}
+	if req.AlignTiles > 0 {
+		x = AlignLastDimTiles(prob, x, req.AlignTiles)
+	}
+	genTime := time.Since(start)
+
+	plan, err := codegen.Generate(prob, x)
+	if err != nil {
+		return nil, err
+	}
+	return &Synthesis{
+		Request:     req,
+		Tree:        tree,
+		Model:       model,
+		Problem:     prob,
+		X:           x,
+		Assign:      prob.Decode(x),
+		Plan:        plan,
+		GenTime:     genTime,
+		SolverEvals: evals,
+	}, nil
+}
+
+// AMPL renders the synthesis problem in the DCS solver's AMPL input
+// format.
+func (s *Synthesis) AMPL() string {
+	var b strings.Builder
+	if err := s.Problem.WriteAMPL(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Predicted returns the cost model's disk I/O time in seconds for the
+// synthesized code (the Table 3 "predicted" column).
+func (s *Synthesis) Predicted() float64 { return s.Plan.Predicted }
+
+// MeasureSim executes the plan's I/O structure against the simulated disk
+// at full array scale (dry run, no data) and returns the measured
+// statistics (the Table 3 "measured" column).
+func (s *Synthesis) MeasureSim() (disk.Stats, error) {
+	be := disk.NewSim(s.Request.Machine.Disk, false)
+	defer be.Close()
+	res, err := exec.Run(s.Plan, be, nil, exec.Options{DryRun: true})
+	if err != nil {
+		return disk.Stats{}, err
+	}
+	return res.Stats, nil
+}
+
+// RunSim executes the plan with real data on the in-memory simulated disk
+// and returns the outputs and measured statistics. Suitable for small
+// (test-scale) problems only.
+func (s *Synthesis) RunSim(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, disk.Stats, error) {
+	be := disk.NewSim(s.Request.Machine.Disk, true)
+	defer be.Close()
+	res, err := exec.Run(s.Plan, be, inputs, exec.Options{})
+	if err != nil {
+		return nil, disk.Stats{}, err
+	}
+	return res.Outputs, res.Stats, nil
+}
+
+// RunFiles executes the plan against real files under dir.
+func (s *Synthesis) RunFiles(dir string, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, disk.Stats, error) {
+	be, err := disk.NewFileStore(dir, s.Request.Machine.Disk)
+	if err != nil {
+		return nil, disk.Stats{}, err
+	}
+	defer be.Close()
+	res, err := exec.Run(s.Plan, be, inputs, exec.Options{})
+	if err != nil {
+		return nil, disk.Stats{}, err
+	}
+	return res.Outputs, res.Stats, nil
+}
+
+// Report renders a per-array breakdown of the chosen configuration:
+// placement, buffer size, predicted bytes moved and I/O time.
+func (s *Synthesis) Report() string {
+	var b strings.Builder
+	ranges := s.Request.Program.Ranges
+	tiles := s.Assign.Tiles
+	d := s.Request.Machine.Disk
+	fmt.Fprintf(&b, "%-10s %-38s %14s %14s %14s %10s\n",
+		"array", "placement", "buffer bytes", "read bytes", "write bytes", "io secs")
+	names := make([]string, 0, len(s.Model.Choices))
+	byName := map[string]*placement.Candidate{}
+	for i := range s.Model.Choices {
+		name := s.Model.Choices[i].Name
+		names = append(names, name)
+		byName[name] = s.Assign.Selected[name]
+	}
+	for _, name := range names {
+		c := byName[name]
+		if c == nil {
+			continue
+		}
+		buf, rd, wr, secs := 0.0, 0.0, 0.0, 0.0
+		for _, t := range c.MemBytes() {
+			buf += t.Eval(tiles, ranges)
+		}
+		for _, t := range c.ReadBytes() {
+			v := t.Eval(tiles, ranges)
+			rd += v
+			secs += v / d.ReadBandwidth
+		}
+		for _, t := range c.WriteBytes() {
+			v := t.Eval(tiles, ranges)
+			wr += v
+			secs += v / d.WriteBandwidth
+		}
+		for _, t := range append(c.ReadOps(), c.WriteOps()...) {
+			secs += t.Eval(tiles, ranges) * d.SeekTime
+		}
+		fmt.Fprintf(&b, "%-10s %-38s %14.0f %14.0f %14.0f %10.1f\n",
+			name, c.Label, buf, rd, wr, secs)
+	}
+	return b.String()
+}
+
+// Summary renders a human-readable synthesis report.
+func (s *Synthesis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "synthesis of %q via %v\n", s.Request.Program.Name, s.Request.Strategy)
+	fmt.Fprintf(&b, "  code generation time: %v (%d cost evaluations)\n", s.GenTime, s.SolverEvals)
+	fmt.Fprintf(&b, "  predicted disk I/O time: %.1f s\n", s.Predicted())
+	fmt.Fprintf(&b, "  buffer memory: %d bytes (limit %d)\n", s.Plan.MemoryBytes(), s.Request.Machine.MemoryLimit)
+	if s.Request.Machine.FlopRate > 0 {
+		fmt.Fprintf(&b, "  balance: %s\n", s.Balance())
+	}
+	b.WriteString(s.Assign.Describe())
+	return b.String()
+}

@@ -1,0 +1,383 @@
+// Package dcs implements the Discrete Constrained Search solver used for
+// out-of-core code synthesis: a discrete-space nonlinear constrained
+// minimizer in the style of Wah et al.'s DCS package, built on the theory
+// of discrete Lagrange multipliers. The solver performs first-order
+// descent in the variable space of the discrete Lagrangian
+//
+//	L(x, μ) = f(x) + Σ_i μ_i g_i(x)
+//
+// (g_i ≥ 0 are constraint violations) interleaved with multiplier ascent
+// on violated constraints, so that discrete saddle points — which are
+// exactly the constrained local minima — are reached. A constrained
+// simulated annealing (CSA) strategy and a random-sampling baseline are
+// provided for the solver ablation study.
+package dcs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Problem is a discrete constrained minimization problem. Variables are
+// integers within per-variable inclusive bounds.
+type Problem interface {
+	// Dim returns the number of decision variables.
+	Dim() int
+	// Bounds returns the inclusive range of variable i.
+	Bounds(i int) (lo, hi int64)
+	// Objective evaluates the function to minimize.
+	Objective(x []int64) float64
+	// Violations returns non-negative constraint violations (0 when
+	// satisfied). The slice length must be constant across calls.
+	Violations(x []int64) []float64
+}
+
+// Group describes a block of binary variables x[Offset:Offset+Len] that
+// jointly encode one categorical choice with codes 0..Codes-1: bit b of
+// the code stored at x[Offset+b] (binary encoding), or exactly bit `code`
+// set (one-hot encoding).
+type Group struct {
+	Offset int
+	Len    int
+	Codes  int64
+	OneHot bool
+}
+
+// GroupedProblem optionally exposes categorical variable groups; the
+// solver then adds moves that reassign a whole group at once, which is
+// essential when single-bit flips of an encoded choice are meaningless.
+type GroupedProblem interface {
+	Problem
+	Groups() []Group
+}
+
+// Strategy selects the search algorithm.
+type Strategy int
+
+const (
+	// DLM is the discrete Lagrange-multiplier descent/ascent method (the
+	// default, corresponding to the DCS package's core algorithm).
+	DLM Strategy = iota
+	// CSA is constrained simulated annealing: stochastic variable moves
+	// with Metropolis acceptance on the Lagrangian and probabilistic
+	// multiplier ascent.
+	CSA
+	// RandomSearch samples random points and keeps the best feasible one;
+	// the ablation baseline.
+	RandomSearch
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DLM:
+		return "DLM"
+	case CSA:
+		return "CSA"
+	case RandomSearch:
+		return "random"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configure a solve.
+type Options struct {
+	Strategy Strategy
+	// Seed makes the search deterministic.
+	Seed int64
+	// MaxEvals bounds the number of objective/constraint evaluations
+	// (default 200000).
+	MaxEvals int
+	// MaxTime bounds the wall-clock solve time (0: unbounded). The
+	// evaluation budget still applies; whichever is hit first stops the
+	// search.
+	MaxTime time.Duration
+	// Restarts is the number of independent starts (default 8).
+	Restarts int
+	// MuGrowth scales multiplier ascent steps (default 1.5).
+	MuGrowth float64
+	// Start, if non-nil, seeds the first restart.
+	Start []int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 200000
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 8
+	}
+	if o.MuGrowth <= 0 {
+		o.MuGrowth = 1.5
+	}
+	return o
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// X is the best feasible point found (or the least-infeasible point if
+	// none was feasible).
+	X []int64
+	// Objective is f(X).
+	Objective float64
+	// Feasible reports whether X satisfies all constraints.
+	Feasible bool
+	// Evals is the number of objective evaluations performed.
+	Evals int
+	// Restarts actually performed.
+	Restarts int
+}
+
+// Solve minimizes the problem.
+func Solve(p Problem, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if p.Dim() == 0 {
+		return Result{}, fmt.Errorf("dcs: empty problem")
+	}
+	s := &solver{
+		p:   p,
+		opt: opt,
+		rng: rand.New(rand.NewSource(opt.Seed)),
+	}
+	if opt.MaxTime > 0 {
+		s.deadline = time.Now().Add(opt.MaxTime)
+	}
+	if gp, ok := p.(GroupedProblem); ok {
+		s.groups = gp.Groups()
+	}
+	switch opt.Strategy {
+	case DLM:
+		s.run(s.dlmOnce)
+	case CSA:
+		s.run(s.csaOnce)
+	case RandomSearch:
+		s.randomSearch()
+	default:
+		return Result{}, fmt.Errorf("dcs: unknown strategy %v", opt.Strategy)
+	}
+	if s.best == nil {
+		// No feasible point found anywhere: report the least-infeasible.
+		return Result{
+			X:         s.leastBadX,
+			Objective: s.p.Objective(s.leastBadX),
+			Feasible:  false,
+			Evals:     s.evals,
+			Restarts:  s.restarts,
+		}, nil
+	}
+	return Result{
+		X:         s.best,
+		Objective: s.bestF,
+		Feasible:  true,
+		Evals:     s.evals,
+		Restarts:  s.restarts,
+	}, nil
+}
+
+type solver struct {
+	p        Problem
+	opt      Options
+	rng      *rand.Rand
+	groups   []Group
+	deadline time.Time
+
+	evals    int
+	restarts int
+
+	best  []int64 // best feasible
+	bestF float64
+
+	leastBadX []int64 // fallback when nothing is feasible
+	leastBad  float64 // total violation at leastBadX
+}
+
+// eval computes f and g, charging the evaluation budget.
+func (s *solver) eval(x []int64) (float64, []float64) {
+	s.evals++
+	f := s.p.Objective(x)
+	g := s.p.Violations(x)
+	total := 0.0
+	for _, v := range g {
+		total += v
+	}
+	if total == 0 {
+		if s.best == nil || f < s.bestF {
+			s.best = append([]int64(nil), x...)
+			s.bestF = f
+		}
+	} else if s.leastBadX == nil || total < s.leastBad {
+		s.leastBadX = append([]int64(nil), x...)
+		s.leastBad = total
+	}
+	return f, g
+}
+
+func (s *solver) budgetLeft() bool {
+	if s.evals >= s.opt.MaxEvals {
+		return false
+	}
+	// Check the wall clock sparingly: time.Now costs ~50ns, an eval ~1µs.
+	if !s.deadline.IsZero() && s.evals%256 == 0 && time.Now().After(s.deadline) {
+		return false
+	}
+	return true
+}
+
+// run executes restarts of a single-start strategy until the budget is
+// exhausted.
+func (s *solver) run(once func(start []int64)) {
+	for r := 0; r < s.opt.Restarts && s.budgetLeft(); r++ {
+		s.restarts++
+		once(s.startPoint(r))
+	}
+}
+
+// startPoint produces a diverse deterministic sequence of starts: the
+// caller-provided point, all-minimum, all-maximum, then random
+// (log-uniform for wide integer ranges).
+func (s *solver) startPoint(r int) []int64 {
+	n := s.p.Dim()
+	x := make([]int64, n)
+	switch {
+	case r == 0 && s.opt.Start != nil:
+		copy(x, s.opt.Start)
+		s.clamp(x)
+		return x
+	case r <= 0:
+		for i := range x {
+			lo, _ := s.p.Bounds(i)
+			x[i] = lo
+		}
+	case r == 1:
+		for i := range x {
+			_, hi := s.p.Bounds(i)
+			x[i] = hi
+		}
+	default:
+		for i := range x {
+			x[i] = s.randomValue(i)
+		}
+	}
+	return x
+}
+
+func (s *solver) randomValue(i int) int64 {
+	lo, hi := s.p.Bounds(i)
+	if hi-lo <= 1 {
+		return lo + s.rng.Int63n(hi-lo+1)
+	}
+	// Log-uniform over [lo, hi] (tile sizes live on a multiplicative scale).
+	llo, lhi := math.Log(float64(lo)+1), math.Log(float64(hi)+1)
+	v := int64(math.Exp(llo+s.rng.Float64()*(lhi-llo))) - 1
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+func (s *solver) clamp(x []int64) {
+	for i := range x {
+		lo, hi := s.p.Bounds(i)
+		if x[i] < lo {
+			x[i] = lo
+		}
+		if x[i] > hi {
+			x[i] = hi
+		}
+	}
+}
+
+// moves generates candidate values for variable i at current value v: the
+// doubling/halving ladder, unit steps, bound jumps, and the trip-count
+// boundaries ceil(hi/k) that matter for ceil-shaped cost terms.
+func (s *solver) moves(i int, v int64, buf []int64) []int64 {
+	lo, hi := s.p.Bounds(i)
+	buf = buf[:0]
+	if hi-lo == 1 { // binary: flip
+		if v == lo {
+			return append(buf, hi)
+		}
+		return append(buf, lo)
+	}
+	add := func(nv int64) {
+		if nv < lo {
+			nv = lo
+		}
+		if nv > hi {
+			nv = hi
+		}
+		if nv == v {
+			return
+		}
+		for _, e := range buf {
+			if e == nv {
+				return
+			}
+		}
+		buf = append(buf, nv)
+	}
+	add(v * 2)
+	add(v / 2)
+	add(v + 1)
+	add(v - 1)
+	add(lo)
+	add(hi)
+	// Trip boundaries: with k = ceil(hi/v) trips, the largest value with
+	// the same trip count is ceil(hi/k); k±1 trips give the neighbours.
+	if v > 0 {
+		k := (hi + v - 1) / v
+		add((hi + k - 1) / k)
+		if k > 1 {
+			add((hi + k - 2) / (k - 1))
+		}
+		add((hi + k) / (k + 1))
+	}
+	return buf
+}
+
+// groupCode reads the code stored in a group's bits.
+func groupCode(g Group, x []int64) int64 {
+	if g.OneHot {
+		for b := 0; b < g.Len; b++ {
+			if x[g.Offset+b] != 0 {
+				return int64(b)
+			}
+		}
+		return 0
+	}
+	var code int64
+	for b := 0; b < g.Len; b++ {
+		if x[g.Offset+b] != 0 {
+			code |= 1 << b
+		}
+	}
+	return code
+}
+
+// setGroupCode writes a code into a group's bits.
+func setGroupCode(g Group, x []int64, code int64) {
+	for b := 0; b < g.Len; b++ {
+		var v int64
+		if g.OneHot {
+			if int64(b) == code {
+				v = 1
+			}
+		} else if code&(1<<b) != 0 {
+			v = 1
+		}
+		x[g.Offset+b] = v
+	}
+}
+
+// lagrangian computes L = f + μ·g.
+func lagrangian(f float64, g, mu []float64) float64 {
+	l := f
+	for i, v := range g {
+		l += mu[i] * v
+	}
+	return l
+}

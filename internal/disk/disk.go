@@ -1,0 +1,122 @@
+// Package disk provides the disk-resident array substrate the generated
+// out-of-core code runs against: named multi-dimensional arrays on
+// secondary storage accessed by hyper-rectangular sections (the unit of
+// I/O, mirroring the Disk Resident Arrays abstraction the paper's
+// generated code uses). Two backends are provided: a simulator that
+// charges the machine's I/O cost model (usable at paper scale, with or
+// without backing data) and a real file-backed store for small-scale
+// integration tests.
+package disk
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Stats accumulates I/O activity and modelled time.
+type Stats struct {
+	ReadOps      int64
+	WriteOps     int64
+	BytesRead    int64
+	BytesWritten int64
+	// ReadTime and WriteTime are modelled seconds under the backend's disk
+	// parameters.
+	ReadTime  float64
+	WriteTime float64
+}
+
+// Time returns total modelled I/O seconds.
+func (s Stats) Time() float64 { return s.ReadTime + s.WriteTime }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ReadOps += other.ReadOps
+	s.WriteOps += other.WriteOps
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.ReadTime += other.ReadTime
+	s.WriteTime += other.WriteTime
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads %d ops/%d B (%.2f s), writes %d ops/%d B (%.2f s)",
+		s.ReadOps, s.BytesRead, s.ReadTime, s.WriteOps, s.BytesWritten, s.WriteTime)
+}
+
+// Array is a disk-resident array accessed by sections.
+type Array interface {
+	// Name returns the array's identifier.
+	Name() string
+	// Dims returns the array's extents.
+	Dims() []int64
+	// ReadSection reads the hyper-rectangle [lo, lo+shape) into buf
+	// (row-major, length Π shape). buf may be nil for cost-only backends.
+	ReadSection(lo, shape []int64, buf []float64) error
+	// WriteSection writes buf into the hyper-rectangle [lo, lo+shape).
+	WriteSection(lo, shape []int64, buf []float64) error
+}
+
+// Backend creates and opens disk-resident arrays and accumulates I/O
+// statistics.
+type Backend interface {
+	Create(name string, dims []int64) (Array, error)
+	Open(name string) (Array, error)
+	Stats() Stats
+	// ResetStats zeroes the counters (e.g. after loading inputs, so that
+	// measurements cover only the computation).
+	ResetStats()
+	Close() error
+}
+
+// checkSection validates a section against array dims and returns the
+// element count.
+func checkSection(dims, lo, shape []int64) (int64, error) {
+	if len(lo) != len(dims) || len(shape) != len(dims) {
+		return 0, fmt.Errorf("disk: section rank %d/%d does not match array rank %d", len(lo), len(shape), len(dims))
+	}
+	n := int64(1)
+	for i := range dims {
+		if lo[i] < 0 || shape[i] <= 0 || lo[i]+shape[i] > dims[i] {
+			return 0, fmt.Errorf("disk: section lo=%v shape=%v out of bounds for dims %v", lo, shape, dims)
+		}
+		n *= shape[i]
+	}
+	return n, nil
+}
+
+// statsLocked wraps Stats with a mutex shared by a backend's arrays.
+type statsLocked struct {
+	mu sync.Mutex
+	s  Stats
+	d  machine.Disk
+}
+
+func (sl *statsLocked) chargeRead(bytes int64) {
+	sl.mu.Lock()
+	sl.s.ReadOps++
+	sl.s.BytesRead += bytes
+	sl.s.ReadTime += sl.d.ReadTime(bytes, 1)
+	sl.mu.Unlock()
+}
+
+func (sl *statsLocked) chargeWrite(bytes int64) {
+	sl.mu.Lock()
+	sl.s.WriteOps++
+	sl.s.BytesWritten += bytes
+	sl.s.WriteTime += sl.d.WriteTime(bytes, 1)
+	sl.mu.Unlock()
+}
+
+func (sl *statsLocked) snapshot() Stats {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.s
+}
+
+func (sl *statsLocked) reset() {
+	sl.mu.Lock()
+	sl.s = Stats{}
+	sl.mu.Unlock()
+}

@@ -1,0 +1,246 @@
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/machine"
+)
+
+// draMagic identifies a disk-resident array file; the header is the magic
+// followed by the rank and the dims, all little-endian int64.
+var draMagic = [8]byte{'D', 'R', 'A', '1', 0, 0, 0, 0}
+
+// FileStore is a real file-backed array store: each array is one ".dra"
+// file under the store's directory — a self-describing header (magic,
+// rank, dims) followed by the elements as little-endian float64 in
+// row-major order. Arrays persist across store instances: Open finds
+// arrays created by earlier runs. The store charges the same modelled I/O
+// statistics as the simulator, so tests can compare backends, while also
+// performing real reads and writes.
+type FileStore struct {
+	dir    string
+	sl     statsLocked
+	arrays map[string]*fileArray
+}
+
+// NewFileStore creates a store rooted at dir (created if missing).
+func NewFileStore(dir string, d machine.Disk) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return &FileStore{dir: dir, sl: statsLocked{d: d}, arrays: map[string]*fileArray{}}, nil
+}
+
+type fileArray struct {
+	fs     *FileStore
+	name   string
+	dims   []int64
+	f      *os.File
+	header int64 // bytes before the first element
+}
+
+func headerSize(rank int) int64 { return 8 + 8 + int64(rank)*8 }
+
+// Create allocates a new zero-filled array file, failing if the array
+// already exists in this store or on disk.
+func (fs *FileStore) Create(name string, dims []int64) (Array, error) {
+	if _, ok := fs.arrays[name]; ok {
+		return nil, fmt.Errorf("disk: array %q already exists", name)
+	}
+	path := fs.path(name)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("disk: array file %q already exists", path)
+	}
+	n := int64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("disk: non-positive dim %d for %q", d, name)
+		}
+		n *= d
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	hdr := make([]byte, headerSize(len(dims)))
+	copy(hdr, draMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(dims)))
+	for i, d := range dims {
+		binary.LittleEndian.PutUint64(hdr[16+i*8:], uint64(d))
+	}
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	if err := f.Truncate(int64(len(hdr)) + n*8); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	a := &fileArray{
+		fs:     fs,
+		name:   name,
+		dims:   append([]int64(nil), dims...),
+		f:      f,
+		header: int64(len(hdr)),
+	}
+	fs.arrays[name] = a
+	return a, nil
+}
+
+// Open returns an array created by this store, or re-opens a ".dra" file
+// left by a previous store instance.
+func (fs *FileStore) Open(name string) (Array, error) {
+	if a, ok := fs.arrays[name]; ok {
+		return a, nil
+	}
+	f, err := os.OpenFile(fs.path(name), os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("disk: array %q does not exist", name)
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil || magic != draMagic {
+		f.Close()
+		return nil, fmt.Errorf("disk: %q is not a DRA file", fs.path(name))
+	}
+	var rankBuf [8]byte
+	if _, err := f.ReadAt(rankBuf[:], 8); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	rank := int64(binary.LittleEndian.Uint64(rankBuf[:]))
+	if rank < 0 || rank > 16 {
+		f.Close()
+		return nil, fmt.Errorf("disk: %q has implausible rank %d", name, rank)
+	}
+	dimBuf := make([]byte, rank*8)
+	if _, err := f.ReadAt(dimBuf, 16); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	dims := make([]int64, rank)
+	for i := range dims {
+		dims[i] = int64(binary.LittleEndian.Uint64(dimBuf[i*8:]))
+		if dims[i] <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("disk: %q has non-positive dim", name)
+		}
+	}
+	a := &fileArray{
+		fs:     fs,
+		name:   name,
+		dims:   dims,
+		f:      f,
+		header: headerSize(int(rank)),
+	}
+	fs.arrays[name] = a
+	return a, nil
+}
+
+func (fs *FileStore) path(name string) string {
+	return filepath.Join(fs.dir, name+".dra")
+}
+
+// Stats returns the accumulated (modelled) I/O statistics.
+func (fs *FileStore) Stats() Stats { return fs.sl.snapshot() }
+
+// ResetStats zeroes the counters.
+func (fs *FileStore) ResetStats() { fs.sl.reset() }
+
+// Close closes all array files.
+func (fs *FileStore) Close() error {
+	var first error
+	for _, a := range fs.arrays {
+		if err := a.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	fs.arrays = map[string]*fileArray{}
+	return first
+}
+
+func (a *fileArray) Name() string  { return a.name }
+func (a *fileArray) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+func (a *fileArray) ReadSection(lo, shape []int64, buf []float64) error {
+	n, err := checkSection(a.dims, lo, shape)
+	if err != nil {
+		return err
+	}
+	if int64(len(buf)) != n {
+		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+	}
+	a.fs.sl.chargeRead(n * 8)
+	return a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
+		raw := make([]byte, run*8)
+		if _, err := a.f.ReadAt(raw, a.header+fileOff*8); err != nil {
+			return err
+		}
+		for i := int64(0); i < run; i++ {
+			buf[bufOff+i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		return nil
+	})
+}
+
+func (a *fileArray) WriteSection(lo, shape []int64, buf []float64) error {
+	n, err := checkSection(a.dims, lo, shape)
+	if err != nil {
+		return err
+	}
+	if int64(len(buf)) != n {
+		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+	}
+	a.fs.sl.chargeWrite(n * 8)
+	return a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
+		raw := make([]byte, run*8)
+		for i := int64(0); i < run; i++ {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(buf[bufOff+i]))
+		}
+		_, err := a.f.WriteAt(raw, a.header+fileOff*8)
+		return err
+	})
+}
+
+// eachRun visits the contiguous runs (along the last dimension) of a
+// section, calling fn with the file element offset, packed buffer offset,
+// and run length.
+func (a *fileArray) eachRun(lo, shape []int64, fn func(fileOff, bufOff, run int64) error) error {
+	rank := len(a.dims)
+	if rank == 0 {
+		return fn(0, 0, 1)
+	}
+	strides := make([]int64, rank)
+	s := int64(1)
+	for i := rank - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= a.dims[i]
+	}
+	run := shape[rank-1]
+	idx := make([]int64, rank-1)
+	bufOff := int64(0)
+	for {
+		off := lo[rank-1] * strides[rank-1]
+		for i := 0; i < rank-1; i++ {
+			off += (lo[i] + idx[i]) * strides[i]
+		}
+		if err := fn(off, bufOff, run); err != nil {
+			return err
+		}
+		bufOff += run
+		d := rank - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Sim is the simulated disk backend. In data mode it stores array contents
+// in memory, so generated code can be verified numerically; in cost-only
+// mode it stores nothing and merely accounts I/O, which allows paper-scale
+// array extents (terabytes of virtual data).
+type Sim struct {
+	sl       statsLocked
+	withData bool
+	arrays   map[string]*simArray
+	closed   bool
+}
+
+// NewSim creates a simulated disk with the given parameters. withData
+// selects data mode.
+func NewSim(d machine.Disk, withData bool) *Sim {
+	return &Sim{
+		sl:       statsLocked{d: d},
+		withData: withData,
+		arrays:   map[string]*simArray{},
+	}
+}
+
+type simArray struct {
+	sim  *Sim
+	name string
+	dims []int64
+	data []float64 // nil in cost-only mode
+}
+
+// Create allocates a new array (zero-filled in data mode).
+func (s *Sim) Create(name string, dims []int64) (Array, error) {
+	if s.closed {
+		return nil, fmt.Errorf("disk: backend closed")
+	}
+	if _, ok := s.arrays[name]; ok {
+		return nil, fmt.Errorf("disk: array %q already exists", name)
+	}
+	a := &simArray{sim: s, name: name, dims: append([]int64(nil), dims...)}
+	if s.withData {
+		n := int64(1)
+		for _, d := range dims {
+			if d <= 0 {
+				return nil, fmt.Errorf("disk: non-positive dim %d for %q", d, name)
+			}
+			n *= d
+		}
+		const maxDataElems = 1 << 28 // 2 GiB of float64: data mode is for tests
+		if n > maxDataElems {
+			return nil, fmt.Errorf("disk: array %q too large for data mode (%d elements)", name, n)
+		}
+		a.data = make([]float64, n)
+	}
+	s.arrays[name] = a
+	return a, nil
+}
+
+// Open returns an existing array.
+func (s *Sim) Open(name string) (Array, error) {
+	a, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("disk: array %q does not exist", name)
+	}
+	return a, nil
+}
+
+// Stats returns the accumulated I/O statistics.
+func (s *Sim) Stats() Stats { return s.sl.snapshot() }
+
+// ResetStats zeroes the counters.
+func (s *Sim) ResetStats() { s.sl.reset() }
+
+// Close releases the backend.
+func (s *Sim) Close() error {
+	s.closed = true
+	s.arrays = nil
+	return nil
+}
+
+func (a *simArray) Name() string  { return a.name }
+func (a *simArray) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+func (a *simArray) ReadSection(lo, shape []int64, buf []float64) error {
+	n, err := checkSection(a.dims, lo, shape)
+	if err != nil {
+		return err
+	}
+	a.sim.sl.chargeRead(n * 8)
+	if a.data == nil || buf == nil {
+		return nil
+	}
+	if int64(len(buf)) != n {
+		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+	}
+	copySection(a.data, a.dims, lo, shape, buf, false)
+	return nil
+}
+
+func (a *simArray) WriteSection(lo, shape []int64, buf []float64) error {
+	n, err := checkSection(a.dims, lo, shape)
+	if err != nil {
+		return err
+	}
+	a.sim.sl.chargeWrite(n * 8)
+	if a.data == nil || buf == nil {
+		return nil
+	}
+	if int64(len(buf)) != n {
+		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+	}
+	copySection(a.data, a.dims, lo, shape, buf, true)
+	return nil
+}
+
+// copySection moves a row-major section between the full array and a
+// packed buffer. Contiguous runs along the last dimension are copied with
+// copy().
+func copySection(data []float64, dims, lo, shape []int64, buf []float64, write bool) {
+	rank := len(dims)
+	if rank == 0 {
+		if write {
+			data[0] = buf[0]
+		} else {
+			buf[0] = data[0]
+		}
+		return
+	}
+	// Strides of the full array.
+	strides := make([]int64, rank)
+	s := int64(1)
+	for i := rank - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	run := shape[rank-1]
+	// Iterate all but the last dimension.
+	idx := make([]int64, rank-1)
+	bufOff := int64(0)
+	for {
+		off := lo[rank-1] * strides[rank-1]
+		for i := 0; i < rank-1; i++ {
+			off += (lo[i] + idx[i]) * strides[i]
+		}
+		if write {
+			copy(data[off:off+run], buf[bufOff:bufOff+run])
+		} else {
+			copy(buf[bufOff:bufOff+run], data[off:off+run])
+		}
+		bufOff += run
+		d := rank - 2
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			break
+		}
+	}
+}
+
+// LoadArray fills a whole simulated array from data without charging
+// stats; used to stage test inputs.
+func (s *Sim) LoadArray(name string, data []float64) error {
+	a, ok := s.arrays[name]
+	if !ok {
+		return fmt.Errorf("disk: array %q does not exist", name)
+	}
+	if a.data == nil {
+		return fmt.Errorf("disk: %q is cost-only; cannot load data", name)
+	}
+	if len(data) != len(a.data) {
+		return fmt.Errorf("disk: data length %d does not match array size %d", len(data), len(a.data))
+	}
+	copy(a.data, data)
+	return nil
+}
+
+// DumpArray returns a copy of a whole simulated array's contents without
+// charging stats; used to check test outputs.
+func (s *Sim) DumpArray(name string) ([]float64, error) {
+	a, ok := s.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("disk: array %q does not exist", name)
+	}
+	if a.data == nil {
+		return nil, fmt.Errorf("disk: %q is cost-only; no data to dump", name)
+	}
+	return append([]float64(nil), a.data...), nil
+}

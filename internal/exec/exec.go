@@ -1,0 +1,644 @@
+// Package exec is the out-of-core execution engine: it interprets a
+// concrete plan (codegen.Plan) against a disk backend, performing the
+// plan's reads, writes, buffer initializations, and intra-tile compute
+// blocks. In data mode it produces numerically verifiable results; in
+// dry-run mode it executes only the I/O structure, which scales to the
+// paper's array sizes and yields the "measured" disk I/O times of the
+// evaluation.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/loops"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+)
+
+// Options control a run.
+type Options struct {
+	// DryRun skips compute and data movement, executing only the I/O
+	// structure against a cost-only backend.
+	DryRun bool
+	// Workers > 1 parallelizes intra-tile compute blocks across
+	// goroutines (the engine's stand-in for the collective in-memory
+	// kernels of the paper's GA-based code). Results are bit-identical to
+	// serial execution: the split dimension always indexes the output
+	// buffer, so workers write disjoint elements, and per-element
+	// accumulation order is unchanged.
+	Workers int
+	// OpenInputs opens the plan's input arrays on the backend instead of
+	// creating and staging them — the library-adoption path where data
+	// already lives on disk. Extents must match the plan; the inputs
+	// argument of Run is ignored.
+	OpenInputs bool
+	// NoFetch leaves outputs on disk instead of reading them back into
+	// Result.Outputs; required when outputs are too large for memory.
+	NoFetch bool
+	// StopAfter, when positive, aborts the run after that many top-level
+	// work units (top-level body items, counting each iteration of a
+	// top-level loop) and reports the reached checkpoint — simulating a
+	// crash or scheduled preemption at a safe boundary.
+	StopAfter int64
+	// Resume skips work completed before the checkpoint of an earlier
+	// (interrupted) run against the same persistent backend. Inputs must
+	// not be re-staged: combine with OpenInputs and a backend holding the
+	// interrupted run's state.
+	Resume *Checkpoint
+}
+
+// Checkpoint identifies a safe resumption boundary: top-level body item
+// Item, iteration Iter of that item if it is a loop. Safe because
+// checkpointable plans carry no read-write buffer state across top-level
+// loop iterations — all accumulated state is on disk.
+type Checkpoint struct {
+	Item int64 `json:"item"`
+	Iter int64 `json:"iter"`
+}
+
+// Checkpointable reports whether a plan supports StopAfter/Resume: its
+// top level may contain only loops, zero-init passes, and reads
+// (re-executable); a top-level write or buffer zero-fill would mean
+// in-memory accumulation lives across top-level iterations.
+func Checkpointable(p *codegen.Plan) bool {
+	for _, n := range p.Body {
+		switch n := n.(type) {
+		case *codegen.Loop, *codegen.InitPass:
+		case *codegen.IO:
+			if !n.Read {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Result reports a run.
+type Result struct {
+	// Stats are the backend's I/O statistics for the computation (input
+	// staging excluded).
+	Stats disk.Stats
+	// Outputs holds the output arrays read back from disk (nil in
+	// dry-run).
+	Outputs map[string]*tensor.Tensor
+	// PeakBufferBytes is the high-water mark of instantiated buffer
+	// memory during execution (0 in dry-run). It never exceeds the plan's
+	// static MemoryBytes, which allocates every buffer at full tile
+	// extent for the whole run.
+	PeakBufferBytes int64
+	// Stopped is non-nil when Options.StopAfter interrupted the run; it
+	// holds the checkpoint to Resume from. Outputs are not fetched on a
+	// stopped run.
+	Stopped *Checkpoint
+}
+
+// Run executes the plan. In data mode, inputs must hold a tensor for
+// every input array; outputs are read back from disk afterwards.
+func Run(p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, opt Options) (*Result, error) {
+	if (opt.StopAfter > 0 || opt.Resume != nil) && !Checkpointable(p) {
+		return nil, fmt.Errorf("exec: plan holds buffer state across top-level iterations; not checkpointable")
+	}
+	e := &engine{
+		plan:  p,
+		be:    be,
+		opt:   opt,
+		base:  map[string]int64{},
+		bufs:  map[*codegen.Buffer]*bufInst{},
+		arrs:  map[string]disk.Array{},
+		hasIO: map[*codegen.Loop]bool{},
+	}
+	e.subtreeHasIO(p.Body)
+	if err := e.stage(inputs); err != nil {
+		return nil, err
+	}
+	be.ResetStats()
+	stopped, err := e.execTop(p.Body)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: be.Stats(), PeakBufferBytes: e.peakBytes, Stopped: stopped}
+	if stopped != nil {
+		return res, nil
+	}
+	if !opt.DryRun && !opt.NoFetch {
+		res.Outputs = map[string]*tensor.Tensor{}
+		for _, da := range p.DiskArrays {
+			if da.Kind != loops.Output {
+				continue
+			}
+			t, err := e.fetch(da)
+			if err != nil {
+				return nil, err
+			}
+			res.Outputs[da.Name] = t
+		}
+	}
+	return res, nil
+}
+
+type bufInst struct {
+	t    *tensor.Tensor
+	base []int64 // tile base per buffer dim at instantiation
+}
+
+type engine struct {
+	plan *codegen.Plan
+	be   disk.Backend
+	opt  Options
+	base map[string]int64 // current tile base per loop index
+	bufs map[*codegen.Buffer]*bufInst
+	arrs map[string]disk.Array
+	// hasIO caches, per loop node, whether its subtree performs disk I/O;
+	// dry runs skip I/O-free subtrees (their iteration counts are
+	// unconstrained by the cost model and can be astronomical).
+	hasIO map[*codegen.Loop]bool
+	// curBytes/peakBytes track instantiated buffer memory.
+	curBytes  int64
+	peakBytes int64
+}
+
+// subtreeHasIO computes the dry-run pruning map.
+func (e *engine) subtreeHasIO(ns []codegen.Node) bool {
+	any := false
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *codegen.Loop:
+			if e.subtreeHasIO(n.Body) {
+				e.hasIO[n] = true
+				any = true
+			}
+		case *codegen.IO, *codegen.InitPass:
+			any = true
+		}
+	}
+	return any
+}
+
+// stage creates all disk arrays and loads the inputs (or opens
+// pre-existing inputs under Options.OpenInputs; on Resume, everything is
+// opened since the interrupted run created it).
+func (e *engine) stage(inputs map[string]*tensor.Tensor) error {
+	for _, da := range e.plan.DiskArrays {
+		if e.opt.Resume != nil {
+			a, err := e.be.Open(da.Name)
+			if err != nil {
+				return fmt.Errorf("exec: resume: %w", err)
+			}
+			e.arrs[da.Name] = a
+			continue
+		}
+		if da.Kind == loops.Input && e.opt.OpenInputs {
+			a, err := e.be.Open(da.Name)
+			if err != nil {
+				return err
+			}
+			got := a.Dims()
+			if len(got) != len(da.Dims) {
+				return fmt.Errorf("exec: existing input %q has rank %d, plan needs %d", da.Name, len(got), len(da.Dims))
+			}
+			for i := range got {
+				if got[i] != da.Dims[i] {
+					return fmt.Errorf("exec: existing input %q dims %v do not match plan %v", da.Name, got, da.Dims)
+				}
+			}
+			e.arrs[da.Name] = a
+			continue
+		}
+		a, err := e.be.Create(da.Name, da.Dims)
+		if err != nil {
+			return err
+		}
+		e.arrs[da.Name] = a
+		if da.Kind != loops.Input || e.opt.DryRun {
+			continue
+		}
+		in, ok := inputs[da.Name]
+		if !ok {
+			return fmt.Errorf("exec: missing input array %q", da.Name)
+		}
+		if int64(in.Size()) != size(da.Dims) {
+			return fmt.Errorf("exec: input %q has %d elements, want %d", da.Name, in.Size(), size(da.Dims))
+		}
+		lo := make([]int64, len(da.Dims))
+		if err := a.WriteSection(lo, da.Dims, in.Data()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func size(dims []int64) int64 {
+	n := int64(1)
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}
+
+// fetch reads a whole array back from disk (after stats capture).
+func (e *engine) fetch(da codegen.DiskArray) (*tensor.Tensor, error) {
+	dims := make([]int, len(da.Dims))
+	for i, d := range da.Dims {
+		dims[i] = int(d)
+	}
+	t := tensor.New(dims...)
+	lo := make([]int64, len(da.Dims))
+	if err := e.arrs[da.Name].ReadSection(lo, da.Dims, t.Data()); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// execTop drives the plan's top-level items with checkpoint support:
+// StopAfter counts top-level loop iterations; Resume skips completed
+// items/iterations (re-executing top-level reads, which restore the
+// buffers later nests consume).
+func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
+	var units int64
+	resume := e.opt.Resume
+	for i, n := range body {
+		item := int64(i)
+		if l, ok := n.(*codegen.Loop); ok {
+			if e.opt.DryRun && !e.hasIO[l] {
+				continue
+			}
+			var it int64
+			for b := int64(0); b < l.Range; b += l.Tile {
+				if resume != nil && (item < resume.Item || (item == resume.Item && it < resume.Iter)) {
+					it++
+					continue
+				}
+				e.base[l.Index] = b
+				if err := e.exec(l.Body); err != nil {
+					return nil, err
+				}
+				delete(e.base, l.Index)
+				it++
+				units++
+				if e.opt.StopAfter > 0 && units >= e.opt.StopAfter && b+l.Tile < l.Range {
+					return &Checkpoint{Item: item, Iter: it}, nil
+				}
+			}
+			continue
+		}
+		// Non-loop top-level item. On resume: re-execute reads (restores
+		// read-only buffers); skip anything else already done.
+		if resume != nil && item < resume.Item {
+			if io, ok := n.(*codegen.IO); !ok || !io.Read {
+				continue
+			}
+		}
+		if err := e.exec([]codegen.Node{n}); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (e *engine) exec(ns []codegen.Node) error {
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *codegen.Loop:
+			if e.opt.DryRun && !e.hasIO[n] {
+				continue
+			}
+			for b := int64(0); b < n.Range; b += n.Tile {
+				e.base[n.Index] = b
+				if err := e.exec(n.Body); err != nil {
+					return err
+				}
+			}
+			delete(e.base, n.Index)
+		case *codegen.IO:
+			if err := e.doIO(n); err != nil {
+				return err
+			}
+		case *codegen.ZeroBuf:
+			if e.opt.DryRun {
+				continue
+			}
+			e.instantiate(n.Buffer).t.Zero()
+		case *codegen.InitPass:
+			if err := e.initPass(n.Array); err != nil {
+				return err
+			}
+		case *codegen.Compute:
+			if e.opt.DryRun {
+				continue
+			}
+			if err := e.compute(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// section computes the disk section a buffer maps to at the current tile
+// bases: tile dims clip at the array boundary, full dims span the range.
+func (e *engine) section(buf *codegen.Buffer) (lo, shape []int64) {
+	lo = make([]int64, len(buf.Dims))
+	shape = make([]int64, len(buf.Dims))
+	for i, d := range buf.Dims {
+		n := e.plan.Prog.Ranges[d.Index]
+		switch d.Class {
+		case placement.ExtTile:
+			b := e.base[d.Index]
+			t := e.plan.Tiles[d.Index]
+			lo[i] = b
+			shape[i] = min64(t, n-b)
+		case placement.ExtFull:
+			lo[i] = 0
+			shape[i] = n
+		default:
+			lo[i] = e.base[d.Index] // ExtOne: single current element
+			shape[i] = 1
+		}
+	}
+	return lo, shape
+}
+
+// instantiate (re)binds a buffer tensor to the current tile bases.
+func (e *engine) instantiate(buf *codegen.Buffer) *bufInst {
+	lo, shape := e.section(buf)
+	dims := make([]int, len(shape))
+	n := 1
+	for i, s := range shape {
+		dims[i] = int(s)
+		n *= int(s)
+	}
+	inst := e.bufs[buf]
+	if inst == nil {
+		inst = &bufInst{}
+		e.bufs[buf] = inst
+	}
+	if inst.t == nil || inst.t.Size() != n {
+		e.curBytes += int64(n-sizeOf(inst.t)) * 8
+		if e.curBytes > e.peakBytes {
+			e.peakBytes = e.curBytes
+		}
+		inst.t = tensor.New(dimsOrScalar(dims)...)
+	} else {
+		inst.t = inst.t.Reshape(dimsOrScalar(dims)...)
+	}
+	inst.base = lo
+	return inst
+}
+
+func sizeOf(t *tensor.Tensor) int {
+	if t == nil {
+		return 0
+	}
+	return t.Size()
+}
+
+func dimsOrScalar(dims []int) []int {
+	if len(dims) == 0 {
+		return nil
+	}
+	return dims
+}
+
+func (e *engine) doIO(n *codegen.IO) error {
+	arr := e.arrs[n.Array]
+	lo, shape := e.section(n.Buffer)
+	if e.opt.DryRun {
+		if n.Read {
+			return arr.ReadSection(lo, shape, nil)
+		}
+		return arr.WriteSection(lo, shape, nil)
+	}
+	if n.Read {
+		inst := e.instantiate(n.Buffer)
+		return arr.ReadSection(lo, shape, inst.t.Data())
+	}
+	inst := e.bufs[n.Buffer]
+	if inst == nil {
+		return fmt.Errorf("exec: write of uninstantiated buffer %q", n.Buffer.Name)
+	}
+	return arr.WriteSection(inst.base, dimsToInt64(inst.t.Dims()), inst.t.Data())
+}
+
+func dimsToInt64(dims []int) []int64 {
+	out := make([]int64, len(dims))
+	for i, d := range dims {
+		out[i] = int64(d)
+	}
+	return out
+}
+
+// initPass zero-fills a disk array tile by tile, charging the writes.
+func (e *engine) initPass(name string) error {
+	var da *codegen.DiskArray
+	for i := range e.plan.DiskArrays {
+		if e.plan.DiskArrays[i].Name == name {
+			da = &e.plan.DiskArrays[i]
+		}
+	}
+	if da == nil {
+		return fmt.Errorf("exec: init pass for unknown disk array %q", name)
+	}
+	arr := e.arrs[name]
+	tiles := make([]int64, len(da.Dims))
+	for i, idx := range da.Indices {
+		tiles[i] = e.plan.Tiles[idx]
+	}
+	lo := make([]int64, len(da.Dims))
+	shape := make([]int64, len(da.Dims))
+	var zero []float64
+	var walk func(d int) error
+	walk = func(d int) error {
+		if d == len(da.Dims) {
+			n := size(shape)
+			var buf []float64
+			if !e.opt.DryRun {
+				if int64(len(zero)) < n {
+					zero = make([]float64, n)
+				}
+				buf = zero[:n]
+			}
+			return arr.WriteSection(lo, shape, buf)
+		}
+		for b := int64(0); b < da.Dims[d]; b += tiles[d] {
+			lo[d] = b
+			shape[d] = min64(tiles[d], da.Dims[d]-b)
+			if err := walk(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0)
+}
+
+// compute runs a statement's intra-tile block: for every point of the
+// intra-tile index space, out += Π factors.
+func (e *engine) compute(c *codegen.Compute) error {
+	outInst := e.bufs[c.Out]
+	if outInst == nil {
+		return fmt.Errorf("exec: compute into uninstantiated buffer %q", c.Out.Name)
+	}
+	facInsts := make([]*bufInst, len(c.Factors))
+	for i, f := range c.Factors {
+		inst := e.bufs[f]
+		if inst == nil {
+			return fmt.Errorf("exec: compute reads uninstantiated buffer %q", f.Name)
+		}
+		facInsts[i] = inst
+	}
+
+	// Intra-tile extents at the current tile bases.
+	extents := make([]int64, len(c.Intra))
+	bases := make([]int64, len(c.Intra))
+	intraPos := map[string]int{}
+	for i, x := range c.Intra {
+		n := e.plan.Prog.Ranges[x]
+		b := e.base[x]
+		bases[i] = b
+		extents[i] = min64(e.plan.Tiles[x], n-b)
+		intraPos[x] = i
+	}
+
+	// Parallel split: an intra dimension that indexes the output buffer,
+	// so workers touch disjoint output elements.
+	workers := e.opt.Workers
+	splitDim := -1
+	if workers > 1 {
+		for _, d := range c.Out.Dims {
+			if j, ok := intraPos[d.Index]; ok && extents[j] >= 2 {
+				if splitDim < 0 || extents[j] > extents[splitDim] {
+					splitDim = j
+				}
+			}
+		}
+	}
+	if splitDim < 0 || workers <= 1 {
+		e.computeRange(c, outInst, facInsts, intraPos, bases, extents, 0, 0, extents0(extents))
+		return nil
+	}
+	if int64(workers) > extents[splitDim] {
+		workers = int(extents[splitDim])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := extents[splitDim] * int64(w) / int64(workers)
+		hi := extents[splitDim] * int64(w+1) / int64(workers)
+		if hi == lo {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			e.computeRange(c, outInst, facInsts, intraPos, bases, extents, splitDim, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// extents0 returns the full range of dimension 0 (or 1 for scalar
+// spaces), the default split bounds of a serial run.
+func extents0(extents []int64) int64 {
+	if len(extents) == 0 {
+		return 1
+	}
+	return extents[0]
+}
+
+// computeRange executes the intra-tile block with dimension splitDim
+// restricted to [lo, hi).
+func (e *engine) computeRange(c *codegen.Compute, outInst *bufInst, facInsts []*bufInst,
+	intraPos map[string]int, bases, extents []int64, splitDim int, lo, hi int64) {
+
+	idx := make([]int64, len(c.Intra))
+	if len(idx) > 0 {
+		idx[splitDim] = lo
+	}
+
+	// Precompile each reference's addressing against the intra index
+	// vector so the hot loop is free of map lookups.
+	refs := make([]compiledRef, 0, len(c.Factors)+1)
+	compileRef := func(buf *codegen.Buffer, inst *bufInst) compiledRef {
+		cr := compiledRef{data: inst.t.Data()}
+		for i, d := range buf.Dims {
+			dim := inst.t.Dim(i)
+			j, isIntra := intraPos[d.Index]
+			var src *int64
+			var con int64
+			if isIntra {
+				src = &idx[j]
+				con = bases[j] - inst.base[i]
+			} else {
+				con = e.base[d.Index] - inst.base[i]
+			}
+			cr.dims = append(cr.dims, refDim{size: dim, src: src, con: con})
+		}
+		return cr
+	}
+	out := compileRef(c.Out, outInst)
+	for i, f := range c.Factors {
+		refs = append(refs, compileRef(f, facInsts[i]))
+	}
+
+	for {
+		prod := 1.0
+		for i := range refs {
+			prod *= refs[i].data[refs[i].offset()]
+		}
+		out.data[out.offset()] += prod
+
+		d := len(idx) - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			limit := extents[d]
+			reset := int64(0)
+			if d == splitDim {
+				limit, reset = hi, lo
+			}
+			if idx[d] < limit {
+				break
+			}
+			idx[d] = reset
+		}
+		if d < 0 {
+			break
+		}
+	}
+}
+
+// compiledRef is a buffer reference with addressing resolved to pointers
+// into the intra index vector plus constant offsets.
+type compiledRef struct {
+	data []float64
+	dims []refDim
+}
+
+type refDim struct {
+	size int
+	src  *int64 // intra index source, nil for loop-invariant dims
+	con  int64  // constant offset (global base minus buffer base)
+}
+
+func (r *compiledRef) offset() int {
+	off := int64(0)
+	for i := range r.dims {
+		v := r.dims[i].con
+		if r.dims[i].src != nil {
+			v += *r.dims[i].src
+		}
+		off = off*int64(r.dims[i].size) + v
+	}
+	return int(off)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

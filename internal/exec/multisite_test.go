@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// multiSiteProgram consumes the same input A in two different statements:
+//
+//	X[i,j] += A[i,j] * B1[i,j]
+//	Y[i,j] += A[i,j] * B2[i,j]
+//
+// The placement model must give each occurrence its own read choice.
+func multiSiteProgram(n int64) *loops.Program {
+	p := loops.NewProgram("multi-site", map[string]int64{"i": n, "j": n})
+	p.DeclareArray("A", loops.Input, "i", "j")
+	p.DeclareArray("B1", loops.Input, "i", "j")
+	p.DeclareArray("B2", loops.Input, "i", "j")
+	p.DeclareArray("X", loops.Output, "i", "j")
+	p.DeclareArray("Y", loops.Output, "i", "j")
+	p.Body = []loops.Node{
+		&loops.Init{Array: "X"},
+		&loops.Init{Array: "Y"},
+		loops.L([]loops.Node{loops.S("X[i,j]", "A[i,j]", "B1[i,j]")}, "i", "j"),
+		loops.L([]loops.Node{loops.S("Y[i,j]", "A[i,j]", "B2[i,j]")}, "i", "j"),
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestMultiSiteInputReads(t *testing.T) {
+	n := int64(12)
+	prog := multiSiteProgram(n)
+	cfg := machine.Small(4 << 10)
+	p := buildProblem(t, prog, cfg)
+
+	// The model must contain two independent choices for A.
+	countA := 0
+	for _, ch := range p.Model.Choices {
+		if ch.Array.Name == "A" {
+			countA++
+		}
+	}
+	if countA != 2 {
+		t.Fatalf("A has %d choices, want 2 (one per consumer site)", countA)
+	}
+
+	inputs := map[string]*tensor.Tensor{}
+	for _, name := range []string{"A", "B1", "B2"} {
+		tt := tensor.New(int(n), int(n))
+		for i := range tt.Data() {
+			tt.Data()[i] = float64(i%13) - 6
+		}
+		inputs[name] = tt
+	}
+	want, err := loops.Interpret(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := p.Encode(map[string]int64{"i": 5, "j": 7}, map[string]int{"A@0": 0, "A@1": 1})
+	got, _ := runPlan(t, p, x, inputs)
+	for _, name := range []string{"X", "Y"} {
+		if d := tensor.MaxAbsDiff(got[name], want[name]); d > 1e-12 {
+			t.Fatalf("%s differs by %g", name, d)
+		}
+	}
+}
+
+// faultyBackend wraps a backend and fails every I/O after a countdown.
+type faultyBackend struct {
+	disk.Backend
+	remaining *int
+}
+
+type faultyArray struct {
+	disk.Array
+	remaining *int
+}
+
+func (f *faultyBackend) Create(name string, dims []int64) (disk.Array, error) {
+	a, err := f.Backend.Create(name, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyArray{Array: a, remaining: f.remaining}, nil
+}
+
+func (f *faultyBackend) Open(name string) (disk.Array, error) {
+	a, err := f.Backend.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyArray{Array: a, remaining: f.remaining}, nil
+}
+
+func (f *faultyArray) ReadSection(lo, shape []int64, buf []float64) error {
+	if *f.remaining <= 0 {
+		return fmt.Errorf("injected read failure")
+	}
+	*f.remaining--
+	return f.Array.ReadSection(lo, shape, buf)
+}
+
+func (f *faultyArray) WriteSection(lo, shape []int64, buf []float64) error {
+	if *f.remaining <= 0 {
+		return fmt.Errorf("injected write failure")
+	}
+	*f.remaining--
+	return f.Array.WriteSection(lo, shape, buf)
+}
+
+func TestIOErrorsPropagate(t *testing.T) {
+	nmn, nij := int64(8), int64(8)
+	prog := loops.TwoIndexFused(nmn, nij)
+	cfg := machine.Small(2 << 10)
+	p := buildProblem(t, prog, cfg)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 4, "j": 4, "m": 4, "n": 4}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.Tensor{}
+	for _, name := range []string{"A", "C1", "C2"} {
+		inputs[name] = tensor.New(8, 8)
+	}
+	// Count the ops of a clean run, then inject a failure at every stage.
+	clean := disk.NewSim(cfg.Disk, true)
+	res, err := Run(plan, clean, inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalOps := int(res.Stats.ReadOps + res.Stats.WriteOps)
+	if totalOps < 4 {
+		t.Fatalf("too few ops (%d) for a meaningful fault sweep", totalOps)
+	}
+	for fail := 0; fail < totalOps; fail += totalOps/4 + 1 {
+		budget := fail + 3 // staging writes are also charged against the fuse
+		be := &faultyBackend{Backend: disk.NewSim(cfg.Disk, true), remaining: &budget}
+		if _, err := Run(plan, be, inputs, Options{}); err == nil {
+			t.Fatalf("failure injected after %d ops was swallowed", fail)
+		}
+	}
+}

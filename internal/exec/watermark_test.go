@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+// TestPeakBufferWithinStaticModel checks the memory invariant end to end:
+// the engine's high-water mark of instantiated buffer bytes never exceeds
+// the plan's static memory model (which in turn respects the machine
+// limit for feasible assignments).
+func TestPeakBufferWithinStaticModel(t *testing.T) {
+	cases := []struct {
+		prog   *loops.Program
+		inputs map[string]interface{}
+		tiles  map[string]int64
+		n, v   int64
+	}{
+		{prog: loops.TwoIndexFused(10, 14), tiles: map[string]int64{"i": 4, "j": 5, "m": 6, "n": 7}},
+		{prog: loops.FourIndexAbstract(6, 5), tiles: map[string]int64{"p": 3, "q": 4, "r": 2, "s": 5, "a": 2, "b": 3, "c": 4, "d": 2}},
+	}
+	in0 := expr.RandomInputs(expr.TwoIndexTransform(10, 14), 1)
+	in1 := expr.RandomInputs(expr.FourIndexTransform(6, 5), 1)
+
+	cfg := machine.Small(1 << 22)
+	for i, tc := range cases {
+		p := buildProblem(t, tc.prog, cfg)
+		plan, err := codegen.Generate(p, p.Encode(tc.tiles, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		be := disk.NewSim(cfg.Disk, true)
+		inputs := in0
+		if i == 1 {
+			inputs = in1
+		}
+		res, err := Run(plan, be, inputs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		be.Close()
+		if res.PeakBufferBytes <= 0 {
+			t.Fatalf("case %d: no watermark recorded", i)
+		}
+		if res.PeakBufferBytes > plan.MemoryBytes() {
+			t.Fatalf("case %d: runtime peak %d exceeds static model %d",
+				i, res.PeakBufferBytes, plan.MemoryBytes())
+		}
+	}
+}
+
+func TestDryRunRecordsNoWatermark(t *testing.T) {
+	prog := loops.TwoIndexFused(8, 8)
+	cfg := machine.Small(1 << 20)
+	p := buildProblem(t, prog, cfg)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 4, "j": 4, "m": 4, "n": 4}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := disk.NewSim(cfg.Disk, false)
+	defer be.Close()
+	res, err := Run(plan, be, nil, Options{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBufferBytes != 0 {
+		t.Fatalf("dry run allocated buffers: %d", res.PeakBufferBytes)
+	}
+}

@@ -1,0 +1,87 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// EvalDirect evaluates the contraction in one shot with the reference
+// einsum, ignoring operation minimization.
+func EvalDirect(c *Contraction, inputs map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	ops := make([]tensor.Operand, len(c.Operands))
+	for i, r := range c.Operands {
+		t, ok := inputs[r.Name]
+		if !ok {
+			return nil, fmt.Errorf("expr: missing input tensor %q", r.Name)
+		}
+		ops[i] = tensor.Operand{T: t, Labels: r.Indices}
+	}
+	return tensor.Einsum(c.Out.Indices, ops...)
+}
+
+// Eval evaluates an operation-minimized plan step by step, materializing
+// every intermediate, and returns the final output tensor. It is the
+// reference semantics for the abstract (in-core) program; out-of-core
+// executions are verified against it.
+func Eval(p *Plan, inputs map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	env := make(map[string]*tensor.Tensor, len(inputs)+len(p.Steps))
+	for k, v := range inputs {
+		env[k] = v
+	}
+	var last *tensor.Tensor
+	for _, st := range p.Steps {
+		var ops []tensor.Operand
+		lt, ok := env[st.Left.Name]
+		if !ok {
+			return nil, fmt.Errorf("expr: step %s: missing operand %q", st, st.Left.Name)
+		}
+		ops = append(ops, tensor.Operand{T: lt, Labels: st.Left.Indices})
+		if !st.IsUnary() {
+			rt, ok := env[st.Right.Name]
+			if !ok {
+				return nil, fmt.Errorf("expr: step %s: missing operand %q", st, st.Right.Name)
+			}
+			ops = append(ops, tensor.Operand{T: rt, Labels: st.Right.Indices})
+		}
+		res, err := tensor.Einsum(st.Result.Indices, ops...)
+		if err != nil {
+			return nil, fmt.Errorf("expr: step %s: %w", st, err)
+		}
+		env[st.Result.Name] = res
+		last = res
+	}
+	return last, nil
+}
+
+// RandomInputs builds deterministic pseudo-random input tensors for every
+// distinct operand of the contraction, using the provided ranges. The same
+// seed always yields the same tensors.
+func RandomInputs(c *Contraction, seed int64) map[string]*tensor.Tensor {
+	// A tiny splitmix-style generator keeps this free of math/rand state.
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0x1234567
+	next := func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z%2000)/1000.0 - 1.0
+	}
+	out := map[string]*tensor.Tensor{}
+	for _, op := range c.Operands {
+		if _, ok := out[op.Name]; ok {
+			continue
+		}
+		dims := make([]int, len(op.Indices))
+		for i, x := range op.Indices {
+			dims[i] = int(c.Ranges[x])
+		}
+		t := tensor.New(dims...)
+		for i := range t.Data() {
+			t.Data()[i] = next()
+		}
+		out[op.Name] = t
+	}
+	return out
+}

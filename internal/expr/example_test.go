@@ -1,0 +1,40 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// ExampleMinimize shows operation minimization factoring the four-index
+// transform into the T1/T2/T3 chain of the paper's Sec. 2.
+func ExampleMinimize() {
+	c := expr.FourIndexTransform(140, 120)
+	plan, err := expr.Minimize(c, "T")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("steps: %d\n", len(plan.Steps))
+	fmt.Printf("intermediates: %d\n", len(plan.Intermediates()))
+	fmt.Printf("flop reduction: %.0fx\n", c.DirectFlops()/plan.Flops)
+	// Output:
+	// steps: 4
+	// intermediates: 3
+	// flop reduction: 2145535x
+}
+
+// ExampleParse parses an einsum-style contraction spec.
+func ExampleParse() {
+	ranges := map[string]int64{"m": 4, "n": 4, "i": 6, "j": 6}
+	c, err := expr.Parse("B[m,n] = C1[m,i] * C2[n,j] * A[i,j]", ranges)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(c)
+	fmt.Println("summed over:", c.SumIndices())
+	// Output:
+	// B[m,n] = C1[m,i] * C2[n,j] * A[i,j]
+	// summed over: [i j]
+}

@@ -1,0 +1,226 @@
+// Package expr provides the tensor-contraction expression IR of the
+// synthesis system: an einsum-style parser for multi-term contractions, the
+// operation-minimization pass that factors a multi-term contraction into a
+// sequence of binary contractions with named intermediates (the TCE phase
+// that turns the four-index transform into the T1/T2/T3 chain of the
+// paper's Sec. 2), and a reference evaluator used for verification.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ref is a reference to a named array with index labels, e.g. A[p,q,r,s].
+type Ref struct {
+	Name    string
+	Indices []string
+}
+
+func (r Ref) String() string {
+	return r.Name + "[" + strings.Join(r.Indices, ",") + "]"
+}
+
+// indexSet returns r's labels as a set.
+func (r Ref) indexSet() map[string]bool {
+	s := make(map[string]bool, len(r.Indices))
+	for _, x := range r.Indices {
+		s[x] = true
+	}
+	return s
+}
+
+// Contraction is a single multi-term tensor contraction
+//
+//	Out[outIdx] = Σ_{summed} Π_i Operands[i][idx_i]
+//
+// where the summation indices are those appearing in operands but not in
+// the output.
+type Contraction struct {
+	Out      Ref
+	Operands []Ref
+	// Ranges gives the extent of every index label.
+	Ranges map[string]int64
+}
+
+// SumIndices returns the contraction's summation indices in sorted order.
+func (c *Contraction) SumIndices() []string {
+	out := c.Out.indexSet()
+	seen := map[string]bool{}
+	var summed []string
+	for _, op := range c.Operands {
+		for _, x := range op.Indices {
+			if !out[x] && !seen[x] {
+				seen[x] = true
+				summed = append(summed, x)
+			}
+		}
+	}
+	sort.Strings(summed)
+	return summed
+}
+
+// Validate checks that every index has a range and that the output indices
+// appear in some operand.
+func (c *Contraction) Validate() error {
+	if len(c.Operands) == 0 {
+		return fmt.Errorf("expr: contraction %s has no operands", c.Out.Name)
+	}
+	inOps := map[string]bool{}
+	for _, op := range c.Operands {
+		for _, x := range op.Indices {
+			if _, ok := c.Ranges[x]; !ok {
+				return fmt.Errorf("expr: index %q of %s has no range", x, op)
+			}
+			inOps[x] = true
+		}
+	}
+	for _, x := range c.Out.Indices {
+		if !inOps[x] {
+			return fmt.Errorf("expr: output index %q does not appear in any operand", x)
+		}
+		if _, ok := c.Ranges[x]; !ok {
+			return fmt.Errorf("expr: output index %q has no range", x)
+		}
+	}
+	seen := map[string]bool{}
+	for _, x := range c.Out.Indices {
+		if seen[x] {
+			return fmt.Errorf("expr: duplicate output index %q", x)
+		}
+		seen[x] = true
+	}
+	return nil
+}
+
+// String renders the contraction in the spec syntax accepted by Parse.
+func (c *Contraction) String() string {
+	parts := make([]string, len(c.Operands))
+	for i, op := range c.Operands {
+		parts[i] = op.String()
+	}
+	return fmt.Sprintf("%s = %s", c.Out, strings.Join(parts, " * "))
+}
+
+// DirectFlops returns the floating point operation count of evaluating the
+// contraction as a single fused loop nest over all indices (2 flops per
+// innermost multiply-add per extra operand beyond the first).
+func (c *Contraction) DirectFlops() float64 {
+	space := 1.0
+	seen := map[string]bool{}
+	for _, op := range c.Operands {
+		for _, x := range op.Indices {
+			if !seen[x] {
+				seen[x] = true
+				space *= float64(c.Ranges[x])
+			}
+		}
+	}
+	return space * float64(2*(len(c.Operands)-1))
+}
+
+// Parse parses a contraction spec of the form
+//
+//	B[a,b,c,d] = C1[s,d] * C2[r,c] * C3[q,b] * C4[p,a] * A[p,q,r,s]
+//
+// ("+=" is accepted as a synonym for "="). Ranges must be provided for
+// every index label used.
+func Parse(spec string, ranges map[string]int64) (*Contraction, error) {
+	lhsRhs := strings.SplitN(spec, "=", 2)
+	if len(lhsRhs) != 2 {
+		return nil, fmt.Errorf("expr: spec %q has no '='", spec)
+	}
+	lhs := strings.TrimSuffix(strings.TrimSpace(lhsRhs[0]), "+")
+	out, err := parseRef(strings.TrimSpace(lhs))
+	if err != nil {
+		return nil, err
+	}
+	var ops []Ref
+	for _, part := range strings.Split(lhsRhs[1], "*") {
+		ref, err := parseRef(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, ref)
+	}
+	c := &Contraction{Out: out, Operands: ops, Ranges: ranges}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseStructure parses a spec without range information (Ranges is left
+// nil and no validation against ranges happens); used when index extents
+// are inferred later, e.g. from disk-resident operands.
+func ParseStructure(spec string) (*Contraction, error) {
+	lhsRhs := strings.SplitN(spec, "=", 2)
+	if len(lhsRhs) != 2 {
+		return nil, fmt.Errorf("expr: spec %q has no '='", spec)
+	}
+	lhs := strings.TrimSuffix(strings.TrimSpace(lhsRhs[0]), "+")
+	out, err := parseRef(strings.TrimSpace(lhs))
+	if err != nil {
+		return nil, err
+	}
+	var ops []Ref
+	for _, part := range strings.Split(lhsRhs[1], "*") {
+		ref, err := parseRef(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, ref)
+	}
+	return &Contraction{Out: out, Operands: ops}, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(spec string, ranges map[string]int64) *Contraction {
+	c, err := Parse(spec, ranges)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func parseRef(s string) (Ref, error) {
+	open := strings.IndexByte(s, '[')
+	if open <= 0 || !strings.HasSuffix(s, "]") {
+		return Ref{}, fmt.Errorf("expr: malformed array reference %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return Ref{}, fmt.Errorf("expr: bad array name %q", name)
+	}
+	body := s[open+1 : len(s)-1]
+	var idx []string
+	if strings.TrimSpace(body) != "" {
+		for _, part := range strings.Split(body, ",") {
+			x := strings.TrimSpace(part)
+			if !isIdent(x) {
+				return Ref{}, fmt.Errorf("expr: bad index name %q in %q", x, s)
+			}
+			idx = append(idx, x)
+		}
+	}
+	return Ref{Name: name, Indices: idx}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

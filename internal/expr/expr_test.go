@@ -1,0 +1,233 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestParseFourIndex(t *testing.T) {
+	c := FourIndexTransform(10, 8)
+	if c.Out.Name != "B" || len(c.Out.Indices) != 4 {
+		t.Fatalf("bad output ref %v", c.Out)
+	}
+	if len(c.Operands) != 5 {
+		t.Fatalf("got %d operands, want 5", len(c.Operands))
+	}
+	summed := c.SumIndices()
+	want := []string{"p", "q", "r", "s"}
+	if len(summed) != len(want) {
+		t.Fatalf("summed = %v", summed)
+	}
+	for i := range want {
+		if summed[i] != want[i] {
+			t.Fatalf("summed = %v, want %v", summed, want)
+		}
+	}
+}
+
+func TestParseAcceptsPlusEquals(t *testing.T) {
+	ranges := map[string]int64{"i": 3, "j": 4}
+	c, err := Parse("X[i] += A[i,j] * B[j]", ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Out.Name != "X" || len(c.Operands) != 2 {
+		t.Fatalf("parsed %v", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	ranges := map[string]int64{"i": 3}
+	cases := []string{
+		"X[i]",                 // no '='
+		"X[i] = ",              // empty rhs
+		"X[i] = A[i",           // unbalanced bracket
+		"X[i] = A[k]",          // index k has no range
+		"X[z] = A[i]",          // output index not in operands
+		"[i] = A[i]",           // missing array name
+		"X[i,i] = A[i] * B[i]", // duplicate output index
+		"X[i] = A[1i]",         // bad index identifier
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec, ranges); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestContractionStringRoundTrips(t *testing.T) {
+	c := TwoIndexTransform(4, 5)
+	c2, err := Parse(c.String(), c.Ranges)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", c.String(), err)
+	}
+	if c2.String() != c.String() {
+		t.Fatalf("round trip changed spec: %q vs %q", c2.String(), c.String())
+	}
+}
+
+func TestMinimizeFourIndexFlops(t *testing.T) {
+	// The paper: op-minimization reduces the four-index transform from
+	// O(V^4 N^4) (direct 8-deep nest) to O(V N^4) via three intermediates.
+	n, v := int64(40), int64(30)
+	c := FourIndexTransform(n, v)
+	p := MustMinimize(c, "T")
+	if len(p.Steps) != 4 {
+		t.Fatalf("got %d steps, want 4 binary contractions:\n%s", len(p.Steps), p)
+	}
+	direct := c.DirectFlops()
+	if p.Flops >= direct {
+		t.Fatalf("minimized flops %.3g not below direct %.3g", p.Flops, direct)
+	}
+	// Leading term 2*V*N^4 (first contraction dominates at these sizes);
+	// total must be within a small constant of it.
+	leading := 2 * float64(v) * math.Pow(float64(n), 4)
+	if p.Flops < leading || p.Flops > 6*leading {
+		t.Fatalf("minimized flops %.3g outside expected band around %.3g", p.Flops, leading)
+	}
+	if got := len(p.Intermediates()); got != 3 {
+		t.Fatalf("got %d intermediates, want 3 (T1,T2,T3)", got)
+	}
+}
+
+func TestMinimizeFourIndexStructure(t *testing.T) {
+	// Each step of the optimal plan contracts one transformation matrix
+	// into the running intermediate, exactly the T1/T2/T3 chain of Sec. 2.
+	c := FourIndexTransform(100, 80)
+	p := MustMinimize(c, "T")
+	seenA := false
+	for i, st := range p.Steps {
+		if st.IsUnary() {
+			t.Fatalf("step %d is unary: %s", i, st)
+		}
+		names := []string{st.Left.Name, st.Right.Name}
+		for _, nm := range names {
+			if nm == "A" {
+				if i != 0 {
+					t.Fatalf("A consumed at step %d, want step 0:\n%s", i, p)
+				}
+				seenA = true
+			}
+		}
+		if len(st.SumIndices) != 1 {
+			t.Fatalf("step %d sums %v, want exactly one index:\n%s", i, st.SumIndices, p)
+		}
+	}
+	if !seenA {
+		t.Fatalf("A never consumed:\n%s", p)
+	}
+	last := p.Steps[len(p.Steps)-1]
+	if last.Result.Name != "B" {
+		t.Fatalf("final step produces %q, want B", last.Result.Name)
+	}
+}
+
+func TestMinimizeTwoIndex(t *testing.T) {
+	c := TwoIndexTransform(6, 8)
+	p := MustMinimize(c, "T")
+	if len(p.Steps) != 2 {
+		t.Fatalf("two-index plan has %d steps, want 2:\n%s", len(p.Steps), p)
+	}
+	if len(p.Intermediates()) != 1 {
+		t.Fatalf("two-index plan should create exactly one intermediate:\n%s", p)
+	}
+}
+
+func TestMinimizeSingleOperand(t *testing.T) {
+	ranges := map[string]int64{"i": 3, "j": 4}
+	c := MustParse("X[i] = A[i,j]", ranges)
+	p := MustMinimize(c, "T")
+	if len(p.Steps) != 1 || !p.Steps[0].IsUnary() {
+		t.Fatalf("unary reduction plan wrong:\n%s", p)
+	}
+	if p.Steps[0].SumIndices[0] != "j" {
+		t.Fatalf("unary step sums %v, want [j]", p.Steps[0].SumIndices)
+	}
+}
+
+func TestMinimizeTooManyOperands(t *testing.T) {
+	ranges := map[string]int64{"i": 2}
+	ops := make([]Ref, 17)
+	for i := range ops {
+		ops[i] = Ref{Name: "A", Indices: []string{"i"}}
+	}
+	c := &Contraction{Out: Ref{Name: "X", Indices: []string{"i"}}, Operands: ops, Ranges: ranges}
+	if _, err := Minimize(c, "T"); err == nil {
+		t.Fatal("expected error for 17 operands")
+	}
+}
+
+func TestEvalPlanMatchesDirect(t *testing.T) {
+	for name, c := range map[string]*Contraction{
+		"two-index":  TwoIndexTransform(5, 7),
+		"four-index": FourIndexTransform(6, 4),
+	} {
+		inputs := RandomInputs(c, 42)
+		direct, err := EvalDirect(c, inputs)
+		if err != nil {
+			t.Fatalf("%s direct: %v", name, err)
+		}
+		p := MustMinimize(c, "T")
+		got, err := Eval(p, inputs)
+		if err != nil {
+			t.Fatalf("%s plan: %v", name, err)
+		}
+		if d := tensor.MaxAbsDiff(direct, got); d > 1e-8 {
+			t.Fatalf("%s: minimized plan differs from direct by %g", name, d)
+		}
+	}
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	c := TwoIndexTransform(3, 3)
+	p := MustMinimize(c, "T")
+	if _, err := Eval(p, map[string]*tensor.Tensor{}); err == nil {
+		t.Fatal("Eval with no inputs must error")
+	}
+	if _, err := EvalDirect(c, map[string]*tensor.Tensor{}); err == nil {
+		t.Fatal("EvalDirect with no inputs must error")
+	}
+}
+
+func TestRandomInputsDeterministic(t *testing.T) {
+	c := TwoIndexTransform(4, 4)
+	a := RandomInputs(c, 7)
+	b := RandomInputs(c, 7)
+	for name := range a {
+		if !tensor.EqualApprox(a[name], b[name], 0) {
+			t.Fatalf("inputs for %q differ across identical seeds", name)
+		}
+	}
+	c2 := RandomInputs(c, 8)
+	same := true
+	for name := range a {
+		if !tensor.EqualApprox(a[name], c2[name], 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical inputs")
+	}
+}
+
+func TestPlanStringMentionsIntermediates(t *testing.T) {
+	p := MustMinimize(FourIndexTransform(10, 8), "T")
+	s := p.String()
+	for _, want := range []string{"T1", "T2", "T3", "B[a,b,c,d]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDirectFlops(t *testing.T) {
+	c := TwoIndexTransform(2, 3)
+	// Index space m,n,i,j = 2*2*3*3 = 36; 2 operands beyond the first → 4
+	// flops per point.
+	if got, want := c.DirectFlops(), 36.0*4; got != want {
+		t.Fatalf("DirectFlops = %v, want %v", got, want)
+	}
+}

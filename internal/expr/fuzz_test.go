@@ -1,0 +1,66 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary spec strings never panic the parser and
+// that accepted specs re-parse from their canonical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"B[m,n] = C1[m,i] * C2[n,j] * A[i,j]",
+		"B[a,b,c,d] = C1[s,d] * C2[r,c] * C3[q,b] * C4[p,a] * A[p,q,r,s]",
+		"X[i] += A[i,j] * B[j]",
+		"X[] = A[i]",
+		"X[i = A[i]",
+		"= A[i]",
+		"X[i] = ",
+		"X[i] = A[i] * ",
+		"X[i,i] = A[i]",
+		"X[i] = A[1i]",
+		"[i] = A[i]",
+		"X[i]=A[i]*B[i]*C[i]*D[i]*E[i]*F[i]*G[i]*H[i]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	ranges := map[string]int64{}
+	for _, x := range []string{"a", "b", "c", "d", "i", "j", "m", "n", "p", "q", "r", "s"} {
+		ranges[x] = 4
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec, ranges)
+		if err != nil {
+			return
+		}
+		// Accepted specs must round-trip through their rendering.
+		again, err := Parse(c.String(), c.Ranges)
+		if err != nil {
+			t.Fatalf("canonical form %q failed to re-parse: %v", c.String(), err)
+		}
+		if again.String() != c.String() {
+			t.Fatalf("unstable canonical form: %q vs %q", again.String(), c.String())
+		}
+		// Validation must hold for whatever Parse accepted.
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed contraction fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzParseStructure checks the range-free parser.
+func FuzzParseStructure(f *testing.F) {
+	f.Add("C[i,k] = A[i,j] * B[j,k]")
+	f.Add("]][[ = *")
+	f.Add(strings.Repeat("X[i] = A[i] * ", 40) + "B[i]")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := ParseStructure(spec)
+		if err != nil {
+			return
+		}
+		if c.Out.Name == "" || len(c.Operands) == 0 {
+			t.Fatalf("accepted structure is degenerate: %+v", c)
+		}
+	})
+}

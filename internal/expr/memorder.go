@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"fmt"
+)
+
+// This file implements the memory-optimal evaluation-order phase of the
+// TCE lineage (Lam et al., "Memory-optimal evaluation of expression trees
+// involving large objects"): for a fixed binary contraction tree, the
+// order in which independent subtrees are evaluated changes the peak
+// number of simultaneously live intermediates. The classic Sethi-Ullman
+// recurrence over large objects picks, at every node, which child to
+// evaluate first:
+//
+//	peak(n | L first) = max(peak(L), size(L)+peak(R), size(L)+size(R)+size(n))
+//
+// and the better of the two child orders is kept.
+
+// PeakMemory simulates a plan's step order and returns the maximum total
+// size (in elements) of simultaneously live produced tensors
+// (intermediates and the output; disk-resident inputs are not counted).
+func PeakMemory(p *Plan) float64 {
+	// Last use of each produced tensor.
+	lastUse := map[string]int{}
+	produced := map[string]bool{}
+	for _, st := range p.Steps {
+		produced[st.Result.Name] = true
+	}
+	for i, st := range p.Steps {
+		if produced[st.Left.Name] {
+			lastUse[st.Left.Name] = i
+		}
+		if !st.IsUnary() && produced[st.Right.Name] {
+			lastUse[st.Right.Name] = i
+		}
+	}
+	live := map[string]float64{}
+	peak, cur := 0.0, 0.0
+	size := func(r Ref) float64 {
+		s := 1.0
+		for _, x := range r.Indices {
+			s *= float64(p.Contraction.Ranges[x])
+		}
+		return s
+	}
+	for i, st := range p.Steps {
+		// Result becomes live while operands are still held.
+		sz := size(st.Result)
+		live[st.Result.Name] = sz
+		cur += sz
+		if cur > peak {
+			peak = cur
+		}
+		// Free operands whose last use is this step.
+		for _, op := range []Ref{st.Left, st.Right} {
+			if op.Name == "" || !produced[op.Name] {
+				continue
+			}
+			if lastUse[op.Name] == i {
+				cur -= live[op.Name]
+				delete(live, op.Name)
+			}
+		}
+	}
+	return peak
+}
+
+// ReorderForMemory rebuilds the plan's binary tree and re-linearizes it
+// with the memory-optimal child order, returning the reordered plan and
+// its predicted peak (in elements). Flop count and results are unchanged;
+// only the step sequence differs.
+func ReorderForMemory(p *Plan) (*Plan, float64, error) {
+	nodes := map[string]*memNode{}
+	var roots []*memNode
+	for i := range p.Steps {
+		st := p.Steps[i]
+		n := &memNode{step: st, size: refSize(p, st.Result)}
+		if c, ok := nodes[st.Left.Name]; ok {
+			n.children = append(n.children, c)
+			c.used = true
+		}
+		if !st.IsUnary() {
+			if c, ok := nodes[st.Right.Name]; ok {
+				n.children = append(n.children, c)
+				c.used = true
+			}
+		}
+		nodes[st.Result.Name] = n
+		roots = append(roots, n)
+	}
+	// The final step's node is the tree root; all produced nodes must feed
+	// into it for a pure tree (true for Minimize output).
+	var root *memNode
+	for _, n := range roots {
+		if !n.used {
+			if root != nil {
+				return nil, 0, fmt.Errorf("expr: plan is not a single tree; cannot reorder")
+			}
+			root = n
+		}
+	}
+	if root == nil {
+		return nil, 0, fmt.Errorf("expr: no root step")
+	}
+	peak := root.plan()
+	out := &Plan{Contraction: p.Contraction, Flops: p.Flops}
+	root.emit(&out.Steps)
+	return out, peak, nil
+}
+
+type memNode struct {
+	step     Step
+	size     float64
+	children []*memNode
+	used     bool
+	// computed by plan():
+	peak       float64
+	firstChild int
+}
+
+// plan computes the node's optimal peak via the Sethi-Ullman recurrence
+// and records the chosen child order.
+func (n *memNode) plan() float64 {
+	switch len(n.children) {
+	case 0:
+		n.peak = n.size
+	case 1:
+		c := n.children[0]
+		n.peak = max(c.plan(), c.size+n.size)
+	case 2:
+		l, r := n.children[0], n.children[1]
+		pl, pr := l.plan(), r.plan()
+		both := l.size + r.size + n.size
+		lFirst := max(pl, max(l.size+pr, both))
+		rFirst := max(pr, max(r.size+pl, both))
+		if lFirst <= rFirst {
+			n.peak, n.firstChild = lFirst, 0
+		} else {
+			n.peak, n.firstChild = rFirst, 1
+		}
+	}
+	return n.peak
+}
+
+// emit appends the subtree's steps in the chosen order.
+func (n *memNode) emit(out *[]Step) {
+	switch len(n.children) {
+	case 1:
+		n.children[0].emit(out)
+	case 2:
+		first := n.firstChild
+		n.children[first].emit(out)
+		n.children[1-first].emit(out)
+	}
+	*out = append(*out, n.step)
+}
+
+func refSize(p *Plan, r Ref) float64 {
+	s := 1.0
+	for _, x := range r.Indices {
+		s *= float64(p.Contraction.Ranges[x])
+	}
+	return s
+}

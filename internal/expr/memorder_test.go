@@ -1,0 +1,116 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// bushyContraction has a balanced binary optimal tree ((A·B)·(C·D)) with
+// asymmetric intermediate sizes, so evaluation order matters.
+func bushyContraction() *Contraction {
+	ranges := map[string]int64{
+		"i": 4, "j": 40, "k": 4, "l": 40, "m": 4,
+	}
+	// Y[i,m] = A[i,j] B[j,k] C[k,l] D[l,m]: op-min contracts (A·B) → [i,k]
+	// (small) and (C·D) → [k,m] (small) or chains; with these ranges the
+	// bushy split is optimal.
+	return MustParse("Y[i,m] = A[i,j] * B[j,k] * C[k,l] * D[l,m]", ranges)
+}
+
+func TestPeakMemorySimulation(t *testing.T) {
+	p := MustMinimize(TwoIndexTransform(6, 8), "T")
+	peak := PeakMemory(p)
+	// Chain: T1(n,i) live while B(m,n) is produced → peak = 6·8 + 6·6 = 84.
+	if peak != 84 {
+		t.Fatalf("peak = %g, want 84", peak)
+	}
+}
+
+func TestReorderPreservesResultsAndFlops(t *testing.T) {
+	c := bushyContraction()
+	p := MustMinimize(c, "T")
+	re, peak, err := ReorderForMemory(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= 0 {
+		t.Fatal("no peak computed")
+	}
+	if re.Flops != p.Flops {
+		t.Fatalf("reorder changed flops: %g vs %g", re.Flops, p.Flops)
+	}
+	if len(re.Steps) != len(p.Steps) {
+		t.Fatalf("reorder changed step count")
+	}
+	inputs := RandomInputs(c, 3)
+	want, err := Eval(p, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(re, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("reorder changed results by %g", d)
+	}
+}
+
+func TestReorderNeverWorsensPeak(t *testing.T) {
+	for _, c := range []*Contraction{
+		bushyContraction(),
+		FourIndexTransform(8, 6),
+		TwoIndexTransform(5, 9),
+	} {
+		p := MustMinimize(c, "T")
+		re, predicted, err := ReorderForMemory(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, after := PeakMemory(p), PeakMemory(re)
+		if after > before {
+			t.Fatalf("%s: reorder worsened peak %g → %g", c.Out.Name, before, after)
+		}
+		if after > predicted {
+			t.Fatalf("%s: simulated peak %g exceeds Sethi-Ullman bound %g", c.Out.Name, after, predicted)
+		}
+	}
+}
+
+func TestReorderPicksCheaperChildFirst(t *testing.T) {
+	// Force a node whose children have very different peaks: evaluating
+	// the heavy child first avoids holding the light child's result under
+	// the heavy child's peak.
+	ranges := map[string]int64{
+		"i": 2, "j": 100, "k": 2, "l": 100, "m": 2, "n": 100,
+	}
+	c := MustParse("Y[i,m] = A[i,j] * B[j,k] * C[k,n] * D[n,l] * E[l,m]", ranges)
+	p := MustMinimize(c, "T")
+	re, _, err := ReorderForMemory(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PeakMemory(re) > PeakMemory(p) {
+		t.Fatal("reorder worsened the chain")
+	}
+}
+
+func TestReorderRejectsNonTree(t *testing.T) {
+	// Hand-build a plan with two roots.
+	ranges := map[string]int64{"i": 2}
+	c := MustParse("Y[i] = A[i] * B[i]", ranges)
+	p := &Plan{
+		Contraction: c,
+		Steps: []Step{
+			{Result: Ref{Name: "X1", Indices: []string{"i"}}, Left: Ref{Name: "A", Indices: []string{"i"}}, Right: Ref{Name: "B", Indices: []string{"i"}}},
+			{Result: Ref{Name: "X2", Indices: []string{"i"}}, Left: Ref{Name: "A", Indices: []string{"i"}}, Right: Ref{Name: "B", Indices: []string{"i"}}},
+		},
+	}
+	if _, _, err := ReorderForMemory(p); err == nil {
+		t.Fatal("two-root plan must be rejected")
+	}
+	if _, _, err := ReorderForMemory(&Plan{Contraction: c}); err == nil {
+		t.Fatal("empty plan must be rejected")
+	}
+}

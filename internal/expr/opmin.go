@@ -1,0 +1,274 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Step is one binary contraction in an operation-minimized evaluation plan:
+//
+//	Result[resIdx] = Σ_{SumIndices} Left[...] * Right[...]
+//
+// Right.Name is empty for a unary step (a copy/partial reduction of Left).
+type Step struct {
+	Result     Ref
+	Left       Ref
+	Right      Ref
+	SumIndices []string
+	Flops      float64
+}
+
+// IsUnary reports whether the step has a single operand.
+func (s Step) IsUnary() bool { return s.Right.Name == "" }
+
+func (s Step) String() string {
+	if s.IsUnary() {
+		return fmt.Sprintf("%s = Σ%v %s", s.Result, s.SumIndices, s.Left)
+	}
+	return fmt.Sprintf("%s = Σ%v %s * %s", s.Result, s.SumIndices, s.Left, s.Right)
+}
+
+// Plan is a sequence of binary contraction steps computing a multi-term
+// contraction. The final step produces the contraction's output array; the
+// other steps produce named intermediates (T1, T2, ...).
+type Plan struct {
+	Contraction *Contraction
+	Steps       []Step
+	// Flops is the total operation count of the plan.
+	Flops float64
+}
+
+// Intermediates returns the refs of all arrays produced by non-final steps.
+func (p *Plan) Intermediates() []Ref {
+	var out []Ref
+	for i := 0; i < len(p.Steps)-1; i++ {
+		out = append(out, p.Steps[i].Result)
+	}
+	return out
+}
+
+func (p *Plan) String() string {
+	s := ""
+	for _, st := range p.Steps {
+		s += st.String() + "\n"
+	}
+	return s
+}
+
+// Minimize performs operation minimization: it searches all binary
+// contraction orders of the multi-term contraction (dynamic programming
+// over operand subsets, after Lam et al.) and returns the plan with the
+// minimum floating-point operation count. Intermediates are named
+// namePrefix+"1", namePrefix+"2", ... in production order; namePrefix
+// defaults to "T".
+//
+// The number of operands must be at most 16 (subset DP is exponential).
+func Minimize(c *Contraction, namePrefix string) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if namePrefix == "" {
+		namePrefix = "T"
+	}
+	n := len(c.Operands)
+	if n > 16 {
+		return nil, fmt.Errorf("expr: %d operands exceed the subset-DP limit of 16", n)
+	}
+
+	// Bit i of a mask selects operand i. For a subset S, the indices that
+	// must survive the contraction of S are those appearing outside S (in
+	// other operands or in the output).
+	type entry struct {
+		cost    float64 // total flops to reduce the subset to one tensor
+		indices []string
+		split   int // left-child mask (0 for leaf or unary-reduced leaf)
+	}
+	full := (1 << n) - 1
+	table := make([]entry, full+1)
+
+	opIdx := make([]map[string]bool, n)
+	for i, op := range c.Operands {
+		opIdx[i] = op.indexSet()
+	}
+	outIdx := c.Out.indexSet()
+
+	// needed(S): sorted indices of S that appear outside S.
+	needed := func(mask int) []string {
+		inS := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				for x := range opIdx[i] {
+					inS[x] = true
+				}
+			}
+		}
+		var keep []string
+		for x := range inS {
+			if outIdx[x] {
+				keep = append(keep, x)
+				continue
+			}
+			external := false
+			for i := 0; i < n && !external; i++ {
+				if mask&(1<<i) == 0 && opIdx[i][x] {
+					external = true
+				}
+			}
+			if external {
+				keep = append(keep, x)
+			}
+		}
+		sort.Strings(keep)
+		return keep
+	}
+
+	extent := func(xs []string) float64 {
+		p := 1.0
+		for _, x := range xs {
+			p *= float64(c.Ranges[x])
+		}
+		return p
+	}
+	union := func(a, b []string) []string {
+		seen := map[string]bool{}
+		var out []string
+		for _, x := range append(append([]string(nil), a...), b...) {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Leaves: a single operand may be immediately reduced over its private
+	// summation indices (indices appearing nowhere else). The reduction
+	// costs one add per point of the operand's full index space when any
+	// index is dropped; it is free when nothing is dropped.
+	for i := 0; i < n; i++ {
+		mask := 1 << i
+		keep := needed(mask)
+		cost := 0.0
+		if len(keep) < len(c.Operands[i].Indices) {
+			cost = extent(c.Operands[i].Indices)
+		}
+		table[mask] = entry{cost: cost, indices: keep}
+	}
+
+	for mask := 1; mask <= full; mask++ {
+		if mask&(mask-1) == 0 { // single bit: leaf, already done
+			continue
+		}
+		best := entry{cost: math.Inf(1)}
+		// Enumerate splits; canonical form visits each unordered pair once.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask &^ sub
+			if sub < other {
+				continue
+			}
+			l, r := table[sub], table[other]
+			if math.IsInf(l.cost, 1) || math.IsInf(r.cost, 1) {
+				continue
+			}
+			// Contracting l and r: iterate the union of their index spaces,
+			// 2 flops (multiply + add) per point.
+			space := union(l.indices, r.indices)
+			combine := 2 * extent(space)
+			total := l.cost + r.cost + combine
+			if total < best.cost {
+				best = entry{cost: total, indices: needed(mask), split: sub}
+			}
+		}
+		table[mask] = best
+	}
+
+	p := &Plan{Contraction: c, Flops: table[full].cost}
+	counter := 0
+	var emit func(mask int) Ref
+	emit = func(mask int) Ref {
+		if mask&(mask-1) == 0 {
+			i := bitIndex(mask)
+			op := c.Operands[i]
+			keep := table[mask].indices
+			if len(keep) == len(op.Indices) {
+				return op
+			}
+			// Unary pre-reduction step.
+			counter++
+			res := Ref{Name: fmt.Sprintf("%s%d", namePrefix, counter), Indices: keep}
+			p.Steps = append(p.Steps, Step{
+				Result:     res,
+				Left:       op,
+				SumIndices: diff(op.Indices, keep),
+				Flops:      table[mask].cost,
+			})
+			return res
+		}
+		sub := table[mask].split
+		left := emit(sub)
+		right := emit(mask &^ sub)
+		keep := table[mask].indices
+		var res Ref
+		if mask == full {
+			res = c.Out
+		} else {
+			counter++
+			res = Ref{Name: fmt.Sprintf("%s%d", namePrefix, counter), Indices: keep}
+		}
+		space := union(table[sub].indices, table[mask&^sub].indices)
+		p.Steps = append(p.Steps, Step{
+			Result:     res,
+			Left:       left,
+			Right:      right,
+			SumIndices: diff(space, keep),
+			Flops:      2 * extent(space),
+		})
+		return res
+	}
+	emit(full)
+	if len(p.Steps) == 0 {
+		// Single operand, nothing summed: a pure copy. Emit one unary step
+		// so every plan produces its output explicitly.
+		p.Steps = append(p.Steps, Step{Result: c.Out, Left: c.Operands[0]})
+	}
+	// The output indices of the final step must match the declared output
+	// order; table entries are sorted, so fix up the final ref.
+	p.Steps[len(p.Steps)-1].Result = c.Out
+	return p, nil
+}
+
+// MustMinimize is Minimize that panics on error.
+func MustMinimize(c *Contraction, namePrefix string) *Plan {
+	p, err := Minimize(c, namePrefix)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func bitIndex(mask int) int {
+	i := 0
+	for mask > 1 {
+		mask >>= 1
+		i++
+	}
+	return i
+}
+
+// diff returns the elements of a not present in b, sorted.
+func diff(a, b []string) []string {
+	inB := map[string]bool{}
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

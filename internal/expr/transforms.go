@@ -1,0 +1,36 @@
+package expr
+
+// This file provides the two workloads the paper evaluates: the two-index
+// transform used as the running example (Secs. 2 and 4) and the AO-to-MO
+// four-index transform of the experimental section (Fig. 5, Tables 2-4).
+
+// TwoIndexRanges builds the range map for the two-index transform
+// B(m,n) = Σ_{i,j} C1(m,i) C2(n,j) A(i,j). In the Fig. 4 configuration
+// N_m = N_n = 35000 and N_i = N_j = 40000.
+func TwoIndexRanges(nmn, nij int64) map[string]int64 {
+	return map[string]int64{"m": nmn, "n": nmn, "i": nij, "j": nij}
+}
+
+// TwoIndexTransform returns the two-index transform contraction.
+func TwoIndexTransform(nmn, nij int64) *Contraction {
+	return MustParse("B[m,n] = C1[m,i] * C2[n,j] * A[i,j]", TwoIndexRanges(nmn, nij))
+}
+
+// FourIndexRanges builds the range map for the AO-to-MO four-index
+// transform: p,q,r,s range over N (total orbitals) and a,b,c,d over V
+// (virtual orbitals). The paper's experiments use (N,V) = (140,120) and
+// (190,180).
+func FourIndexRanges(n, v int64) map[string]int64 {
+	return map[string]int64{
+		"p": n, "q": n, "r": n, "s": n,
+		"a": v, "b": v, "c": v, "d": v,
+	}
+}
+
+// FourIndexTransform returns the AO-to-MO transform
+// B(a,b,c,d) = Σ_{p,q,r,s} C1(s,d) C2(r,c) C3(q,b) C4(p,a) A(p,q,r,s).
+func FourIndexTransform(n, v int64) *Contraction {
+	return MustParse(
+		"B[a,b,c,d] = C1[s,d] * C2[r,c] * C3[q,b] * C4[p,a] * A[p,q,r,s]",
+		FourIndexRanges(n, v))
+}

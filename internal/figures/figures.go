@@ -1,0 +1,116 @@
+// Package figures regenerates the paper's figures as text: the fusion
+// example (Fig. 1), the abstract code and parse tree of the two-index
+// transform (Fig. 2), its tiled form (Fig. 3), the candidate I/O
+// placements and the synthesized concrete code (Fig. 4), and the abstract
+// code of the AO-to-MO four-index transform (Fig. 5).
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/placement"
+	"repro/internal/tiling"
+)
+
+// Fig4Config is the configuration stated in the paper's Fig. 4 caption:
+// N_m = N_n = 35000, N_i = N_j = 40000, 1 GB memory limit, double
+// precision arrays.
+func Fig4Config() (prog *loops.Program, cfg machine.Config) {
+	cfg = machine.OSCItanium2()
+	cfg.MemoryLimit = 1 * machine.GB
+	return loops.TwoIndexFused(35000, 40000), cfg
+}
+
+// Figure1 renders the fusion example: unfused code, the compact loop
+// notation, and the fused code in which T contracts to a scalar.
+func Figure1() string {
+	nmn, nij := int64(35000), int64(40000)
+	unfused := loops.TwoIndexUnfused(nmn, nij)
+	fused := loops.TwoIndexFused(nmn, nij)
+	var b strings.Builder
+	b.WriteString("Figure 1: loop fusion reduces the intermediate T to a scalar\n\n")
+	b.WriteString("(a) Unfused code\n")
+	b.WriteString(unfused.Declarations())
+	b.WriteString(unfused.String())
+	b.WriteString("\n(c) Fused code (loops i and n fused)\n")
+	b.WriteString(fused.Declarations())
+	b.WriteString(fused.String())
+	return b.String()
+}
+
+// Figure2 renders the abstract code and parse tree of the two-index
+// transform.
+func Figure2() string {
+	prog, _ := Fig4Config()
+	var b strings.Builder
+	b.WriteString("Figure 2: abstract code and parse tree for the 2-index transform\n\n")
+	b.WriteString("(a) Abstract code\n")
+	b.WriteString(prog.String())
+	b.WriteString("\n(b) Parse tree\n")
+	b.WriteString(prog.ParseTree())
+	return b.String()
+}
+
+// Figure3 renders the tiled abstract code and tiled parse tree.
+func Figure3() (string, error) {
+	prog, _ := Fig4Config()
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: tiled abstract code and tiled parse tree\n\n")
+	b.WriteString("(a) Tiled code\n")
+	b.WriteString(tree.String())
+	b.WriteString("\n(b) Tiled parse tree\n")
+	b.WriteString(tree.ParseTree())
+	return b.String(), nil
+}
+
+// Figure4 enumerates the candidate placements and synthesizes the final
+// concrete code for the Fig. 4 configuration.
+func Figure4(seed int64) (string, error) {
+	prog, cfg := Fig4Config()
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		return "", err
+	}
+	model, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		return "", err
+	}
+	s, err := core.Synthesize(core.Request{
+		Program:  prog,
+		Machine:  cfg,
+		Strategy: core.DCS,
+		Seed:     seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: candidate I/O placements and final concrete code\n")
+	fmt.Fprintf(&b, "(N_m = N_n = 35000, N_i = N_j = 40000, memory limit 1 GB)\n\n")
+	b.WriteString("(a) Candidate I/O placements\n")
+	b.WriteString(model.String())
+	b.WriteString("\n(b) Final concrete code\n")
+	b.WriteString(s.Plan.String())
+	b.WriteString("\nchosen assignment:\n")
+	b.WriteString(s.Assign.Describe())
+	return b.String(), nil
+}
+
+// Figure5 renders the abstract code for the AO-to-MO four-index
+// transform, the input to the evaluation's synthesis runs.
+func Figure5() string {
+	prog := loops.FourIndexAbstract(140, 120)
+	var b strings.Builder
+	b.WriteString("Figure 5: abstract code for the AO-to-MO transform\n\n")
+	b.WriteString(prog.Declarations())
+	b.WriteString(prog.String())
+	return b.String()
+}

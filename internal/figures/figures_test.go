@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	s := Figure1()
+	for _, want := range []string{
+		"Unfused code",
+		"T[*,*] = 0",
+		"Fused code",
+		"T = 0",
+		"double T  // intermediate",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	s := Figure2()
+	for _, want := range []string{"Abstract code", "Parse tree", "root", "B[m,n] += C1[m,i] * T"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	s, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Tiled code", "FOR iT, nT", "FOR iI, nI, jI", "Tiled parse tree"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	s, err := Figure4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Candidate I/O placements",
+		"T (intermediate):",
+		"in memory",
+		"read required",
+		"Final concrete code",
+		"Read ADisk",
+		"Write BDisk",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 4 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	s := Figure5()
+	for _, want := range []string{
+		"T1[*,*,*,*] = 0",
+		"FOR a, p, q, r, s",
+		"B[a,b,c,d] += C1[s,d] * T3[c,s]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 5 missing %q:\n%s", want, s)
+		}
+	}
+}

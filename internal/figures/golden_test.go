@@ -1,0 +1,49 @@
+package figures
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure files")
+
+// TestGoldenFigures snapshots every figure against testdata/*.golden;
+// regenerate with `go test ./internal/figures -run Golden -update`.
+func TestGoldenFigures(t *testing.T) {
+	fig3, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := Figure4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"fig1.golden": Figure1(),
+		"fig2.golden": Figure2(),
+		"fig3.golden": fig3,
+		"fig4.golden": fig4,
+		"fig5.golden": Figure5(),
+	}
+	for name, got := range cases {
+		path := filepath.Join("testdata", name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if string(want) != got {
+			t.Errorf("%s: output drifted from golden file; run with -update if intentional\n--- got ---\n%s", name, got)
+		}
+	}
+}

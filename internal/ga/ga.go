@@ -1,0 +1,205 @@
+// Package ga simulates the Global Arrays / Disk Resident Arrays substrate
+// the paper's parallel generated code runs on: P processes, each with a
+// local disk, operating on globally addressable arrays. Disk-resident
+// arrays are distributed across the local disks; every read and write is a
+// collective operation in which each process moves its share of the
+// section concurrently. The package implements disk.Backend, so the
+// out-of-core execution engine runs parallel plans unchanged.
+//
+// The Table 4 mechanism falls out of the model: doubling the processor
+// count doubles both the aggregate memory (reducing the synthesized code's
+// total I/O volume) and the aggregate disk bandwidth, so parallel I/O time
+// improves superlinearly.
+package ga
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/machine"
+)
+
+// Cluster is a simulated P-process machine with per-process local disks.
+type Cluster struct {
+	p      int
+	locals []*disk.Sim
+	arrays map[string]*clusterArray
+}
+
+// NewCluster builds a cluster of p processes with identical local disks.
+// withData enables numerically verifiable execution (test scale only).
+func NewCluster(p int, d machine.Disk, withData bool) (*Cluster, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("ga: non-positive process count %d", p)
+	}
+	c := &Cluster{p: p, arrays: map[string]*clusterArray{}}
+	for i := 0; i < p; i++ {
+		c.locals = append(c.locals, disk.NewSim(d, withData))
+	}
+	return c, nil
+}
+
+// Procs returns the process count.
+func (c *Cluster) Procs() int { return c.p }
+
+type clusterArray struct {
+	c      *Cluster
+	name   string
+	dims   []int64
+	locals []disk.Array
+}
+
+// Create allocates a distributed disk-resident array.
+func (c *Cluster) Create(name string, dims []int64) (disk.Array, error) {
+	if _, ok := c.arrays[name]; ok {
+		return nil, fmt.Errorf("ga: array %q already exists", name)
+	}
+	a := &clusterArray{c: c, name: name, dims: append([]int64(nil), dims...)}
+	for i, l := range c.locals {
+		la, err := l.Create(name, dims)
+		if err != nil {
+			return nil, fmt.Errorf("ga: proc %d: %w", i, err)
+		}
+		a.locals = append(a.locals, la)
+	}
+	c.arrays[name] = a
+	return a, nil
+}
+
+// Open returns an existing distributed array.
+func (c *Cluster) Open(name string) (disk.Array, error) {
+	a, ok := c.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("ga: array %q does not exist", name)
+	}
+	return a, nil
+}
+
+// Stats returns the aggregate I/O statistics over all local disks.
+func (c *Cluster) Stats() disk.Stats {
+	var total disk.Stats
+	for _, l := range c.locals {
+		total.Add(l.Stats())
+	}
+	return total
+}
+
+// ProcStats returns process i's local-disk statistics.
+func (c *Cluster) ProcStats(i int) disk.Stats { return c.locals[i].Stats() }
+
+// Time returns the parallel wall-clock I/O time: the maximum modelled time
+// over the local disks (collective operations complete when the slowest
+// process finishes).
+func (c *Cluster) Time() float64 {
+	t := 0.0
+	for _, l := range c.locals {
+		if lt := l.Stats().Time(); lt > t {
+			t = lt
+		}
+	}
+	return t
+}
+
+// ResetStats zeroes all local-disk counters.
+func (c *Cluster) ResetStats() {
+	for _, l := range c.locals {
+		l.ResetStats()
+	}
+}
+
+// Close releases all local disks.
+func (c *Cluster) Close() error {
+	var first error
+	for _, l := range c.locals {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.arrays = nil
+	return first
+}
+
+func (a *clusterArray) Name() string  { return a.name }
+func (a *clusterArray) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+// ReadSection performs a collective read: the section is partitioned along
+// its leading dimension and each process reads its share from its local
+// disk concurrently.
+func (a *clusterArray) ReadSection(lo, shape []int64, buf []float64) error {
+	return a.collective(lo, shape, buf, true)
+}
+
+// WriteSection performs a collective write.
+func (a *clusterArray) WriteSection(lo, shape []int64, buf []float64) error {
+	return a.collective(lo, shape, buf, false)
+}
+
+func (a *clusterArray) collective(lo, shape []int64, buf []float64, read bool) error {
+	if len(shape) == 0 {
+		// Scalar array: process 0 owns it.
+		if read {
+			return a.locals[0].ReadSection(lo, shape, buf)
+		}
+		return a.locals[0].WriteSection(lo, shape, buf)
+	}
+	// Block distribution along the array's leading dimension: process k
+	// owns array rows [k·D/P, (k+1)·D/P). Each process moves the
+	// intersection of the section with its owned rows from its local
+	// disk; the intersections are contiguous runs of section rows, so the
+	// packed buffer splits cleanly.
+	d := a.dims[0]
+	rowSize := int64(1)
+	for _, s := range shape[1:] {
+		rowSize *= s
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, a.c.p)
+	for k := 0; k < a.c.p; k++ {
+		ownLo := d * int64(k) / int64(a.c.p)
+		ownHi := d * int64(k+1) / int64(a.c.p)
+		rlo := max64(lo[0], ownLo)
+		rhi := min64(lo[0]+shape[0], ownHi)
+		if rhi <= rlo {
+			continue // no overlap: this process idles for the operation
+		}
+		subLo := append([]int64(nil), lo...)
+		subLo[0] = rlo
+		subShape := append([]int64(nil), shape...)
+		subShape[0] = rhi - rlo
+		var subBuf []float64
+		if buf != nil {
+			subBuf = buf[(rlo-lo[0])*rowSize : (rhi-lo[0])*rowSize]
+		}
+		wg.Add(1)
+		go func(k int, local disk.Array) {
+			defer wg.Done()
+			if read {
+				errs[k] = local.ReadSection(subLo, subShape, subBuf)
+			} else {
+				errs[k] = local.WriteSection(subLo, subShape, subBuf)
+			}
+		}(k, a.locals[k])
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ga: proc %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package ga
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/nlp"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+	"repro/internal/tiling"
+)
+
+func testDisk() machine.Disk {
+	return machine.Disk{SeekTime: 0.005, ReadBandwidth: 1e6, WriteBandwidth: 8e5}
+}
+
+func TestClusterBasics(t *testing.T) {
+	c, err := NewCluster(3, testDisk(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Procs() != 3 {
+		t.Fatalf("Procs = %d", c.Procs())
+	}
+	if _, err := NewCluster(0, testDisk(), false); err == nil {
+		t.Fatal("zero procs must error")
+	}
+	a, err := c.Create("X", []int64{9, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("X", nil); err == nil {
+		t.Fatal("duplicate create must error")
+	}
+	if _, err := c.Open("missing"); err == nil {
+		t.Fatal("open missing must error")
+	}
+	if got := a.Dims(); len(got) != 2 || got[0] != 9 {
+		t.Fatalf("dims = %v", got)
+	}
+}
+
+func TestCollectiveRoundTrip(t *testing.T) {
+	c, err := NewCluster(3, testDisk(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, _ := c.Create("X", []int64{10, 5})
+	buf := make([]float64, 50)
+	for i := range buf {
+		buf[i] = float64(i) + 1
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{10, 5}, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Read back a section with a different shape than the write: data must
+	// come back correctly across ownership boundaries.
+	got := make([]float64, 3*4)
+	if err := a.ReadSection([]int64{2, 1}, []int64{3, 4}, got); err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 3; r++ {
+		for col := int64(0); col < 4; col++ {
+			want := float64((2+r)*5+(1+col)) + 1
+			if got[r*4+col] != want {
+				t.Fatalf("element (%d,%d) = %v, want %v", r, col, got[r*4+col], want)
+			}
+		}
+	}
+}
+
+func TestCollectiveSpreadsLoad(t *testing.T) {
+	c, _ := NewCluster(4, testDisk(), false)
+	defer c.Close()
+	a, _ := c.Create("X", []int64{100, 10})
+	// A full-array read: every process moves 1/4 of the bytes.
+	if err := a.ReadSection([]int64{0, 0}, []int64{100, 10}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		st := c.ProcStats(k)
+		if st.BytesRead != 25*10*8 {
+			t.Fatalf("proc %d read %d bytes, want %d", k, st.BytesRead, 25*10*8)
+		}
+	}
+	agg := c.Stats()
+	if agg.BytesRead != 100*10*8 || agg.ReadOps != 4 {
+		t.Fatalf("aggregate stats wrong: %+v", agg)
+	}
+	// Parallel wall-clock = max local, which is 1/4 of the serial transfer
+	// (plus one seek).
+	want := 0.005 + float64(25*10*8)/1e6
+	if got := c.Time(); got != want {
+		t.Fatalf("Time = %g, want %g", got, want)
+	}
+}
+
+func TestSectionOnSingleOwnerUsesOneDisk(t *testing.T) {
+	c, _ := NewCluster(2, testDisk(), false)
+	defer c.Close()
+	a, _ := c.Create("X", []int64{100, 4})
+	// Rows 0..10 belong to process 0 only.
+	if err := a.ReadSection([]int64{0, 0}, []int64{10, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.ProcStats(0).ReadOps != 1 || c.ProcStats(1).ReadOps != 0 {
+		t.Fatalf("ownership split wrong: %+v / %+v", c.ProcStats(0), c.ProcStats(1))
+	}
+}
+
+func TestScalarArrayHandledByProcZero(t *testing.T) {
+	c, _ := NewCluster(2, testDisk(), true)
+	defer c.Close()
+	a, _ := c.Create("s", nil)
+	if err := a.WriteSection(nil, nil, []float64{3.5}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 1)
+	if err := a.ReadSection(nil, nil, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3.5 {
+		t.Fatalf("scalar round trip = %v", got[0])
+	}
+	if c.ProcStats(1).WriteOps != 0 {
+		t.Fatal("proc 1 should idle on scalar ops")
+	}
+}
+
+// buildPlan synthesizes a small concrete plan for parallel execution
+// tests.
+func buildPlan(t *testing.T, prog *loops.Program, cfg machine.Config, tiles map[string]int64) *codegen.Plan {
+	t.Helper()
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nlp.Build(m)
+	plan, err := codegen.Generate(p, p.Encode(tiles, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestParallelExecutionMatchesReference(t *testing.T) {
+	nmn, nij := int64(9), int64(12)
+	prog := loops.TwoIndexFused(nmn, nij)
+	cfg := machine.Small(8 << 10)
+	cfg.Disk = testDisk()
+	plan := buildPlan(t, prog, cfg, map[string]int64{"i": 5, "j": 4, "m": 3, "n": 4})
+
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(nmn, nij), 17)
+	want, err := loops.Interpret(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 2, 3, 5} {
+		c, err := NewCluster(procs, cfg.Disk, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(plan, c, inputs, exec.Options{})
+		if err != nil {
+			t.Fatalf("P=%d: %v", procs, err)
+		}
+		if d := tensor.MaxAbsDiff(res.Outputs["B"], want["B"]); d > 1e-9 {
+			t.Fatalf("P=%d: parallel result differs by %g", procs, d)
+		}
+		c.Close()
+	}
+}
+
+func TestParallelTimeScales(t *testing.T) {
+	// The same plan's collective I/O wall-clock must shrink with more
+	// processes (Table 4's bandwidth half of the effect).
+	prog := loops.TwoIndexFused(2000, 2400)
+	cfg := machine.Small(64 << 20)
+	cfg.Disk = testDisk()
+	plan := buildPlan(t, prog, cfg, map[string]int64{"i": 600, "j": 600, "m": 500, "n": 500})
+
+	times := map[int]float64{}
+	for _, procs := range []int{1, 2, 4} {
+		c, err := NewCluster(procs, cfg.Disk, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.Run(plan, c, nil, exec.Options{DryRun: true}); err != nil {
+			t.Fatal(err)
+		}
+		times[procs] = c.Time()
+		c.Close()
+	}
+	if !(times[1] > times[2] && times[2] > times[4]) {
+		t.Fatalf("parallel time not monotone: %v", times)
+	}
+	// Transfer dominates at these sizes, so doubling P should get near 2×.
+	if times[1]/times[2] < 1.5 || times[2]/times[4] < 1.5 {
+		t.Fatalf("scaling too weak: %v", times)
+	}
+}
+
+func TestDryRunAggregateMatchesSequentialVolume(t *testing.T) {
+	// A cluster moves the same total bytes as a single disk; only the
+	// wall-clock divides.
+	prog := loops.TwoIndexFused(60, 80)
+	cfg := machine.Small(1 << 20)
+	cfg.Disk = testDisk()
+	plan := buildPlan(t, prog, cfg, map[string]int64{"i": 20, "j": 20, "m": 20, "n": 20})
+
+	single, _ := NewCluster(1, cfg.Disk, false)
+	exec.Run(plan, single, nil, exec.Options{DryRun: true})
+	quad, _ := NewCluster(4, cfg.Disk, false)
+	exec.Run(plan, quad, nil, exec.Options{DryRun: true})
+	s1, s4 := single.Stats(), quad.Stats()
+	if s1.BytesRead != s4.BytesRead || s1.BytesWritten != s4.BytesWritten {
+		t.Fatalf("volumes differ: %+v vs %+v", s1, s4)
+	}
+	single.Close()
+	quad.Close()
+}

@@ -1,0 +1,110 @@
+// Package hier composes the full memory-hierarchy synthesis: the paper's
+// disk↔memory optimization (core) and the recursive memory↔cache tiling
+// of every in-memory compute block (cachetile), reported together with the
+// compute-time model as one end-to-end time breakdown per level —
+// disk I/O, memory↔cache traffic, and arithmetic.
+package hier
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cachetile"
+	"repro/internal/codegen"
+	"repro/internal/core"
+)
+
+// Result is a hierarchical synthesis.
+type Result struct {
+	// Disk is the paper-level synthesis artifact.
+	Disk *core.Synthesis
+	// Blocks are the cache tilings of the plan's compute blocks, in plan
+	// order, each annotated with how many times the block executes.
+	Blocks []Block
+	// DiskSeconds, MemorySeconds, ComputeSeconds are the modelled times
+	// of the three levels over the whole computation.
+	DiskSeconds    float64
+	MemorySeconds  float64
+	ComputeSeconds float64
+}
+
+// Block is one compute block's lower-level synthesis.
+type Block struct {
+	cachetile.BlockResult
+	// Executions is the number of times the block runs (the product of
+	// its enclosing tiling-loop trip counts).
+	Executions int64
+	// TotalSeconds is Executions × per-instance memory↔cache traffic.
+	TotalSeconds float64
+}
+
+// Synthesize runs the two-level pipeline.
+func Synthesize(req core.Request, cache cachetile.CacheConfig) (*Result, error) {
+	disk, err := core.Synthesize(req)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := cachetile.OptimizePlan(disk.Plan, cache, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	execs := blockExecutions(disk.Plan)
+	if len(execs) != len(blocks) {
+		return nil, fmt.Errorf("hier: %d blocks but %d execution counts", len(blocks), len(execs))
+	}
+	res := &Result{
+		Disk:           disk,
+		DiskSeconds:    disk.Predicted(),
+		ComputeSeconds: disk.ComputeSeconds(),
+	}
+	for i, b := range blocks {
+		blk := Block{BlockResult: b, Executions: execs[i]}
+		blk.TotalSeconds = float64(execs[i]) * b.TrafficSeconds
+		res.MemorySeconds += blk.TotalSeconds
+		res.Blocks = append(res.Blocks, blk)
+	}
+	return res, nil
+}
+
+// blockExecutions returns, per compute block in plan order, the product of
+// enclosing tiling-loop trip counts.
+func blockExecutions(p *codegen.Plan) []int64 {
+	var out []int64
+	var walk func(ns []codegen.Node, mult int64)
+	walk = func(ns []codegen.Node, mult int64) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *codegen.Loop:
+				trips := (n.Range + n.Tile - 1) / n.Tile
+				walk(n.Body, mult*trips)
+			case *codegen.Compute:
+				out = append(out, mult)
+			}
+		}
+	}
+	walk(p.Body, 1)
+	return out
+}
+
+// Report renders the hierarchy breakdown.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hierarchical synthesis of %q\n", r.Disk.Request.Program.Name)
+	fmt.Fprintf(&b, "  disk I/O:            %10.1f s\n", r.DiskSeconds)
+	fmt.Fprintf(&b, "  memory→cache:        %10.1f s\n", r.MemorySeconds)
+	fmt.Fprintf(&b, "  arithmetic:          %10.1f s\n", r.ComputeSeconds)
+	dominant := "disk I/O"
+	m := r.DiskSeconds
+	if r.MemorySeconds > m {
+		dominant, m = "memory traffic", r.MemorySeconds
+	}
+	if r.ComputeSeconds > m {
+		dominant = "arithmetic"
+	}
+	fmt.Fprintf(&b, "  dominant level:      %s\n", dominant)
+	for _, blk := range r.Blocks {
+		fmt.Fprintf(&b, "  block %-10s ×%-8d cache tiles %v  %.4f s each, %.1f s total\n",
+			blk.Statement, blk.Executions, blk.Tiles, blk.TrafficSeconds, blk.TotalSeconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cachetile"
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+func TestHierarchicalSynthesisFig4(t *testing.T) {
+	cfg := machine.OSCItanium2()
+	cfg.MemoryLimit = 1 * machine.GB
+	res, err := Synthesize(core.Request{
+		Program:  loops.TwoIndexFused(35000, 40000),
+		Machine:  cfg,
+		Strategy: core.DCS,
+		Seed:     1,
+	}, cachetile.ItaniumL3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(res.Blocks))
+	}
+	for _, blk := range res.Blocks {
+		if blk.Executions <= 0 || blk.TotalSeconds <= 0 {
+			t.Fatalf("block %s: executions %d, total %.3f", blk.Statement, blk.Executions, blk.TotalSeconds)
+		}
+	}
+	if res.DiskSeconds <= 0 || res.MemorySeconds <= 0 || res.ComputeSeconds <= 0 {
+		t.Fatalf("missing level times: %+v", res)
+	}
+	// The two-index transform at this scale is two giant GEMMs: O(N³)
+	// arithmetic over O(N²) data, so the hierarchy report must classify
+	// it as arithmetic-dominated while disk I/O still exceeds cache
+	// traffic.
+	if res.ComputeSeconds < res.DiskSeconds {
+		t.Fatalf("two-index at N=35000 should be compute-bound: compute %.1f vs disk %.1f",
+			res.ComputeSeconds, res.DiskSeconds)
+	}
+	if res.DiskSeconds < res.MemorySeconds {
+		t.Fatalf("disk (%.1f) should exceed cache traffic (%.1f)", res.DiskSeconds, res.MemorySeconds)
+	}
+	rep := res.Report()
+	for _, want := range []string{"disk I/O:", "memory→cache:", "arithmetic:", "dominant level:      arithmetic", "block"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestFourIndexIsIOBoundInHierarchy(t *testing.T) {
+	// The paper's evaluation workload: O(V·N⁴) flops over tens of GB of
+	// intermediate traffic — disk I/O dominates.
+	res, err := Synthesize(core.Request{
+		Program:  loops.FourIndexAbstract(140, 120),
+		Machine:  machine.OSCItanium2(),
+		Strategy: core.DCS,
+		Seed:     1,
+		MaxEvals: 60000,
+	}, cachetile.ItaniumL3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(res.Blocks))
+	}
+	if res.DiskSeconds < res.ComputeSeconds {
+		t.Fatalf("four-index should be I/O-bound: disk %.1f vs compute %.1f",
+			res.DiskSeconds, res.ComputeSeconds)
+	}
+	if !strings.Contains(res.Report(), "dominant level:      disk I/O") {
+		t.Fatalf("report:\n%s", res.Report())
+	}
+}
+
+func TestBlockExecutionsCount(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	res, err := Synthesize(core.Request{
+		Program:  loops.TwoIndexFused(12, 16),
+		Machine:  cfg,
+		Strategy: core.DCS,
+		Seed:     2,
+		MaxEvals: 20000,
+	}, cachetile.CacheConfig{CacheBytes: 1 << 10, LineBytes: 0, Latency: 1e-7, Bandwidth: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each block executes Π ceil(N/T) over its enclosing loops; verify
+	// against a manual recount from the plan's tiles.
+	tiles := res.Disk.Assign.Tiles
+	ranges := res.Disk.Request.Program.Ranges
+	trip := func(x string) int64 {
+		return (ranges[x] + tiles[x] - 1) / tiles[x]
+	}
+	// Producer block under iT,nT,jT; consumer under iT,nT,mT.
+	wantProd := trip("i") * trip("n") * trip("j")
+	wantCons := trip("i") * trip("n") * trip("m")
+	got := map[string]int64{}
+	for _, blk := range res.Blocks {
+		got[blk.Statement] = blk.Executions
+	}
+	if got["T"] != wantProd {
+		t.Fatalf("producer executions = %d, want %d", got["T"], wantProd)
+	}
+	if got["B"] != wantCons {
+		t.Fatalf("consumer executions = %d, want %d", got["B"], wantCons)
+	}
+}

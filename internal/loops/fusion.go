@@ -1,0 +1,319 @@
+package loops
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Fuse applies the loop fusion of Fig. 1 to the named intermediate: the
+// loops common to the producer and consumer nests that index the
+// intermediate are fused, and the intermediate's storage is contracted
+// along the fused dimensions (its elements are reused across iterations of
+// the fused loops). The producer and consumer must be distinct top-level
+// nests of the program.
+//
+// All statements in this IR are fully permutable sum-of-product
+// accumulations, so there are no fusion-preventing dependences; the only
+// legality requirement is that each fused loop indexes the intermediate in
+// both nests, which guarantees every element is completely produced before
+// it is consumed.
+//
+// Fuse returns a transformed copy; the input program is not modified.
+func Fuse(p *Program, intermediate string) (*Program, error) {
+	q := p.Clone()
+	arr, ok := q.Arrays[intermediate]
+	if !ok {
+		return nil, fmt.Errorf("loops: Fuse: array %q not declared", intermediate)
+	}
+	if arr.Kind != Intermediate {
+		return nil, fmt.Errorf("loops: Fuse: array %q is %v, not an intermediate", intermediate, arr.Kind)
+	}
+
+	prodPos, consPos, initPos := -1, -1, -1
+	for i, n := range q.Body {
+		switch n := n.(type) {
+		case *Init:
+			if n.Array == intermediate {
+				initPos = i
+			}
+		case *Loop:
+			if refsArray(n, intermediate, true) {
+				if prodPos >= 0 {
+					return nil, fmt.Errorf("loops: Fuse: %q has multiple top-level producer nests", intermediate)
+				}
+				prodPos = i
+			}
+			if refsArray(n, intermediate, false) {
+				if consPos >= 0 {
+					return nil, fmt.Errorf("loops: Fuse: %q has multiple top-level consumer nests", intermediate)
+				}
+				consPos = i
+			}
+		}
+	}
+	if prodPos < 0 || consPos < 0 {
+		return nil, fmt.Errorf("loops: Fuse: %q needs top-level producer and consumer nests", intermediate)
+	}
+	if prodPos == consPos {
+		return nil, fmt.Errorf("loops: Fuse: producer and consumer of %q share a nest; already fused", intermediate)
+	}
+
+	prod := q.Body[prodPos].(*Loop)
+	cons := q.Body[consPos].(*Loop)
+
+	consLoops := loopIndexSet(cons)
+	var fused []string // in producer loop order
+	for _, x := range loopIndexOrder(prod) {
+		if !consLoops[x] || !indexesArray(arr, x) {
+			continue
+		}
+		// Hoisting x to the top of both nests is a pure loop permutation
+		// only if each nest contains exactly one x loop and it encloses
+		// every statement of the nest. With several sibling x loops,
+		// hoisting would merge them — illegal when values not indexed by
+		// x are live between them (e.g. an inner fused intermediate's
+		// reduction must complete before its consumer's x loop starts).
+		if countLoops(prod, x) != 1 || countLoops(cons, x) != 1 {
+			continue
+		}
+		if !enclosesAllStmts(prod, x) || !enclosesAllStmts(cons, x) {
+			continue
+		}
+		fused = append(fused, x)
+	}
+	if len(fused) == 0 {
+		return nil, fmt.Errorf("loops: Fuse: no common loops index %q", intermediate)
+	}
+
+	fusedSet := map[string]bool{}
+	for _, x := range fused {
+		fusedSet[x] = true
+	}
+	prodRest := removeLoops([]Node{prod}, fusedSet)
+	consRest := removeLoops([]Node{cons}, fusedSet)
+
+	inner := []Node{&Init{Array: intermediate}}
+	inner = append(inner, prodRest...)
+	inner = append(inner, consRest...)
+	fusedNest := L(inner, fused...)
+
+	// Rebuild the body: drop the old init, replace the producer position
+	// with the fused nest, drop the consumer position.
+	var body []Node
+	for i, n := range q.Body {
+		switch i {
+		case initPos:
+		case prodPos:
+			body = append(body, fusedNest)
+		case consPos:
+		default:
+			body = append(body, n)
+		}
+	}
+	// Merging the consumer into the producer's position can leave a later
+	// array's top-level init behind its (relocated) producer; hoist such
+	// inits back in front.
+	q.Body = hoistInits(body)
+
+	// Contract the intermediate's storage and rewrite its references.
+	q.FuseDims(intermediate, fused...)
+	rewriteRefs(q.Body, intermediate, arr.Indices)
+
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("loops: Fuse produced invalid program: %w", err)
+	}
+	return q, nil
+}
+
+// refsArray reports whether the subtree contains a statement producing
+// (asOut) or consuming (!asOut) the named array.
+func refsArray(n Node, name string, asOut bool) bool {
+	switch n := n.(type) {
+	case *Loop:
+		for _, c := range n.Body {
+			if refsArray(c, name, asOut) {
+				return true
+			}
+		}
+	case *Stmt:
+		if asOut {
+			return n.Out.Name == name
+		}
+		for _, f := range n.Factors {
+			if f.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hoistInits moves every top-level Init node before the first top-level
+// node whose subtree produces its array.
+func hoistInits(body []Node) []Node {
+	out := append([]Node(nil), body...)
+	for {
+		moved := false
+		for i, n := range out {
+			init, ok := n.(*Init)
+			if !ok {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if refsArray(out[j], init.Array, true) {
+					// Shift [j, i) right and place the init at j.
+					copy(out[j+1:i+1], out[j:i])
+					out[j] = init
+					moved = true
+					break
+				}
+			}
+			if moved {
+				break
+			}
+		}
+		if !moved {
+			return out
+		}
+	}
+}
+
+// countLoops counts loop nodes with index x in the subtree.
+func countLoops(n Node, x string) int {
+	c := 0
+	var walk func(Node)
+	walk = func(n Node) {
+		if l, ok := n.(*Loop); ok {
+			if l.Index == x {
+				c++
+			}
+			for _, b := range l.Body {
+				walk(b)
+			}
+		}
+	}
+	walk(n)
+	return c
+}
+
+// enclosesAllStmts reports whether loop index x encloses every Stmt node
+// of the subtree.
+func enclosesAllStmts(n Node, x string) bool {
+	var walk func(n Node, inside bool) bool
+	walk = func(n Node, inside bool) bool {
+		switch n := n.(type) {
+		case *Loop:
+			in := inside || n.Index == x
+			for _, c := range n.Body {
+				if !walk(c, in) {
+					return false
+				}
+			}
+			return true
+		case *Stmt:
+			return inside
+		default:
+			return true
+		}
+	}
+	return walk(n, false)
+}
+
+// FuseGreedy repeatedly fuses intermediates (in declaration order) until
+// no further fusion applies, returning the transformed program. Already
+// fused or unfusable intermediates are skipped.
+func FuseGreedy(p *Program) *Program {
+	cur := p
+	for {
+		changed := false
+		for _, name := range cur.ArraysOfKind(Intermediate) {
+			if q, err := Fuse(cur, name); err == nil {
+				cur = q
+				changed = true
+			}
+		}
+		if !changed {
+			return cur
+		}
+	}
+}
+
+// indexesArray reports whether x is one of the array's current dimensions.
+func indexesArray(a *Array, x string) bool {
+	for _, y := range a.Indices {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func loopIndexSet(n Node) map[string]bool {
+	s := map[string]bool{}
+	for _, x := range loopIndexOrder(n) {
+		s[x] = true
+	}
+	return s
+}
+
+// loopIndexOrder returns the loop indices of a subtree in first-appearance
+// (outer-to-inner, left-to-right) order.
+func loopIndexOrder(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if l, ok := n.(*Loop); ok {
+			if !seen[l.Index] {
+				seen[l.Index] = true
+				out = append(out, l.Index)
+			}
+			for _, c := range l.Body {
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// removeLoops splices out loops whose index is in drop, hoisting their
+// bodies.
+func removeLoops(ns []Node, drop map[string]bool) []Node {
+	var out []Node
+	for _, n := range ns {
+		l, ok := n.(*Loop)
+		if !ok {
+			out = append(out, n)
+			continue
+		}
+		body := removeLoops(l.Body, drop)
+		if drop[l.Index] {
+			out = append(out, body...)
+		} else {
+			out = append(out, &Loop{Index: l.Index, Body: body})
+		}
+	}
+	return out
+}
+
+// rewriteRefs replaces every reference to the named array with one using
+// exactly the given indices.
+func rewriteRefs(ns []Node, name string, indices []string) {
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *Loop:
+			rewriteRefs(n.Body, name, indices)
+		case *Stmt:
+			if n.Out.Name == name {
+				n.Out = expr.Ref{Name: name, Indices: append([]string(nil), indices...)}
+			}
+			for i, f := range n.Factors {
+				if f.Name == name {
+					n.Factors[i] = expr.Ref{Name: name, Indices: append([]string(nil), indices...)}
+				}
+			}
+		}
+	}
+}

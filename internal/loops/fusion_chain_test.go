@@ -1,0 +1,149 @@
+package loops
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/tensor"
+)
+
+// fourIndexUnfused lowers the op-minimized four-index plan to the unfused
+// chain T1 → T2 → T3 → B.
+func fourIndexUnfused(t *testing.T, n, v int64) *Program {
+	t.Helper()
+	plan := expr.MustMinimize(expr.FourIndexTransform(n, v), "T")
+	p, err := FromPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestChainedFusionPreservesSemantics(t *testing.T) {
+	n, v := int64(5), int64(4)
+	unfused := fourIndexUnfused(t, n, v)
+	inputs := expr.RandomInputs(expr.FourIndexTransform(n, v), 31)
+	want, err := Interpret(unfused, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fused := FuseGreedy(unfused)
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interpret(fused, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got["B"], want["B"]); d > 1e-8 {
+		t.Fatalf("greedy chained fusion changed results by %g\nfused:\n%s", d, fused)
+	}
+}
+
+func TestChainedFusionContractsIntermediates(t *testing.T) {
+	unfused := fourIndexUnfused(t, 6, 5)
+	fused := FuseGreedy(unfused)
+	shrunk := 0
+	for _, name := range fused.ArraysOfKind(Intermediate) {
+		a := fused.Arrays[name]
+		if a.Rank() < len(a.OrigIndices) {
+			shrunk++
+		}
+	}
+	if shrunk == 0 {
+		t.Fatalf("greedy fusion contracted no intermediate:\n%s", fused)
+	}
+	// Memory footprint of intermediates must strictly drop.
+	memOf := func(p *Program) int64 {
+		total := int64(0)
+		for _, name := range p.ArraysOfKind(Intermediate) {
+			sz := int64(1)
+			for _, x := range p.Arrays[name].Indices {
+				sz *= p.Ranges[x]
+			}
+			total += sz
+		}
+		return total
+	}
+	if memOf(fused) >= memOf(unfused) {
+		t.Fatalf("fusion did not reduce intermediate storage: %d vs %d", memOf(fused), memOf(unfused))
+	}
+}
+
+func TestFuseGreedyIdempotent(t *testing.T) {
+	fused := FuseGreedy(fourIndexUnfused(t, 5, 4))
+	again := FuseGreedy(fused)
+	if again.String() != fused.String() {
+		t.Fatalf("FuseGreedy not idempotent:\n%s\nvs\n%s", fused, again)
+	}
+}
+
+func TestFuseRefusesPartialEnclosure(t *testing.T) {
+	// Producer nest where the candidate fused loop does not enclose all
+	// statements: two statements at different depths, only one under n.
+	p := NewProgram("partial", map[string]int64{"i": 3, "n": 4, "m": 3})
+	p.DeclareArray("A", Input, "i")
+	p.DeclareArray("W", Input, "i", "n")
+	p.DeclareArray("S", Output, "i")
+	p.DeclareArray("T", Intermediate, "n")
+	p.DeclareArray("B", Output, "n")
+	p.Body = []Node{
+		&Init{Array: "T"},
+		&Init{Array: "S"},
+		&Init{Array: "B"},
+		// Producer nest: S (outside n) and T (inside n) — loop n does not
+		// enclose the S statement.
+		&Loop{Index: "i", Body: []Node{
+			S("S[i]", "A[i]"),
+			&Loop{Index: "n", Body: []Node{S("T[n]", "W[i,n]")}},
+		}},
+		// Consumer nest.
+		L([]Node{S("B[n]", "T[n]")}, "n"),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fuse(p, "T"); err == nil {
+		t.Fatal("fusing over a loop that does not enclose all producer statements must fail")
+	}
+	// And greedy fusion must leave the program semantically intact.
+	inputs := map[string]*tensor.Tensor{
+		"A": tensor.FromData([]float64{1, 2, 3}, 3),
+		"W": tensor.FromData([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 3, 4),
+	}
+	want, err := Interpret(p, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FuseGreedy(p)
+	got, err := Interpret(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range want {
+		if d := tensor.MaxAbsDiff(got[name], want[name]); d > 1e-12 {
+			t.Fatalf("%s changed by %g under greedy fusion", name, d)
+		}
+	}
+}
+
+func TestHoistInitsOrdering(t *testing.T) {
+	// After any fusion, every top-level init must precede its producer.
+	fused := FuseGreedy(fourIndexUnfused(t, 5, 4))
+	seenProducer := map[string]bool{}
+	for _, n := range fused.Body {
+		switch n := n.(type) {
+		case *Init:
+			if seenProducer[n.Array] {
+				t.Fatalf("init of %q appears after its producer:\n%s", n.Array, fused)
+			}
+		case *Loop:
+			for _, name := range fused.Order {
+				if refsArray(n, name, true) {
+					seenProducer[name] = true
+				}
+			}
+		}
+	}
+}

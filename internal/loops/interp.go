@@ -1,0 +1,90 @@
+package loops
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/tensor"
+)
+
+// Interpret executes the abstract program directly (fully in memory) and
+// returns the output arrays. Inputs must be provided for every Input
+// array with extents matching the program's ranges. Intermediates and
+// outputs are allocated zeroed.
+//
+// This is the semantic reference: tiling, fusion, and out-of-core
+// execution are all verified to produce the same values.
+func Interpret(p *Program, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	env := map[string]*tensor.Tensor{}
+	for _, name := range p.Order {
+		a := p.Arrays[name]
+		if a.Kind == Input {
+			t, ok := inputs[name]
+			if !ok {
+				return nil, fmt.Errorf("loops: missing input array %q", name)
+			}
+			if t.Rank() != a.Rank() {
+				return nil, fmt.Errorf("loops: input %q rank %d, declared %d", name, t.Rank(), a.Rank())
+			}
+			for i, x := range a.Indices {
+				if int64(t.Dim(i)) != p.Ranges[x] {
+					return nil, fmt.Errorf("loops: input %q dim %d is %d, range of %q is %d", name, i, t.Dim(i), x, p.Ranges[x])
+				}
+			}
+			env[name] = t
+			continue
+		}
+		dims := make([]int, a.Rank())
+		for i, x := range a.Indices {
+			dims[i] = int(p.Ranges[x])
+		}
+		env[name] = tensor.New(dims...)
+	}
+
+	iv := map[string]int{} // current loop index values
+	var exec func(ns []Node) error
+	exec = func(ns []Node) error {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				r := int(p.Ranges[n.Index])
+				for v := 0; v < r; v++ {
+					iv[n.Index] = v
+					if err := exec(n.Body); err != nil {
+						return err
+					}
+				}
+				delete(iv, n.Index)
+			case *Init:
+				env[n.Array].Zero()
+			case *Stmt:
+				prod := 1.0
+				for _, f := range n.Factors {
+					prod *= env[f.Name].At(indexValues(f, iv)...)
+				}
+				env[n.Out.Name].Add(prod, indexValues(n.Out, iv)...)
+			}
+		}
+		return nil
+	}
+	if err := exec(p.Body); err != nil {
+		return nil, err
+	}
+
+	out := map[string]*tensor.Tensor{}
+	for _, name := range p.ArraysOfKind(Output) {
+		out[name] = env[name]
+	}
+	return out, nil
+}
+
+func indexValues(r expr.Ref, iv map[string]int) []int {
+	idx := make([]int, len(r.Indices))
+	for i, x := range r.Indices {
+		idx[i] = iv[x]
+	}
+	return idx
+}

@@ -1,0 +1,367 @@
+// Package loops defines the abstract-code IR of the synthesis system: an
+// imperfectly nested loop tree (the paper's parse trees, Fig. 2) whose
+// leaves are tensor-contraction statements, together with a pretty printer
+// for the paper's code notation, a reference interpreter used to verify
+// program transformations, and loop fusion (Fig. 1).
+//
+// Abstract code is executable only if all arrays fit in memory; the
+// tiling, placement, and codegen packages transform it into concrete
+// out-of-core code.
+package loops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Kind classifies an array's role in the computation.
+type Kind int
+
+const (
+	// Input arrays initially reside on disk and are only read.
+	Input Kind = iota
+	// Intermediate arrays are produced and consumed within the computation
+	// and are not required on completion.
+	Intermediate
+	// Output arrays must be written to disk by the end of the computation.
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Intermediate:
+		return "intermediate"
+	case Output:
+		return "output"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Array describes one array of the program. Indices lists the index labels
+// of its dimensions in storage order; fusion may shrink an intermediate's
+// Indices (down to none, a scalar). OrigIndices always lists the
+// pre-fusion dimensions: under tiling, the storage of a fused intermediate
+// re-expands to tile extent along each fused dimension (the scalar T of
+// Fig. 1(c) becomes the tile buffer T[jI,nI] of Fig. 4(b)), so buffer-size
+// reasoning is done over OrigIndices.
+type Array struct {
+	Name        string
+	Indices     []string
+	OrigIndices []string
+	Kind        Kind
+}
+
+// Rank returns the array's current dimensionality.
+func (a *Array) Rank() int { return len(a.Indices) }
+
+// Node is a node of the abstract loop tree: *Loop, *Stmt, or *Init.
+type Node interface {
+	node()
+	clone() Node
+}
+
+// Loop is a single-index loop. Perfect chains of loops print in the
+// paper's compact "FOR i, n, j" notation but are represented one index per
+// node to keep transformations simple.
+type Loop struct {
+	Index string
+	Body  []Node
+}
+
+// Stmt is an accumulation statement Out[...] += Π Factors[...].
+type Stmt struct {
+	Out     expr.Ref
+	Factors []expr.Ref
+}
+
+// Init zeroes every element of the named array's current extent at this
+// position in the tree ("T[*,*] = 0" in the paper's notation).
+type Init struct {
+	Array string
+}
+
+func (*Loop) node() {}
+func (*Stmt) node() {}
+func (*Init) node() {}
+
+func (l *Loop) clone() Node {
+	return &Loop{Index: l.Index, Body: cloneNodes(l.Body)}
+}
+func (s *Stmt) clone() Node {
+	return &Stmt{Out: cloneRef(s.Out), Factors: cloneRefs(s.Factors)}
+}
+func (i *Init) clone() Node { return &Init{Array: i.Array} }
+
+func cloneNodes(ns []Node) []Node {
+	out := make([]Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.clone()
+	}
+	return out
+}
+
+func cloneRef(r expr.Ref) expr.Ref {
+	return expr.Ref{Name: r.Name, Indices: append([]string(nil), r.Indices...)}
+}
+
+func cloneRefs(rs []expr.Ref) []expr.Ref {
+	out := make([]expr.Ref, len(rs))
+	for i, r := range rs {
+		out[i] = cloneRef(r)
+	}
+	return out
+}
+
+// Program is an abstract imperfectly nested loop program.
+type Program struct {
+	Name   string
+	Ranges map[string]int64
+	// Arrays maps array name to its descriptor; Order fixes a
+	// deterministic iteration order.
+	Arrays map[string]*Array
+	Order  []string
+	Body   []Node
+	// ElemSize is the storage size of one element in bytes (8 for the
+	// double-precision arrays of the paper).
+	ElemSize int64
+}
+
+// NewProgram returns an empty program with the given ranges.
+func NewProgram(name string, ranges map[string]int64) *Program {
+	return &Program{
+		Name:     name,
+		Ranges:   ranges,
+		Arrays:   map[string]*Array{},
+		ElemSize: 8,
+	}
+}
+
+// DeclareArray registers an array; it panics if the name is taken or an
+// index has no range.
+func (p *Program) DeclareArray(name string, kind Kind, indices ...string) *Array {
+	if _, ok := p.Arrays[name]; ok {
+		panic(fmt.Sprintf("loops: array %q already declared", name))
+	}
+	for _, x := range indices {
+		if _, ok := p.Ranges[x]; !ok {
+			panic(fmt.Sprintf("loops: index %q of array %q has no range", x, name))
+		}
+	}
+	a := &Array{
+		Name:        name,
+		Indices:     append([]string(nil), indices...),
+		OrigIndices: append([]string(nil), indices...),
+		Kind:        kind,
+	}
+	p.Arrays[name] = a
+	p.Order = append(p.Order, name)
+	return a
+}
+
+// FuseDims marks the named intermediate as fused over the given indices:
+// they are removed from Indices but remain in OrigIndices. Used when
+// constructing already-fused programs (like the paper's Fig. 5 input)
+// directly; the Fuse transformation performs the same bookkeeping.
+func (p *Program) FuseDims(name string, fused ...string) {
+	a, ok := p.Arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("loops: FuseDims of undeclared array %q", name))
+	}
+	drop := map[string]bool{}
+	for _, x := range fused {
+		drop[x] = true
+	}
+	var kept []string
+	for _, x := range a.Indices {
+		if !drop[x] {
+			kept = append(kept, x)
+		}
+	}
+	a.Indices = kept
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	c := NewProgram(p.Name, p.Ranges)
+	c.ElemSize = p.ElemSize
+	for _, name := range p.Order {
+		a := p.Arrays[name]
+		ca := c.DeclareArray(a.Name, a.Kind, a.OrigIndices...)
+		ca.Indices = append([]string(nil), a.Indices...)
+	}
+	c.Body = cloneNodes(p.Body)
+	return c
+}
+
+// ArraysOfKind returns the names of arrays with the given kind, in
+// declaration order.
+func (p *Program) ArraysOfKind(k Kind) []string {
+	var out []string
+	for _, name := range p.Order {
+		if p.Arrays[name].Kind == k {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Size returns the total element count of the named array at its declared
+// (disk) extent.
+func (p *Program) Size(name string) int64 {
+	a := p.Arrays[name]
+	n := int64(1)
+	for _, x := range a.Indices {
+		n *= p.Ranges[x]
+	}
+	return n
+}
+
+// StmtSite is a statement together with the loop path (outermost first)
+// enclosing it.
+type StmtSite struct {
+	Stmt *Stmt
+	Path []*Loop
+}
+
+// Statements returns all accumulation statements with their loop paths, in
+// program order.
+func (p *Program) Statements() []StmtSite {
+	var out []StmtSite
+	var walk func(ns []Node, path []*Loop)
+	walk = func(ns []Node, path []*Loop) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				walk(n.Body, append(path, n))
+			case *Stmt:
+				out = append(out, StmtSite{Stmt: n, Path: append([]*Loop(nil), path...)})
+			}
+		}
+	}
+	walk(p.Body, nil)
+	return out
+}
+
+// Validate checks internal consistency: every referenced array is
+// declared, reference ranks match declarations, every loop index has a
+// range, no index is opened twice on a path, and each statement's indices
+// are available from enclosing loops or are array dims.
+func (p *Program) Validate() error {
+	var walk func(ns []Node, open map[string]bool) error
+	checkRef := func(r expr.Ref, open map[string]bool) error {
+		a, ok := p.Arrays[r.Name]
+		if !ok {
+			return fmt.Errorf("loops: reference to undeclared array %q", r.Name)
+		}
+		if len(r.Indices) != a.Rank() {
+			return fmt.Errorf("loops: reference %s has rank %d, array declared with %d", r, len(r.Indices), a.Rank())
+		}
+		for i, x := range r.Indices {
+			if x != a.Indices[i] {
+				return fmt.Errorf("loops: reference %s dim %d uses index %q, declared %q", r, i, x, a.Indices[i])
+			}
+			if !open[x] {
+				return fmt.Errorf("loops: reference %s uses index %q outside its loop", r, x)
+			}
+		}
+		return nil
+	}
+	walk = func(ns []Node, open map[string]bool) error {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				if _, ok := p.Ranges[n.Index]; !ok {
+					return fmt.Errorf("loops: loop index %q has no range", n.Index)
+				}
+				if open[n.Index] {
+					return fmt.Errorf("loops: index %q opened twice on one path", n.Index)
+				}
+				open[n.Index] = true
+				if err := walk(n.Body, open); err != nil {
+					return err
+				}
+				delete(open, n.Index)
+			case *Stmt:
+				if err := checkRef(n.Out, open); err != nil {
+					return err
+				}
+				for _, f := range n.Factors {
+					if err := checkRef(f, open); err != nil {
+						return err
+					}
+				}
+			case *Init:
+				if _, ok := p.Arrays[n.Array]; !ok {
+					return fmt.Errorf("loops: init of undeclared array %q", n.Array)
+				}
+			}
+		}
+		return nil
+	}
+	return walk(p.Body, map[string]bool{})
+}
+
+// SortedIndices returns all loop indices used in the program, sorted.
+func (p *Program) SortedIndices() []string {
+	seen := map[string]bool{}
+	var walk func(ns []Node)
+	var out []string
+	walk = func(ns []Node) {
+		for _, n := range ns {
+			if l, ok := n.(*Loop); ok {
+				if !seen[l.Index] {
+					seen[l.Index] = true
+					out = append(out, l.Index)
+				}
+				walk(l.Body)
+			}
+		}
+	}
+	walk(p.Body)
+	sort.Strings(out)
+	return out
+}
+
+// L builds a chain of single-index loops around body, outermost index
+// first: L(body, "i", "n") = FOR i { FOR n { body } }.
+func L(body []Node, indices ...string) Node {
+	n := body
+	for i := len(indices) - 1; i >= 0; i-- {
+		n = []Node{&Loop{Index: indices[i], Body: n}}
+	}
+	return n[0]
+}
+
+// S builds an accumulation statement from spec strings: S("B[m,n]",
+// "C1[m,i]", "T[n,i]") is B[m,n] += C1[m,i]*T[n,i].
+func S(out string, factors ...string) *Stmt {
+	st := &Stmt{Out: mustRef(out)}
+	for _, f := range factors {
+		st.Factors = append(st.Factors, mustRef(f))
+	}
+	return st
+}
+
+func mustRef(s string) expr.Ref {
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		return expr.Ref{Name: strings.TrimSpace(s)}
+	}
+	if !strings.HasSuffix(s, "]") {
+		panic(fmt.Sprintf("loops: malformed ref %q", s))
+	}
+	name := strings.TrimSpace(s[:open])
+	body := strings.TrimSpace(s[open+1 : len(s)-1])
+	r := expr.Ref{Name: name}
+	if body != "" {
+		for _, part := range strings.Split(body, ",") {
+			r.Indices = append(r.Indices, strings.TrimSpace(part))
+		}
+	}
+	return r
+}

@@ -1,0 +1,348 @@
+package loops
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/tensor"
+)
+
+func TestTwoIndexUnfusedValidates(t *testing.T) {
+	p := TwoIndexUnfused(4, 5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Statements()); got != 2 {
+		t.Fatalf("statement count = %d, want 2", got)
+	}
+}
+
+func TestStatementPaths(t *testing.T) {
+	p := TwoIndexUnfused(4, 5)
+	sites := p.Statements()
+	want := [][]string{{"i", "n", "j"}, {"i", "n", "m"}}
+	for k, site := range sites {
+		if len(site.Path) != 3 {
+			t.Fatalf("site %d path length %d", k, len(site.Path))
+		}
+		for i, l := range site.Path {
+			if l.Index != want[k][i] {
+				t.Fatalf("site %d path[%d] = %q, want %q", k, i, l.Index, want[k][i])
+			}
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	ranges := map[string]int64{"i": 3, "j": 4}
+
+	// Undeclared array.
+	p := NewProgram("bad", ranges)
+	p.Body = []Node{L([]Node{S("X[i]", "Y[i]")}, "i")}
+	if err := p.Validate(); err == nil {
+		t.Error("undeclared array must fail validation")
+	}
+
+	// Rank mismatch.
+	p = NewProgram("bad", ranges)
+	p.DeclareArray("X", Output, "i", "j")
+	p.Body = []Node{L([]Node{&Stmt{Out: expr.Ref{Name: "X", Indices: []string{"i"}}}}, "i")}
+	if err := p.Validate(); err == nil {
+		t.Error("rank mismatch must fail validation")
+	}
+
+	// Index used outside its loop.
+	p = NewProgram("bad", ranges)
+	p.DeclareArray("X", Output, "i")
+	p.Body = []Node{L([]Node{S("X[i]")}, "j")}
+	if err := p.Validate(); err == nil {
+		t.Error("unbound index must fail validation")
+	}
+
+	// Loop index without range.
+	p = NewProgram("bad", ranges)
+	p.DeclareArray("X", Output, "i")
+	p.Body = []Node{L([]Node{S("X[i]")}, "i", "z")}
+	if err := p.Validate(); err == nil {
+		t.Error("loop without range must fail validation")
+	}
+
+	// Same index opened twice on a path.
+	p = NewProgram("bad", ranges)
+	p.DeclareArray("X", Output, "i")
+	p.Body = []Node{L([]Node{S("X[i]")}, "i", "i")}
+	if err := p.Validate(); err == nil {
+		t.Error("doubly-opened index must fail validation")
+	}
+
+	// Init of undeclared array.
+	p = NewProgram("bad", ranges)
+	p.Body = []Node{&Init{Array: "Z"}}
+	if err := p.Validate(); err == nil {
+		t.Error("init of undeclared array must fail validation")
+	}
+}
+
+func TestDeclareArrayPanics(t *testing.T) {
+	p := NewProgram("x", map[string]int64{"i": 2})
+	p.DeclareArray("A", Input, "i")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate declaration must panic")
+			}
+		}()
+		p.DeclareArray("A", Input, "i")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown range must panic")
+			}
+		}()
+		p.DeclareArray("B", Input, "zz")
+	}()
+}
+
+func TestSizeAndKinds(t *testing.T) {
+	p := TwoIndexUnfused(4, 5)
+	if got := p.Size("A"); got != 25 {
+		t.Fatalf("Size(A) = %d, want 25", got)
+	}
+	if got := p.Size("B"); got != 16 {
+		t.Fatalf("Size(B) = %d, want 16", got)
+	}
+	if got := p.ArraysOfKind(Input); len(got) != 3 {
+		t.Fatalf("inputs = %v", got)
+	}
+	if got := p.ArraysOfKind(Output); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("outputs = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := TwoIndexFused(4, 5)
+	q := p.Clone()
+	q.Arrays["T"].Indices = []string{"n", "i"}
+	if len(p.Arrays["T"].Indices) != 0 {
+		t.Fatal("clone shares array descriptors")
+	}
+	// Mutate a statement ref in the clone; original must not change.
+	for _, site := range q.Statements() {
+		site.Stmt.Out.Name = "ZZZ"
+	}
+	for _, site := range p.Statements() {
+		if site.Stmt.Out.Name == "ZZZ" {
+			t.Fatal("clone shares statement nodes")
+		}
+	}
+}
+
+func TestPrintFusedMatchesFig1Style(t *testing.T) {
+	p := TwoIndexFused(4, 5)
+	s := p.String()
+	for _, want := range []string{
+		"B[*,*] = 0",
+		"FOR i, n",
+		"T = 0",
+		"FOR j",
+		"T += C2[n,j] * A[i,j]",
+		"FOR m",
+		"B[m,n] += C1[m,i] * T",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("fused print missing %q:\n%s", want, s)
+		}
+	}
+	// The unfused T init must be gone.
+	if strings.Contains(s, "T[*,*] = 0") {
+		t.Fatalf("fused print still has whole-array T init:\n%s", s)
+	}
+}
+
+func TestParseTreePrint(t *testing.T) {
+	p := TwoIndexFused(3, 3)
+	tree := p.ParseTree()
+	for _, want := range []string{"root", "── i", "── n", "── j", "── m"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("parse tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestDeclarations(t *testing.T) {
+	p := TwoIndexFused(4, 5)
+	d := p.Declarations()
+	if !strings.Contains(d, "double T  // intermediate") {
+		t.Fatalf("declarations must show fused T as scalar:\n%s", d)
+	}
+	if !strings.Contains(d, "double B(m=4,n=4)  // output") {
+		t.Fatalf("declarations missing B:\n%s", d)
+	}
+}
+
+func twoIndexInputs(nmn, nij int64, seed int64) map[string]*tensor.Tensor {
+	c := expr.TwoIndexTransform(nmn, nij)
+	return expr.RandomInputs(c, seed)
+}
+
+func TestInterpretUnfusedMatchesEinsum(t *testing.T) {
+	nmn, nij := int64(4), int64(5)
+	inputs := twoIndexInputs(nmn, nij, 11)
+	got, err := Interpret(TwoIndexUnfused(nmn, nij), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := expr.EvalDirect(expr.TwoIndexTransform(nmn, nij), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got["B"], want); d > 1e-9 {
+		t.Fatalf("unfused interpretation differs from einsum by %g", d)
+	}
+}
+
+func TestFusionPreservesSemantics(t *testing.T) {
+	for _, sizes := range [][2]int64{{3, 4}, {5, 2}, {6, 6}} {
+		inputs := twoIndexInputs(sizes[0], sizes[1], sizes[0]*100+sizes[1])
+		unfused, err := Interpret(TwoIndexUnfused(sizes[0], sizes[1]), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := Interpret(TwoIndexFused(sizes[0], sizes[1]), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(unfused["B"], fused["B"]); d > 1e-9 {
+			t.Fatalf("sizes %v: fusion changed results by %g", sizes, d)
+		}
+	}
+}
+
+func TestFuseContractsStorage(t *testing.T) {
+	p := TwoIndexFused(4, 5)
+	arr := p.Arrays["T"]
+	if arr.Rank() != 0 {
+		t.Fatalf("fused T rank = %d, want 0 (scalar)", arr.Rank())
+	}
+	if len(arr.OrigIndices) != 2 {
+		t.Fatalf("fused T must keep original dims, got %v", arr.OrigIndices)
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	p := TwoIndexUnfused(3, 3)
+	if _, err := Fuse(p, "nope"); err == nil {
+		t.Error("fusing unknown array must error")
+	}
+	if _, err := Fuse(p, "A"); err == nil {
+		t.Error("fusing an input must error")
+	}
+	fused := TwoIndexFused(3, 3)
+	if _, err := Fuse(fused, "T"); err == nil {
+		t.Error("re-fusing an already fused intermediate must error")
+	}
+}
+
+func TestFuseDoesNotModifyOriginal(t *testing.T) {
+	p := TwoIndexUnfused(3, 3)
+	before := p.String()
+	if _, err := Fuse(p, "T"); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != before {
+		t.Fatal("Fuse modified its input program")
+	}
+}
+
+func TestFourIndexAbstractMatchesReference(t *testing.T) {
+	n, v := int64(5), int64(4)
+	c := expr.FourIndexTransform(n, v)
+	inputs := expr.RandomInputs(c, 13)
+	got, err := Interpret(FourIndexAbstract(n, v), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := expr.EvalDirect(c, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got["B"], want); d > 1e-8 {
+		t.Fatalf("four-index abstract program differs from einsum by %g", d)
+	}
+}
+
+func TestFourIndexAbstractStructureMatchesFig5(t *testing.T) {
+	p := FourIndexAbstract(10, 8)
+	s := p.String()
+	for _, want := range []string{
+		"T1[*,*,*,*] = 0",
+		"FOR a, p, q, r, s",
+		"T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]",
+		"B[*,*,*,*] = 0",
+		"FOR a, b",
+		"T3[*,*] = 0",
+		"FOR r, s",
+		"T2 = 0",
+		"T2 += C3[q,b] * T1[a,q,r,s]",
+		"T3[c,s] += C2[r,c] * T2",
+		"FOR c, d, s",
+		"B[a,b,c,d] += C1[s,d] * T3[c,s]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Fig 5 print missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFromPlanMatchesPlanEval(t *testing.T) {
+	c := expr.FourIndexTransform(5, 4)
+	plan := expr.MustMinimize(c, "T")
+	prog, err := FromPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := expr.RandomInputs(c, 21)
+	got, err := Interpret(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := expr.Eval(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got["B"], want); d > 1e-8 {
+		t.Fatalf("FromPlan program differs from plan eval by %g", d)
+	}
+}
+
+func TestInterpretMissingInput(t *testing.T) {
+	p := TwoIndexUnfused(3, 3)
+	if _, err := Interpret(p, nil); err == nil {
+		t.Fatal("missing inputs must error")
+	}
+}
+
+func TestInterpretBadInputShape(t *testing.T) {
+	p := TwoIndexUnfused(3, 3)
+	inputs := twoIndexInputs(3, 3, 1)
+	inputs["A"] = tensor.New(2, 2)
+	if _, err := Interpret(p, inputs); err == nil {
+		t.Fatal("wrong input extent must error")
+	}
+}
+
+func TestSortedIndices(t *testing.T) {
+	p := FourIndexAbstract(4, 3)
+	got := p.SortedIndices()
+	want := []string{"a", "b", "c", "d", "p", "q", "r", "s"}
+	if len(got) != len(want) {
+		t.Fatalf("SortedIndices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedIndices = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package loops
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// String renders the program in the paper's abstract-code notation with
+// perfect loop chains coalesced ("FOR i, n, j") and whole-array inits
+// printed as "T[*,*] = 0".
+func (p *Program) String() string {
+	var b strings.Builder
+	writeNodes(&b, p, p.Body, 0)
+	return b.String()
+}
+
+func writeNodes(b *strings.Builder, p *Program, ns []Node, depth int) {
+	for _, n := range ns {
+		writeNode(b, p, n, depth)
+	}
+}
+
+func writeNode(b *strings.Builder, p *Program, n Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch n := n.(type) {
+	case *Loop:
+		// Coalesce a perfect chain of loops.
+		chain := []string{n.Index}
+		body := n.Body
+		for len(body) == 1 {
+			inner, ok := body[0].(*Loop)
+			if !ok {
+				break
+			}
+			chain = append(chain, inner.Index)
+			body = inner.Body
+		}
+		fmt.Fprintf(b, "%sFOR %s\n", ind, strings.Join(chain, ", "))
+		writeNodes(b, p, body, depth+1)
+		fmt.Fprintf(b, "%sEND FOR %s\n", ind, strings.Join(reverse(chain), ", "))
+	case *Stmt:
+		fmt.Fprintf(b, "%s%s += %s\n", ind, refString(n.Out), factorString(n.Factors))
+	case *Init:
+		a := p.Arrays[n.Array]
+		stars := make([]string, a.Rank())
+		for i := range stars {
+			stars[i] = "*"
+		}
+		if a.Rank() == 0 {
+			fmt.Fprintf(b, "%s%s = 0\n", ind, n.Array)
+		} else {
+			fmt.Fprintf(b, "%s%s[%s] = 0\n", ind, n.Array, strings.Join(stars, ","))
+		}
+	}
+}
+
+func refString(r expr.Ref) string {
+	if len(r.Indices) == 0 {
+		return r.Name
+	}
+	return r.String()
+}
+
+func factorString(fs []expr.Ref) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = refString(f)
+	}
+	return strings.Join(parts, " * ")
+}
+
+func reverse(xs []string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}
+
+// ParseTree renders the loop tree in the paper's parse-tree style (Fig. 2):
+// each loop is a labelled internal node, statements and inits are leaves.
+func (p *Program) ParseTree() string {
+	var b strings.Builder
+	b.WriteString("root\n")
+	writeTree(&b, p, p.Body, "")
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, p *Program, ns []Node, prefix string) {
+	for i, n := range ns {
+		last := i == len(ns)-1
+		branch, cont := "├── ", "│   "
+		if last {
+			branch, cont = "└── ", "    "
+		}
+		switch n := n.(type) {
+		case *Loop:
+			fmt.Fprintf(b, "%s%s%s\n", prefix, branch, n.Index)
+			writeTree(b, p, n.Body, prefix+cont)
+		case *Stmt:
+			fmt.Fprintf(b, "%s%s%s += %s\n", prefix, branch, refString(n.Out), factorString(n.Factors))
+		case *Init:
+			fmt.Fprintf(b, "%s%s%s = 0\n", prefix, branch, n.Array)
+		}
+	}
+}
+
+// Declarations renders the array declarations of the program, one per
+// line, e.g. "double T(V,N)  // intermediate".
+func (p *Program) Declarations() string {
+	var b strings.Builder
+	for _, name := range p.Order {
+		a := p.Arrays[name]
+		if a.Rank() == 0 {
+			fmt.Fprintf(&b, "double %s  // %s\n", name, a.Kind)
+			continue
+		}
+		dims := make([]string, a.Rank())
+		for i, x := range a.Indices {
+			dims[i] = fmt.Sprintf("%s=%d", x, p.Ranges[x])
+		}
+		fmt.Fprintf(&b, "double %s(%s)  // %s\n", name, strings.Join(dims, ","), a.Kind)
+	}
+	return b.String()
+}

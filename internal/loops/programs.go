@@ -1,0 +1,139 @@
+package loops
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// FromPlan lowers an operation-minimized contraction plan to an unfused
+// abstract program: one init and one loop nest per binary contraction,
+// with loops ordered result-indices-then-summation-indices.
+func FromPlan(p *expr.Plan) (*Program, error) {
+	c := p.Contraction
+	prog := NewProgram(c.Out.Name+"-transform", c.Ranges)
+	for _, op := range c.Operands {
+		if _, ok := prog.Arrays[op.Name]; !ok {
+			prog.DeclareArray(op.Name, Input, op.Indices...)
+		}
+	}
+	for _, ref := range p.Intermediates() {
+		prog.DeclareArray(ref.Name, Intermediate, ref.Indices...)
+	}
+	prog.DeclareArray(c.Out.Name, Output, c.Out.Indices...)
+
+	for _, st := range p.Steps {
+		prog.Body = append(prog.Body, &Init{Array: st.Result.Name})
+		var loopIdx []string
+		loopIdx = append(loopIdx, st.Result.Indices...)
+		loopIdx = append(loopIdx, st.SumIndices...)
+		stmt := &Stmt{Out: st.Result, Factors: []expr.Ref{st.Left}}
+		if !st.IsUnary() {
+			stmt.Factors = append(stmt.Factors, st.Right)
+		}
+		prog.Body = append(prog.Body, L([]Node{stmt}, loopIdx...))
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("loops: FromPlan produced invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+// TwoIndexUnfused builds the unfused two-index transform of Fig. 1(a):
+//
+//	T[*,*] = 0
+//	B[*,*] = 0
+//	FOR i, n, j:  T[n,i] += C2[n,j] * A[i,j]
+//	FOR i, n, m:  B[m,n] += C1[m,i] * T[n,i]
+//
+// with N_m = N_n = nmn and N_i = N_j = nij.
+func TwoIndexUnfused(nmn, nij int64) *Program {
+	p := NewProgram("two-index-transform", expr.TwoIndexRanges(nmn, nij))
+	p.DeclareArray("A", Input, "i", "j")
+	p.DeclareArray("C1", Input, "m", "i")
+	p.DeclareArray("C2", Input, "n", "j")
+	p.DeclareArray("T", Intermediate, "n", "i")
+	p.DeclareArray("B", Output, "m", "n")
+	p.Body = []Node{
+		&Init{Array: "T"},
+		&Init{Array: "B"},
+		L([]Node{S("T[n,i]", "C2[n,j]", "A[i,j]")}, "i", "n", "j"),
+		L([]Node{S("B[m,n]", "C1[m,i]", "T[n,i]")}, "i", "n", "m"),
+	}
+	mustValid(p)
+	return p
+}
+
+// TwoIndexFused builds the fused two-index transform of Fig. 1(c), where
+// the common loops i and n are fused and T is contracted to a scalar:
+//
+//	B[*,*] = 0
+//	FOR i, n
+//	    T = 0
+//	    FOR j:  T += C2[n,j] * A[i,j]
+//	    FOR m:  B[m,n] += C1[m,i] * T
+//
+// This is the abstract input to the out-of-core synthesis of Figs. 3 and 4.
+func TwoIndexFused(nmn, nij int64) *Program {
+	fused, err := Fuse(TwoIndexUnfused(nmn, nij), "T")
+	if err != nil {
+		panic(err)
+	}
+	fused.Name = "two-index-transform-fused"
+	return fused
+}
+
+// FourIndexAbstract builds the abstract code for the AO-to-MO four-index
+// transform exactly as given to the synthesis algorithms in the paper's
+// experiments (Fig. 5):
+//
+//	T1[*,*,*,*] = 0
+//	FOR a, p, q, r, s:  T1[a,q,r,s] += C4[p,a] * A[p,q,r,s]
+//	B[*,*,*,*] = 0
+//	FOR a, b
+//	    T3[*,*] = 0
+//	    FOR r, s
+//	        T2 = 0
+//	        FOR q:        T2       += C3[q,b] * T1[a,q,r,s]
+//	        FOR c:        T3[c,s]  += C2[r,c] * T2
+//	    FOR c, d, s:      B[a,b,c,d] += C1[s,d] * T3[c,s]
+//
+// T2 is fused to a scalar (original dims a,b,r,s) and T3 is fused down to
+// (c,s) (original dims a,b,c,s). p,q,r,s range over n; a,b,c,d over v.
+func FourIndexAbstract(n, v int64) *Program {
+	p := NewProgram("four-index-transform", expr.FourIndexRanges(n, v))
+	p.DeclareArray("A", Input, "p", "q", "r", "s")
+	p.DeclareArray("C1", Input, "s", "d")
+	p.DeclareArray("C2", Input, "r", "c")
+	p.DeclareArray("C3", Input, "q", "b")
+	p.DeclareArray("C4", Input, "p", "a")
+	p.DeclareArray("T1", Intermediate, "a", "q", "r", "s")
+	p.DeclareArray("T2", Intermediate, "a", "b", "r", "s")
+	p.DeclareArray("T3", Intermediate, "a", "b", "c", "s")
+	p.DeclareArray("B", Output, "a", "b", "c", "d")
+	p.FuseDims("T2", "a", "b", "r", "s")
+	p.FuseDims("T3", "a", "b")
+
+	p.Body = []Node{
+		&Init{Array: "T1"},
+		L([]Node{S("T1[a,q,r,s]", "C4[p,a]", "A[p,q,r,s]")}, "a", "p", "q", "r", "s"),
+		&Init{Array: "B"},
+		L([]Node{
+			&Init{Array: "T3"},
+			L([]Node{
+				&Init{Array: "T2"},
+				L([]Node{S("T2", "C3[q,b]", "T1[a,q,r,s]")}, "q"),
+				L([]Node{S("T3[c,s]", "C2[r,c]", "T2")}, "c"),
+			}, "r", "s"),
+			L([]Node{S("B[a,b,c,d]", "C1[s,d]", "T3[c,s]")}, "c", "d", "s"),
+		}, "a", "b"),
+	}
+	mustValid(p)
+	return p
+}
+
+func mustValid(p *Program) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+}

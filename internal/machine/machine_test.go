@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOSCItanium2IsValid(t *testing.T) {
+	c := OSCItanium2()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemoryLimit != 2*GB {
+		t.Fatalf("memory limit = %d, want 2GB (the paper generates for half of the 4GB node)", c.MemoryLimit)
+	}
+	if c.Disk.MinReadBlock != 2*MB || c.Disk.MinWriteBlock != 1*MB {
+		t.Fatalf("min blocks = %d/%d, want 2MB/1MB per Table 1 discussion", c.Disk.MinReadBlock, c.Disk.MinWriteBlock)
+	}
+	if c.ElemSize != 8 {
+		t.Fatalf("elem size = %d, want 8 (double precision)", c.ElemSize)
+	}
+}
+
+func TestDiskTimes(t *testing.T) {
+	d := Disk{SeekTime: 0.01, ReadBandwidth: 100, WriteBandwidth: 50}
+	if got := d.ReadTime(1000, 2); math.Abs(got-(0.02+10)) > 1e-12 {
+		t.Fatalf("ReadTime = %v, want 10.02", got)
+	}
+	if got := d.WriteTime(1000, 1); math.Abs(got-(0.01+20)) > 1e-12 {
+		t.Fatalf("WriteTime = %v, want 20.01", got)
+	}
+}
+
+func TestMinBlockMakesSeekNegligible(t *testing.T) {
+	// The minimum block sizes exist so that transfer time dominates seek
+	// time; check the invariant holds for the paper configuration.
+	d := OSCItanium2().Disk
+	readTransfer := float64(d.MinReadBlock) / d.ReadBandwidth
+	if readTransfer < 2*d.SeekTime {
+		t.Fatalf("2MB read transfer %.4fs does not dominate seek %.4fs", readTransfer, d.SeekTime)
+	}
+	writeTransfer := float64(d.MinWriteBlock) / d.WriteBandwidth
+	if writeTransfer < 2*d.SeekTime {
+		t.Fatalf("1MB write transfer %.4fs does not dominate seek %.4fs", writeTransfer, d.SeekTime)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := OSCItanium2()
+	cases := []func(*Config){
+		func(c *Config) { c.MemoryLimit = 0 },
+		func(c *Config) { c.ElemSize = -1 },
+		func(c *Config) { c.Disk.ReadBandwidth = 0 },
+		func(c *Config) { c.Disk.WriteBandwidth = -5 },
+		func(c *Config) { c.Disk.SeekTime = -1 },
+		func(c *Config) { c.Disk.MinReadBlock = -1 },
+	}
+	for i, mutate := range cases {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed validation", i)
+		}
+	}
+}
+
+func TestSmallConfig(t *testing.T) {
+	c := Small(4 * MB)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemoryLimit != 4*MB {
+		t.Fatalf("memory limit = %d", c.MemoryLimit)
+	}
+	if c.Disk.MinReadBlock != 0 {
+		t.Fatal("Small config should not constrain block sizes")
+	}
+}

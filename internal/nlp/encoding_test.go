@@ -1,0 +1,135 @@
+package nlp
+
+import (
+	"testing"
+
+	"repro/internal/dcs"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/placement"
+	"repro/internal/tiling"
+)
+
+func buildEncoded(t *testing.T, enc Encoding) *Problem {
+	t.Helper()
+	prog := loops.TwoIndexFused(35000, 40000)
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.OSCItanium2()
+	cfg.MemoryLimit = 1 * machine.GB
+	m, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildEncoded(m, enc)
+}
+
+func TestOneHotLayout(t *testing.T) {
+	bin := buildEncoded(t, BinaryEncoding)
+	oh := buildEncoded(t, OneHotEncoding)
+	// One-hot uses M bits per multi-candidate choice, so it is at least as
+	// wide as binary.
+	if oh.NumLambda < bin.NumLambda {
+		t.Fatalf("one-hot λ count %d below binary %d", oh.NumLambda, bin.NumLambda)
+	}
+	for _, ch := range oh.Choices {
+		if ch.M > 1 && ch.Bits != ch.M {
+			t.Fatalf("one-hot choice %s: bits %d != M %d", ch.Name, ch.Bits, ch.M)
+		}
+	}
+}
+
+func TestOneHotEncodeDecodeRoundTrip(t *testing.T) {
+	oh := buildEncoded(t, OneHotEncoding)
+	tiles := map[string]int64{"i": 100, "j": 100, "m": 100, "n": 100}
+	for _, sel := range []map[string]int{
+		{"A": 0, "B": 1, "T": 1},
+		{"A": 1, "C1": 1, "C2": 0},
+	} {
+		x := oh.Encode(tiles, sel)
+		got := oh.Selected(x)
+		for ci, ch := range oh.Choices {
+			want := sel[ch.Name]
+			if got[ci] != want {
+				t.Fatalf("choice %s: selected %d, want %d", ch.Name, got[ci], want)
+			}
+		}
+		// Encoded vectors are valid one-hot: no constraint violation.
+		for i, v := range oh.Violations(x)[1:] {
+			if v > 0 && oh.Choices[i].M > 1 {
+				// only the block-size part may be violated at these tiles;
+				// recompute without one-hot to compare
+				bin := buildEncoded(t, BinaryEncoding)
+				bx := bin.Encode(tiles, sel)
+				if bin.Violations(bx)[1+i] != v {
+					t.Fatalf("one-hot penalty leaked into encoded point: choice %d, v=%g", i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOneHotInvalidPatternsPenalized(t *testing.T) {
+	oh := buildEncoded(t, OneHotEncoding)
+	tiles := map[string]int64{"i": 4000, "j": 4000, "m": 4000, "n": 4000}
+	x := oh.Encode(tiles, nil)
+	// Zero out all λ bits of the first multi-candidate choice → popcount 0.
+	var ch *ChoiceEnc
+	for i := range oh.Choices {
+		if oh.Choices[i].Bits > 1 {
+			ch = &oh.Choices[i]
+			break
+		}
+	}
+	if ch == nil {
+		t.Skip("no multi-bit choice")
+	}
+	for b := 0; b < ch.Bits; b++ {
+		x[len(oh.TileVars)+ch.BitOffset+b] = 0
+	}
+	v := oh.Violations(x)
+	found := false
+	for _, vi := range v[1:] {
+		if vi >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("popcount-0 pattern not penalized")
+	}
+	// Two bits set → also penalized.
+	x[len(oh.TileVars)+ch.BitOffset] = 1
+	x[len(oh.TileVars)+ch.BitOffset+1] = 1
+	v = oh.Violations(x)
+	found = false
+	for _, vi := range v[1:] {
+		if vi >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("popcount-2 pattern not penalized")
+	}
+}
+
+func TestSolveUnderBothEncodings(t *testing.T) {
+	// Both encodings must reach feasible solutions of comparable quality.
+	results := map[Encoding]float64{}
+	for _, enc := range []Encoding{BinaryEncoding, OneHotEncoding} {
+		p := buildEncoded(t, enc)
+		res, err := dcs.Solve(p, dcs.Options{Seed: 3, MaxEvals: 120000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("encoding %d: infeasible", enc)
+		}
+		results[enc] = res.Objective
+	}
+	ratio := results[OneHotEncoding] / results[BinaryEncoding]
+	if ratio > 1.5 || ratio < 0.67 {
+		t.Fatalf("encodings diverge: binary %.1f vs one-hot %.1f", results[BinaryEncoding], results[OneHotEncoding])
+	}
+}

@@ -1,0 +1,487 @@
+// Package nlp encodes a placement model as the discrete nonlinear
+// constrained minimization problem of Sec. 4.2: integer tile-size
+// variables T_x ∈ [1, N_x], binary placement variables λ_k (⌈log2 m⌉ bits
+// per array with m candidate placements), an objective equal to the
+// modelled disk I/O time, and constraints for the memory limit and the
+// minimum I/O block sizes. It can also emit the model in AMPL, the input
+// format the paper fed to the DCS solver.
+package nlp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dcs"
+	"repro/internal/placement"
+)
+
+// Encoding selects how λ bits encode candidate choices.
+type Encoding int
+
+const (
+	// BinaryEncoding uses ⌈log2 M⌉ bits per choice (the paper's
+	// formulation).
+	BinaryEncoding Encoding = iota
+	// OneHotEncoding uses M bits per choice with an exactly-one-set
+	// constraint; the ablation alternative.
+	OneHotEncoding
+)
+
+// Problem is the compiled optimization problem. The decision vector x has
+// len(TileVars) integer entries (tile sizes, in TileVars order) followed
+// by NumLambda binary entries (0/1).
+type Problem struct {
+	Model    *placement.Model
+	TileVars []string
+	// Ranges[i] is the full range of TileVars[i] (its upper bound).
+	Ranges []int64
+	// ChoiceEnc describes the λ encoding of each array choice.
+	Choices   []ChoiceEnc
+	NumLambda int
+	// Enc is the λ encoding in use.
+	Enc Encoding
+
+	tileIdx map[string]int
+	cands   [][]compiledCandidate
+}
+
+// ChoiceEnc is the binary encoding of one array choice: Bits λ variables
+// starting at BitOffset select among M candidates (codes ≥ M select the
+// last candidate so the mapping is total).
+type ChoiceEnc struct {
+	Name      string
+	BitOffset int
+	Bits      int
+	M         int
+}
+
+// compiledTerm is a placement.Term specialized for fast evaluation against
+// the decision vector.
+type compiledTerm struct {
+	coeff   float64 // includes the product of all full-range factors
+	tileIdx []int   // multiply by x[i]
+	tripIdx []int   // multiply by ceil(range/x[i])
+	tripN   []int64
+}
+
+func (t compiledTerm) eval(x []int64) float64 {
+	v := t.coeff
+	for _, i := range t.tileIdx {
+		v *= float64(x[i])
+	}
+	for j, i := range t.tripIdx {
+		v *= float64((t.tripN[j] + x[i] - 1) / x[i])
+	}
+	return v
+}
+
+type compiledBlock struct {
+	buf      compiledTerm
+	minBytes float64
+}
+
+type compiledCandidate struct {
+	readBytes  []compiledTerm
+	writeBytes []compiledTerm
+	readOps    []compiledTerm
+	writeOps   []compiledTerm
+	mem        []compiledTerm
+	blocks     []compiledBlock
+}
+
+// Build compiles a placement model into an optimization problem with the
+// paper's binary λ encoding.
+func Build(m *placement.Model) *Problem { return BuildEncoded(m, BinaryEncoding) }
+
+// BuildEncoded compiles a placement model with an explicit λ encoding.
+func BuildEncoded(m *placement.Model, enc Encoding) *Problem {
+	p := &Problem{
+		Model:    m,
+		TileVars: append([]string(nil), m.TileVars...),
+		tileIdx:  map[string]int{},
+		Enc:      enc,
+	}
+	for i, x := range p.TileVars {
+		p.tileIdx[x] = i
+		p.Ranges = append(p.Ranges, m.Prog.Ranges[x])
+	}
+	off := 0
+	for _, ch := range m.Choices {
+		bits := bitsFor(len(ch.Candidates))
+		if enc == OneHotEncoding && len(ch.Candidates) > 1 {
+			bits = len(ch.Candidates)
+		}
+		p.Choices = append(p.Choices, ChoiceEnc{Name: ch.Name, BitOffset: off, Bits: bits, M: len(ch.Candidates)})
+		off += bits
+
+		var cc []compiledCandidate
+		for i := range ch.Candidates {
+			c := &ch.Candidates[i]
+			var k compiledCandidate
+			for _, t := range c.ReadBytes() {
+				k.readBytes = append(k.readBytes, p.compile(t))
+			}
+			for _, t := range c.WriteBytes() {
+				k.writeBytes = append(k.writeBytes, p.compile(t))
+			}
+			for _, t := range c.ReadOps() {
+				k.readOps = append(k.readOps, p.compile(t))
+			}
+			for _, t := range c.WriteOps() {
+				k.writeOps = append(k.writeOps, p.compile(t))
+			}
+			for _, t := range c.MemBytes() {
+				k.mem = append(k.mem, p.compile(t))
+			}
+			// The minimum block size amortizes seek time over block
+			// accesses; an array smaller than the minimum block is simply
+			// read or written whole, so the requirement clamps to the
+			// array's total size.
+			arrBytes := float64(m.Cfg.ElemSize)
+			for _, idx := range m.Prog.Arrays[c.Array].OrigIndices {
+				arrBytes *= float64(m.Prog.Ranges[idx])
+			}
+			for _, b := range c.BlockConstraints() {
+				minBytes := float64(m.Cfg.Disk.MinWriteBlock)
+				if b.IsRead {
+					minBytes = float64(m.Cfg.Disk.MinReadBlock)
+				}
+				if minBytes > arrBytes {
+					minBytes = arrBytes
+				}
+				if minBytes > 0 {
+					k.blocks = append(k.blocks, compiledBlock{buf: p.compile(b.Buf), minBytes: minBytes})
+				}
+			}
+			cc = append(cc, k)
+		}
+		p.cands = append(p.cands, cc)
+	}
+	p.NumLambda = off
+	return p
+}
+
+func bitsFor(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	b := 0
+	for (1 << b) < m {
+		b++
+	}
+	return b
+}
+
+func (p *Problem) compile(t placement.Term) compiledTerm {
+	ct := compiledTerm{coeff: t.Coeff}
+	for _, x := range t.Fulls {
+		ct.coeff *= float64(p.Model.Prog.Ranges[x])
+	}
+	for _, x := range t.Tiles {
+		ct.tileIdx = append(ct.tileIdx, p.tileIdx[x])
+	}
+	for _, x := range t.Trips {
+		ct.tripIdx = append(ct.tripIdx, p.tileIdx[x])
+		ct.tripN = append(ct.tripN, p.Model.Prog.Ranges[x])
+	}
+	return ct
+}
+
+// Dim returns the length of the decision vector.
+func (p *Problem) Dim() int { return len(p.TileVars) + p.NumLambda }
+
+// Bounds returns the inclusive bounds of variable i.
+func (p *Problem) Bounds(i int) (lo, hi int64) {
+	if i < len(p.TileVars) {
+		return 1, p.Ranges[i]
+	}
+	return 0, 1
+}
+
+// IsBinary reports whether variable i is a λ placement bit.
+func (p *Problem) IsBinary(i int) bool { return i >= len(p.TileVars) }
+
+// Selected returns the candidate index chosen by x for each choice. Under
+// one-hot encoding the first set bit wins (candidate 0 if none is set);
+// under binary encoding codes ≥ M clamp to the last candidate.
+func (p *Problem) Selected(x []int64) []int {
+	out := make([]int, len(p.Choices))
+	for i, ch := range p.Choices {
+		if p.Enc == OneHotEncoding {
+			code := 0
+			for b := 0; b < ch.Bits; b++ {
+				if x[len(p.TileVars)+ch.BitOffset+b] != 0 {
+					code = b
+					break
+				}
+			}
+			out[i] = code
+			continue
+		}
+		code := 0
+		for b := 0; b < ch.Bits; b++ {
+			if x[len(p.TileVars)+ch.BitOffset+b] != 0 {
+				code |= 1 << b
+			}
+		}
+		if code >= ch.M {
+			code = ch.M - 1
+		}
+		out[i] = code
+	}
+	return out
+}
+
+// Objective returns the modelled disk I/O time (seconds) of the selection
+// and tile sizes in x: seek time per operation plus transfer time at the
+// read/write bandwidths.
+func (p *Problem) Objective(x []int64) float64 {
+	d := p.Model.Cfg.Disk
+	total := 0.0
+	for ci, sel := range p.Selected(x) {
+		k := &p.cands[ci][sel]
+		for _, t := range k.readBytes {
+			total += t.eval(x) / d.ReadBandwidth
+		}
+		for _, t := range k.writeBytes {
+			total += t.eval(x) / d.WriteBandwidth
+		}
+		for _, t := range k.readOps {
+			total += t.eval(x) * d.SeekTime
+		}
+		for _, t := range k.writeOps {
+			total += t.eval(x) * d.SeekTime
+		}
+	}
+	return total
+}
+
+// MemoryUsage returns the total bytes of all selected buffers.
+func (p *Problem) MemoryUsage(x []int64) float64 {
+	total := 0.0
+	for ci, sel := range p.Selected(x) {
+		for _, t := range p.cands[ci][sel].mem {
+			total += t.eval(x)
+		}
+	}
+	return total
+}
+
+// Violations returns the constraint violations of x, each ≥ 0 with 0
+// meaning satisfied: [0] the memory limit (relative overrun), then one
+// entry per choice aggregating its minimum-block-size violations
+// (relative shortfall).
+func (p *Problem) Violations(x []int64) []float64 {
+	out := make([]float64, 1+len(p.Choices))
+	limit := float64(p.Model.Cfg.MemoryLimit)
+	if over := p.MemoryUsage(x) - limit; over > 0 {
+		out[0] = over / limit
+	}
+	for ci, sel := range p.Selected(x) {
+		v := 0.0
+		for _, b := range p.cands[ci][sel].blocks {
+			if short := b.minBytes - b.buf.eval(x); short > 0 {
+				v += short / b.minBytes
+			}
+		}
+		if p.Enc == OneHotEncoding && p.Choices[ci].Bits > 0 {
+			// Exactly one λ bit must be set per choice.
+			set := 0
+			for b := 0; b < p.Choices[ci].Bits; b++ {
+				if x[len(p.TileVars)+p.Choices[ci].BitOffset+b] != 0 {
+					set++
+				}
+			}
+			if set != 1 {
+				v += float64(abs(set - 1))
+			}
+		}
+		out[1+ci] = v
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies all constraints.
+func (p *Problem) Feasible(x []int64) bool {
+	for _, v := range p.Violations(x) {
+		if v > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Groups exposes the λ bit groups to the solver (dcs.GroupedProblem): each
+// choice's bits form one categorical group with M valid codes, letting the
+// solver reselect a placement in a single move.
+func (p *Problem) Groups() []dcs.Group {
+	var out []dcs.Group
+	for _, ch := range p.Choices {
+		if ch.Bits == 0 {
+			continue
+		}
+		out = append(out, dcs.Group{
+			Offset: len(p.TileVars) + ch.BitOffset,
+			Len:    ch.Bits,
+			Codes:  int64(ch.M),
+			OneHot: p.Enc == OneHotEncoding,
+		})
+	}
+	return out
+}
+
+// NumChoices returns the number of array choices.
+func (p *Problem) NumChoices() int { return len(p.Choices) }
+
+// NumCandidates returns the number of candidates of choice ci.
+func (p *Problem) NumCandidates(ci int) int { return len(p.cands[ci]) }
+
+// CandidateCost returns the modelled I/O time (seconds) of candidate k of
+// choice ci at the tile sizes in x (the λ portion of x is ignored).
+func (p *Problem) CandidateCost(ci, k int, x []int64) float64 {
+	d := p.Model.Cfg.Disk
+	c := &p.cands[ci][k]
+	total := 0.0
+	for _, t := range c.readBytes {
+		total += t.eval(x) / d.ReadBandwidth
+	}
+	for _, t := range c.writeBytes {
+		total += t.eval(x) / d.WriteBandwidth
+	}
+	for _, t := range c.readOps {
+		total += t.eval(x) * d.SeekTime
+	}
+	for _, t := range c.writeOps {
+		total += t.eval(x) * d.SeekTime
+	}
+	return total
+}
+
+// CandidateMemory returns the buffer bytes candidate k of choice ci
+// allocates at the tile sizes in x.
+func (p *Problem) CandidateMemory(ci, k int, x []int64) float64 {
+	total := 0.0
+	for _, t := range p.cands[ci][k].mem {
+		total += t.eval(x)
+	}
+	return total
+}
+
+// CandidateBlocksOK reports whether candidate k of choice ci satisfies the
+// minimum I/O block sizes at the tile sizes in x.
+func (p *Problem) CandidateBlocksOK(ci, k int, x []int64) bool {
+	for _, b := range p.cands[ci][k].blocks {
+		if b.buf.eval(x) < b.minBytes {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectionObjective sums the candidate costs of an explicit selection.
+func (p *Problem) SelectionObjective(x []int64, sel []int) float64 {
+	total := 0.0
+	for ci, k := range sel {
+		total += p.CandidateCost(ci, k, x)
+	}
+	return total
+}
+
+// TileVector builds a decision-vector prefix holding the given tile sizes
+// (λ bits zero); usable with the per-candidate evaluators.
+func (p *Problem) TileVector(tiles map[string]int64) []int64 {
+	return p.Encode(tiles, nil)
+}
+
+// Assignment unpacks a decision vector into named tile sizes and the
+// selected candidate per choice.
+type Assignment struct {
+	Tiles    map[string]int64
+	Selected map[string]*placement.Candidate
+	// Objective is the modelled I/O time in seconds; MemoryBytes the total
+	// buffer memory.
+	Objective   float64
+	MemoryBytes float64
+}
+
+// Decode unpacks x.
+func (p *Problem) Decode(x []int64) Assignment {
+	a := Assignment{
+		Tiles:       map[string]int64{},
+		Selected:    map[string]*placement.Candidate{},
+		Objective:   p.Objective(x),
+		MemoryBytes: p.MemoryUsage(x),
+	}
+	for i, v := range p.TileVars {
+		a.Tiles[v] = x[i]
+	}
+	for ci, sel := range p.Selected(x) {
+		a.Selected[p.Model.Choices[ci].Name] = &p.Model.Choices[ci].Candidates[sel]
+	}
+	return a
+}
+
+// Encode builds a decision vector from named tile sizes and candidate
+// selections (by index per choice name); missing tiles default to 1,
+// missing selections to candidate 0.
+func (p *Problem) Encode(tiles map[string]int64, selected map[string]int) []int64 {
+	x := make([]int64, p.Dim())
+	for i, v := range p.TileVars {
+		t := tiles[v]
+		if t < 1 {
+			t = 1
+		}
+		if t > p.Ranges[i] {
+			t = p.Ranges[i]
+		}
+		x[i] = t
+	}
+	for _, ch := range p.Choices {
+		code := selected[ch.Name]
+		if code < 0 {
+			code = 0
+		}
+		if code >= ch.M {
+			code = ch.M - 1
+		}
+		for b := 0; b < ch.Bits; b++ {
+			set := code&(1<<b) != 0
+			if p.Enc == OneHotEncoding {
+				set = b == code
+			}
+			if set {
+				x[len(p.TileVars)+ch.BitOffset+b] = 1
+			}
+		}
+	}
+	return x
+}
+
+// Describe renders an assignment for humans, in deterministic order.
+func (a Assignment) Describe() string {
+	s := fmt.Sprintf("objective %.3f s, memory %.3g bytes\n", a.Objective, a.MemoryBytes)
+	names := make([]string, 0, len(a.Selected))
+	for name := range a.Selected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s += fmt.Sprintf("  %s: %s\n", name, a.Selected[name].Label)
+	}
+	tv := make([]string, 0, len(a.Tiles))
+	for v := range a.Tiles {
+		tv = append(tv, v)
+	}
+	sort.Strings(tv)
+	for _, v := range tv {
+		s += fmt.Sprintf("  T%s = %d\n", v, a.Tiles[v])
+	}
+	return s
+}

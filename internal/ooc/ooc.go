@@ -1,0 +1,127 @@
+// Package ooc is the user-facing application layer of the synthesis
+// system: out-of-core tensor operations over disk-resident arrays. Given
+// arrays that already live on a disk backend, Contract synthesizes and
+// executes optimized out-of-core code for an einsum-style contraction —
+// index ranges are inferred from the arrays themselves — and MatMul is
+// the matrix-product convenience wrapper. This is the interface a
+// downstream user adopts without touching the compiler pipeline.
+package ooc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+// Options tune a contraction run.
+type Options struct {
+	// Machine models the node; zero value uses machine.OSCItanium2().
+	Machine machine.Config
+	// Seed for the DCS solver (deterministic synthesis).
+	Seed int64
+	// MaxEvals bounds the solver (0: default).
+	MaxEvals int
+	// Workers parallelizes in-memory compute.
+	Workers int
+	// KeepUnfused disables the greedy fusion pass.
+	KeepUnfused bool
+}
+
+// Result reports a contraction run.
+type Result struct {
+	// Synthesis is the full synthesis artifact (plan, assignment, costs).
+	Synthesis *core.Synthesis
+	// Stats are the I/O statistics of the execution.
+	Stats disk.Stats
+}
+
+// Contract evaluates an einsum-style contraction over arrays resident on
+// the backend, e.g.
+//
+//	ooc.Contract(be, "C[i,j] = A[i,k] * B[k,j]", opt)
+//
+// Every operand must already exist on the backend; the output array is
+// created on it. Index ranges are inferred from the operands' extents and
+// checked for consistency.
+func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
+	if opt.Machine.MemoryLimit == 0 {
+		opt.Machine = machine.OSCItanium2()
+	}
+	// First parse with placeholder ranges to learn the operand shapes.
+	c, err := parseWithInferredRanges(be, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := expr.Minimize(c, c.Out.Name+"_t")
+	if err != nil {
+		return nil, err
+	}
+	prog, err := loops.FromPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.KeepUnfused {
+		prog = loops.FuseGreedy(prog)
+	}
+	s, err := core.Synthesize(core.Request{
+		Program:  prog,
+		Machine:  opt.Machine,
+		Strategy: core.DCS,
+		Seed:     opt.Seed,
+		MaxEvals: opt.MaxEvals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(s.Plan, be, nil, exec.Options{
+		OpenInputs: true,
+		NoFetch:    true, // results stay disk-resident
+		Workers:    opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Synthesis: s, Stats: res.Stats}, nil
+}
+
+// parseWithInferredRanges parses the spec and infers every index's extent
+// from the operand arrays on the backend.
+func parseWithInferredRanges(be disk.Backend, spec string) (*expr.Contraction, error) {
+	probe, err := expr.ParseStructure(spec)
+	if err != nil {
+		return nil, err
+	}
+	ranges := map[string]int64{}
+	for _, op := range probe.Operands {
+		arr, err := be.Open(op.Name)
+		if err != nil {
+			return nil, fmt.Errorf("ooc: operand %q: %w", op.Name, err)
+		}
+		dims := arr.Dims()
+		if len(dims) != len(op.Indices) {
+			return nil, fmt.Errorf("ooc: operand %q has rank %d on disk, spec uses %d indices", op.Name, len(dims), len(op.Indices))
+		}
+		for i, x := range op.Indices {
+			if prev, ok := ranges[x]; ok && prev != dims[i] {
+				return nil, fmt.Errorf("ooc: index %q has conflicting extents %d and %d", x, prev, dims[i])
+			}
+			ranges[x] = dims[i]
+		}
+	}
+	for _, x := range probe.Out.Indices {
+		if _, ok := ranges[x]; !ok {
+			return nil, fmt.Errorf("ooc: output index %q not bound by any operand", x)
+		}
+	}
+	return expr.Parse(spec, ranges)
+}
+
+// MatMul computes C = A × B for 2-D disk-resident arrays.
+func MatMul(be disk.Backend, cName, aName, bName string, opt Options) (*Result, error) {
+	return Contract(be, fmt.Sprintf("%s[i__,j__] = %s[i__,k__] * %s[k__,j__]", cName, aName, bName), opt)
+}

@@ -1,0 +1,219 @@
+package ooc
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/expr"
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// stage creates an array on the backend with deterministic contents and
+// returns its tensor.
+func stage(t *testing.T, be *disk.Sim, name string, dims ...int) *tensor.Tensor {
+	t.Helper()
+	d64 := make([]int64, len(dims))
+	for i, d := range dims {
+		d64[i] = int64(d)
+	}
+	if _, err := be.Create(name, d64); err != nil {
+		t.Fatal(err)
+	}
+	tt := tensor.New(dims...)
+	for i := range tt.Data() {
+		tt.Data()[i] = float64((i*2654435761)%1000)/500.0 - 1
+	}
+	if err := be.LoadArray(name, tt.Data()); err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func smallOpt() Options {
+	return Options{Machine: machine.Small(4 << 10), Seed: 1, MaxEvals: 20000}
+}
+
+func TestMatMulOnDiskArrays(t *testing.T) {
+	be := disk.NewSim(machine.Small(4<<10).Disk, true)
+	defer be.Close()
+	a := stage(t, be, "A", 18, 24)
+	b := stage(t, be, "B", 24, 15)
+
+	res, err := MatMul(be, "C", "A", "B", smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ReadOps == 0 {
+		t.Fatal("no I/O recorded")
+	}
+	got, err := be.DumpArray("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MustEinsum([]string{"i", "j"},
+		tensor.Operand{T: a, Labels: []string{"i", "k"}},
+		tensor.Operand{T: b, Labels: []string{"k", "j"}})
+	if d := tensor.MaxAbsDiff(tensor.FromData(got, 18, 15), want); d > 1e-9 {
+		t.Fatalf("MatMul differs from reference by %g", d)
+	}
+}
+
+func TestContractMultiOperand(t *testing.T) {
+	be := disk.NewSim(machine.Small(4<<10).Disk, true)
+	defer be.Close()
+	a := stage(t, be, "A", 8, 10)
+	c1 := stage(t, be, "C1", 6, 8)
+	c2 := stage(t, be, "C2", 7, 10)
+
+	res, err := Contract(be, "B[m,n] = C1[m,i] * C2[n,j] * A[i,j]", smallOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.DumpArray("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MustEinsum([]string{"m", "n"},
+		tensor.Operand{T: c1, Labels: []string{"m", "i"}},
+		tensor.Operand{T: c2, Labels: []string{"n", "j"}},
+		tensor.Operand{T: a, Labels: []string{"i", "j"}})
+	if d := tensor.MaxAbsDiff(tensor.FromData(got, 6, 7), want); d > 1e-9 {
+		t.Fatalf("Contract differs from reference by %g", d)
+	}
+	// The synthesis artifact is exposed for inspection.
+	if res.Synthesis.Predicted() <= 0 {
+		t.Fatal("missing synthesis artifact")
+	}
+}
+
+func TestContractParallelWorkersSameResult(t *testing.T) {
+	mk := func(workers int) []float64 {
+		be := disk.NewSim(machine.Small(4<<10).Disk, true)
+		defer be.Close()
+		stage(t, be, "A", 12, 9)
+		stage(t, be, "B", 9, 11)
+		opt := smallOpt()
+		opt.Workers = workers
+		if _, err := MatMul(be, "C", "A", "B", opt); err != nil {
+			t.Fatal(err)
+		}
+		out, err := be.DumpArray("C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := mk(1)
+	parallel := mk(4)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("workers changed results at %d", i)
+		}
+	}
+}
+
+func TestContractUnfusedOption(t *testing.T) {
+	be := disk.NewSim(machine.Small(4<<10).Disk, true)
+	defer be.Close()
+	stage(t, be, "A", 8, 8)
+	stage(t, be, "B", 8, 8)
+	opt := smallOpt()
+	opt.KeepUnfused = true
+	if _, err := MatMul(be, "C", "A", "B", opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.DumpArray("C"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContractErrors(t *testing.T) {
+	be := disk.NewSim(machine.Small(4<<10).Disk, true)
+	defer be.Close()
+	stage(t, be, "A", 4, 4)
+
+	// Missing operand.
+	if _, err := Contract(be, "C[i,j] = A[i,k] * Bmissing[k,j]", smallOpt()); err == nil {
+		t.Error("missing operand must fail")
+	}
+	// Rank mismatch.
+	if _, err := Contract(be, "C[i] = A[i]", smallOpt()); err == nil {
+		t.Error("rank mismatch must fail")
+	}
+	// Conflicting extents.
+	stage(t, be, "B", 5, 4)
+	if _, err := Contract(be, "C[i,j] = A[i,k] * B[k,j]", smallOpt()); err == nil {
+		t.Error("conflicting extents must fail")
+	}
+	// Malformed spec.
+	if _, err := Contract(be, "nonsense", smallOpt()); err == nil {
+		t.Error("malformed spec must fail")
+	}
+	// Output index unbound.
+	if _, err := Contract(be, "C[z,w] = A[i,k]", smallOpt()); err == nil {
+		t.Error("unbound output index must fail")
+	}
+}
+
+func TestContractOnFileStore(t *testing.T) {
+	fs, err := disk.NewFileStore(t.TempDir(), machine.Small(4<<10).Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// Stage via sections.
+	a, err := fs.Create("A", []int64{10, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := tensor.New(10, 12)
+	for i := range at.Data() {
+		at.Data()[i] = float64(i%17) - 8
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{10, 12}, at.Data()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Create("B", []int64{12, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := tensor.New(12, 7)
+	for i := range bt.Data() {
+		bt.Data()[i] = float64(i%11) - 5
+	}
+	if err := b.WriteSection([]int64{0, 0}, []int64{12, 7}, bt.Data()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := MatMul(fs, "C", "A", "B", smallOpt()); err != nil {
+		t.Fatal(err)
+	}
+	cArr, err := fs.Open("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 10*7)
+	if err := cArr.ReadSection([]int64{0, 0}, []int64{10, 7}, got); err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MustEinsum([]string{"i", "j"},
+		tensor.Operand{T: at, Labels: []string{"i", "k"}},
+		tensor.Operand{T: bt, Labels: []string{"k", "j"}})
+	if d := tensor.MaxAbsDiff(tensor.FromData(got, 10, 7), want); d > 1e-9 {
+		t.Fatalf("file-store MatMul differs by %g", d)
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	c, err := expr.ParseStructure("X[i,j] = A[i,k] * B[k,j]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Out.Name != "X" || len(c.Operands) != 2 || c.Ranges != nil {
+		t.Fatalf("bad structure: %+v", c)
+	}
+	if _, err := expr.ParseStructure("garbage"); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}

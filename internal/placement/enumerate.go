@@ -1,0 +1,305 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/tiling"
+)
+
+// enumerator carries the shared state of one enumeration run.
+type enumerator struct {
+	p   *loops.Program
+	cfg machine.Config
+	opt Options
+}
+
+// bufferIndices returns the index labels over which an array's buffers are
+// computed. For intermediates this is the pre-fusion index set: a fused
+// intermediate's storage re-expands to tile extent along fused dims.
+func bufferIndices(arr *loops.Array) []string {
+	return arr.OrigIndices
+}
+
+// rawPositions walks the extended path of a statement site bottom-up and
+// returns the legal placement positions for an array with the given buffer
+// indices, applying the three pruning rules of Sec. 4.1:
+//
+//  1. positions making the buffer scalar or vector are skipped (in-memory
+//     products should be matrix-matrix operations);
+//  2. positions immediately surrounded by a redundant loop are skipped
+//     (hoisting above the redundant loop is never worse);
+//  3. once the buffer no longer fits in memory even at tile size one, the
+//     walk stops (positions further up only grow the buffer).
+//
+// minDepth bounds the walk for intermediates (their I/O must stay inside
+// the producer/consumer's lowest common ancestor loop).
+func (e *enumerator) rawPositions(site tiling.LeafSite, bufIdx []string, minDepth int) []IOPlacement {
+	ep := site.ExtendedPath()
+	idxSet := map[string]bool{}
+	for _, x := range bufIdx {
+		idxSet[x] = true
+	}
+	// Locate each buffer index's tiling and intra entries on the path.
+	tAt := map[string]int{}
+	iAt := map[string]int{}
+	for j, en := range ep {
+		if en.Intra {
+			iAt[en.Index] = j
+		} else {
+			tAt[en.Index] = j
+		}
+	}
+	// I/O statements sit between tiling loops: the innermost position is
+	// immediately above the leaf's intra-tile block (the "leaf" placement
+	// of Fig. 4), never inside it — an I/O statement inside intra-tile
+	// loops would move the same tile repeatedly in tiny pieces.
+	var out []IOPlacement
+	for k := len(site.Path); k >= minDepth; k-- {
+		dims := make([]BufDim, len(bufIdx))
+		nonUnit := 0
+		for i, x := range bufIdx {
+			ti, okT := tAt[x]
+			ii, okI := iAt[x]
+			if !okT || !okI {
+				// The index's loops do not enclose this statement; the
+				// buffer must span the full range (cannot happen for
+				// legal programs, but keep it safe).
+				dims[i] = BufDim{Index: x, Class: ExtFull}
+				nonUnit++
+				continue
+			}
+			switch {
+			case ii < k:
+				dims[i] = BufDim{Index: x, Class: ExtOne}
+			case ti < k:
+				dims[i] = BufDim{Index: x, Class: ExtTile}
+				nonUnit++
+			default:
+				dims[i] = BufDim{Index: x, Class: ExtFull}
+				nonUnit++
+			}
+		}
+		// Rule 1: keep the in-memory version at least two-dimensional.
+		if nonUnit < min(2, len(bufIdx)) {
+			continue
+		}
+		buf := bufferTerm(dims, e.cfg.ElemSize)
+		// Rule 3: feasibility probe at tile size one.
+		if buf.EvalTileOne(e.p.Ranges) > float64(e.cfg.MemoryLimit) {
+			break
+		}
+		// Rule 2: skip positions immediately surrounded by a redundant loop
+		// (unless this is the innermost legal depth for an intermediate).
+		if k > minDepth && k > 0 && !idxSet[ep[k-1].Index] {
+			continue
+		}
+		ops := One()
+		var redundant []tiling.PathEntry
+		for j := 0; j < k; j++ {
+			en := ep[j]
+			if en.Intra {
+				ops.Tiles = append(ops.Tiles, en.Index)
+			} else {
+				ops.Trips = append(ops.Trips, en.Index)
+			}
+			if !idxSet[en.Index] {
+				redundant = append(redundant, en)
+			}
+		}
+		out = append(out, IOPlacement{
+			Pos:       Position{Site: site, Depth: k, Label: positionLabel(site, ep, k)},
+			Buf:       BufferSpec{Dims: dims, Bytes: buf},
+			Bytes:     ops.Mul(buf),
+			Ops:       ops,
+			Redundant: redundant,
+		})
+	}
+	return out
+}
+
+// bufferTerm builds the symbolic byte size of a buffer.
+func bufferTerm(dims []BufDim, elemSize int64) Term {
+	t := Term{Coeff: float64(elemSize)}
+	for _, d := range dims {
+		switch d.Class {
+		case ExtTile:
+			t.Tiles = append(t.Tiles, d.Index)
+		case ExtFull:
+			t.Fulls = append(t.Fulls, d.Index)
+		}
+	}
+	return t
+}
+
+func positionLabel(site tiling.LeafSite, ep []tiling.PathEntry, k int) string {
+	switch {
+	case k == len(site.Path):
+		return "leaf"
+	case k >= len(ep):
+		return "innermost"
+	default:
+		return "above " + ep[k].String()
+	}
+}
+
+// pruneDominated removes placements that are pointwise no better than
+// another placement in both total bytes moved and buffer size.
+func (e *enumerator) pruneDominated(ps []IOPlacement) []IOPlacement {
+	if e.opt.DisableDominancePruning {
+		return ps
+	}
+	var out []IOPlacement
+	for i, a := range ps {
+		dominated := false
+		for j, b := range ps {
+			if i == j {
+				continue
+			}
+			betterOrEqual := DividesLE(b.Bytes, a.Bytes) &&
+				DividesLE(b.Buf.Bytes, a.Buf.Bytes) &&
+				DividesLE(b.Ops, a.Ops)
+			if betterOrEqual {
+				// Break ties deterministically: when a and b are mutually
+				// comparable (identical costs), keep only the first.
+				if j > i && DividesLE(a.Bytes, b.Bytes) &&
+					DividesLE(a.Buf.Bytes, b.Buf.Bytes) && DividesLE(a.Ops, b.Ops) {
+					continue
+				}
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// inputChoice enumerates read placements for an input array at one
+// consumer site.
+func (e *enumerator) inputChoice(name string, arr *loops.Array, site tiling.LeafSite) (Choice, error) {
+	ps := e.pruneDominated(e.rawPositions(site, bufferIndices(arr), 0))
+	if len(ps) == 0 {
+		return Choice{}, fmt.Errorf("placement: no feasible read placement for input %q (memory limit too small?)", name)
+	}
+	ch := Choice{Name: name, Array: arr}
+	for i := range ps {
+		p := ps[i]
+		ch.Candidates = append(ch.Candidates, Candidate{
+			Array: arr.Name,
+			Read:  &p,
+			Label: "read " + p.Pos.Label,
+		})
+	}
+	return ch, nil
+}
+
+// outputChoice enumerates write placements for an output array at one
+// producer site. A write surrounded by a redundant loop accumulates across
+// that loop's iterations, so the tile must be read back before each
+// accumulation (read-modify-write) and the disk array must be zeroed
+// first. When the output has several producer statements (a sum of
+// products), every site accumulates into the shared disk array:
+// read-modify-write is forced everywhere, and the single zero-init pass is
+// charged to the first site only.
+func (e *enumerator) outputChoice(name string, arr *loops.Array, site tiling.LeafSite, forceRMW, chargeInit bool) (Choice, error) {
+	ps := e.pruneDominated(e.rawPositions(site, bufferIndices(arr), 0))
+	if len(ps) == 0 {
+		return Choice{}, fmt.Errorf("placement: no feasible write placement for output %q (memory limit too small?)", name)
+	}
+	ch := Choice{Name: name, Array: arr}
+	for i := range ps {
+		p := ps[i]
+		c := Candidate{
+			Array: arr.Name,
+			Write: &p,
+			Label: "write " + p.Pos.Label,
+		}
+		if len(p.Redundant) > 0 || forceRMW {
+			c.RMWRead = true
+			if chargeInit {
+				c.InitZero = e.initZeroPass(arr)
+			}
+			c.Label += " (read required)"
+		}
+		ch.Candidates = append(ch.Candidates, c)
+	}
+	return ch, nil
+}
+
+// initZeroPass builds the cost of writing the whole (padded) disk array
+// once with zeros, tile by tile.
+func (e *enumerator) initZeroPass(arr *loops.Array) *IOPlacement {
+	bytes := Term{Coeff: float64(e.cfg.ElemSize)}
+	ops := One()
+	for _, x := range bufferIndices(arr) {
+		bytes.Tiles = append(bytes.Tiles, x)
+		bytes.Trips = append(bytes.Trips, x)
+		ops.Trips = append(ops.Trips, x)
+	}
+	return &IOPlacement{
+		Pos:   Position{Label: "init pass"},
+		Bytes: bytes,
+		Ops:   ops,
+	}
+}
+
+// intermediateChoice enumerates the strategies for an intermediate array:
+// keep it in memory, or write it to disk after production and read it back
+// before consumption, with both I/O statements constrained to lie inside
+// the lowest common ancestor loop of producer and consumer.
+func (e *enumerator) intermediateChoice(name string, arr *loops.Array, prod, cons tiling.LeafSite) (Choice, error) {
+	ch := Choice{Name: name, Array: arr}
+	lca := tiling.CommonPrefixLen(prod.Path, cons.Path)
+
+	// In-memory candidate: the buffer lives at the LCA; dims with tiling
+	// loops above (or at) the LCA hold one tile, the rest the full range.
+	memDims := make([]BufDim, 0, len(bufferIndices(arr)))
+	prefix := map[string]bool{}
+	for _, l := range prod.Path[:lca] {
+		prefix[l.Index] = true
+	}
+	for _, x := range bufferIndices(arr) {
+		cls := ExtFull
+		if prefix[x] {
+			cls = ExtTile
+		}
+		memDims = append(memDims, BufDim{Index: x, Class: cls})
+	}
+	memBuf := BufferSpec{Dims: memDims, Bytes: bufferTerm(memDims, e.cfg.ElemSize)}
+	if memBuf.Bytes.EvalTileOne(e.p.Ranges) <= float64(e.cfg.MemoryLimit) {
+		ch.Candidates = append(ch.Candidates, Candidate{
+			Array:    arr.Name,
+			InMemory: true,
+			MemBuf:   &memBuf,
+			Label:    "in memory",
+		})
+	}
+
+	writes := e.pruneDominated(e.rawPositions(prod, bufferIndices(arr), lca))
+	reads := e.pruneDominated(e.rawPositions(cons, bufferIndices(arr), lca))
+	for i := range writes {
+		for j := range reads {
+			w, r := writes[i], reads[j]
+			c := Candidate{
+				Array: arr.Name,
+				Write: &w,
+				Read:  &r,
+				Label: fmt.Sprintf("disk: write %s, read %s", w.Pos.Label, r.Pos.Label),
+			}
+			if len(w.Redundant) > 0 {
+				c.RMWRead = true
+				c.InitZero = e.initZeroPass(arr)
+				c.Label += " (read required)"
+			}
+			ch.Candidates = append(ch.Candidates, c)
+		}
+	}
+	if len(ch.Candidates) == 0 {
+		return Choice{}, fmt.Errorf("placement: no feasible strategy for intermediate %q (memory limit too small?)", name)
+	}
+	return ch, nil
+}

@@ -1,0 +1,180 @@
+// Package placement implements step 2 of the out-of-core code generation
+// algorithm: for every array of the tiled program it enumerates the legal
+// placements of disk read/write statements (Sec. 4.1 of the paper) and
+// attaches to each candidate the symbolic disk-I/O-cost and memory-cost
+// expressions over the tile-size variables (Sec. 4.2). The resulting model
+// is what the nlp package encodes for the DCS solver.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a product-form symbolic expression over the tile-size variables:
+//
+//	Coeff × Π_{x∈Fulls} N_x × Π_{x∈Tiles} T_x × Π_{x∈Trips} ceil(N_x/T_x)
+//
+// All disk-cost, op-count, and memory-cost expressions of the model are
+// single Terms; the objective and the memory constraint are sums of
+// λ-selected Terms. Factors may repeat (multiset semantics).
+type Term struct {
+	Coeff float64
+	Fulls []string
+	Tiles []string
+	Trips []string
+}
+
+// One is the multiplicative identity term.
+func One() Term { return Term{Coeff: 1} }
+
+// Zero is the additive identity term.
+func Zero() Term { return Term{Coeff: 0} }
+
+// IsZero reports whether the term is identically zero.
+func (t Term) IsZero() bool { return t.Coeff == 0 }
+
+// Mul returns the product of two terms.
+func (t Term) Mul(u Term) Term {
+	return Term{
+		Coeff: t.Coeff * u.Coeff,
+		Fulls: concat(t.Fulls, u.Fulls),
+		Tiles: concat(t.Tiles, u.Tiles),
+		Trips: concat(t.Trips, u.Trips),
+	}
+}
+
+// Scale returns the term multiplied by a constant.
+func (t Term) Scale(c float64) Term {
+	t.Coeff *= c
+	return t
+}
+
+func concat(a, b []string) []string {
+	if len(a) == 0 {
+		return append([]string(nil), b...)
+	}
+	out := append([]string(nil), a...)
+	return append(out, b...)
+}
+
+// Eval evaluates the term at the given tile sizes.
+func (t Term) Eval(tiles map[string]int64, ranges map[string]int64) float64 {
+	v := t.Coeff
+	for _, x := range t.Fulls {
+		v *= float64(ranges[x])
+	}
+	for _, x := range t.Tiles {
+		v *= float64(tiles[x])
+	}
+	for _, x := range t.Trips {
+		n, tl := ranges[x], tiles[x]
+		v *= float64((n + tl - 1) / tl)
+	}
+	return v
+}
+
+// EvalTileOne evaluates the term with every tile size set to 1 (the
+// feasibility probe of the enumeration: tiles contribute 1, trips N_x).
+func (t Term) EvalTileOne(ranges map[string]int64) float64 {
+	v := t.Coeff
+	for _, x := range t.Fulls {
+		v *= float64(ranges[x])
+	}
+	for _, x := range t.Trips {
+		v *= float64(ranges[x])
+	}
+	return v
+}
+
+// String renders the term for model dumps: "8 * Nn/Tn * Ti * Tj".
+func (t Term) String() string {
+	parts := []string{trimFloat(t.Coeff)}
+	for _, x := range sorted(t.Fulls) {
+		parts = append(parts, "N"+x)
+	}
+	for _, x := range sorted(t.Tiles) {
+		parts = append(parts, "T"+x)
+	}
+	for _, x := range sorted(t.Trips) {
+		parts = append(parts, fmt.Sprintf("ceil(N%s/T%s)", x, x))
+	}
+	return strings.Join(parts, " * ")
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+func sorted(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+// DividesLE reports whether a ≤ b is guaranteed for every tile assignment,
+// by cancelling b's factors against a's: identical factors cancel; a
+// leftover T_x or ceil(N_x/T_x) in a cancels against an N_x in b (both are
+// at most N_x). If a retains uncancelled factors the comparison fails
+// (conservatively not comparable). Used for dominance pruning.
+func DividesLE(a, b Term) bool {
+	if a.Coeff <= 0 || b.Coeff <= 0 {
+		return false
+	}
+	af, bf := multiset(a.Fulls), multiset(b.Fulls)
+	at, bt := multiset(a.Tiles), multiset(b.Tiles)
+	ac, bc := multiset(a.Trips), multiset(b.Trips)
+	cancel(af, bf)
+	cancel(at, bt)
+	cancel(ac, bc)
+	// a's leftover tiles/trips may cancel against b's leftover fulls.
+	for x, n := range at {
+		take := min64(n, bf[x])
+		at[x] -= take
+		bf[x] -= take
+	}
+	for x, n := range ac {
+		take := min64(n, bf[x])
+		ac[x] -= take
+		bf[x] -= take
+	}
+	// Any remaining factor on a's side could exceed b; reject.
+	if total(af)+total(at)+total(ac) > 0 {
+		return false
+	}
+	// Remaining factors on b's side are all ≥ 1, so b only grows.
+	return a.Coeff <= b.Coeff
+}
+
+func multiset(xs []string) map[string]int {
+	m := map[string]int{}
+	for _, x := range xs {
+		m[x]++
+	}
+	return m
+}
+
+func cancel(a, b map[string]int) {
+	for x, n := range a {
+		take := min64(n, b[x])
+		a[x] -= take
+		b[x] -= take
+	}
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func min64(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

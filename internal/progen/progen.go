@@ -1,0 +1,184 @@
+// Package progen generates random valid abstract programs for
+// property-based testing of the whole synthesis pipeline: random index
+// ranges, a random chain of contraction statements (inputs → chained
+// intermediates → output), and randomized loop orders, optionally fused.
+// Every generated program validates, is interpretable, and satisfies the
+// structural requirements of placement enumeration (each intermediate has
+// exactly one producer and one consumer; all arrays are at least rank 2).
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/tensor"
+)
+
+// Options bound the generator.
+type Options struct {
+	// MaxIndices is the number of distinct loop indices (min 3, default 5).
+	MaxIndices int
+	// MaxExtent bounds index ranges (default 6, min 2).
+	MaxExtent int64
+	// MaxStatements bounds the chain length (default 3).
+	MaxStatements int
+	// Fuse applies greedy fusion to the generated program.
+	Fuse bool
+	// MultiTerm adds, with probability 1/2, a second accumulation
+	// statement into the final output (a sum of products).
+	MultiTerm bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIndices < 3 {
+		o.MaxIndices = 5
+	}
+	if o.MaxExtent < 2 {
+		o.MaxExtent = 6
+	}
+	if o.MaxStatements < 1 {
+		o.MaxStatements = 3
+	}
+	return o
+}
+
+// Generate builds a random program. The same rng state yields the same
+// program.
+func Generate(rng *rand.Rand, opt Options) *loops.Program {
+	opt = opt.withDefaults()
+	nIdx := 3 + rng.Intn(opt.MaxIndices-2)
+	ranges := map[string]int64{}
+	var indices []string
+	for i := 0; i < nIdx; i++ {
+		name := fmt.Sprintf("x%d", i)
+		indices = append(indices, name)
+		ranges[name] = 2 + rng.Int63n(opt.MaxExtent-1)
+	}
+	p := loops.NewProgram("random", ranges)
+
+	// pickIndices selects k distinct indices.
+	pickIndices := func(k int) []string {
+		perm := rng.Perm(len(indices))
+		out := make([]string, k)
+		for i := 0; i < k; i++ {
+			out[i] = indices[perm[i]]
+		}
+		return out
+	}
+
+	nStmts := 1 + rng.Intn(opt.MaxStatements)
+	inputCount := 0
+	newInput := func(idx []string) expr.Ref {
+		inputCount++
+		name := fmt.Sprintf("In%d", inputCount)
+		p.DeclareArray(name, loops.Input, idx...)
+		return expr.Ref{Name: name, Indices: idx}
+	}
+
+	var prev expr.Ref // previous statement's target (chained intermediate)
+	for s := 0; s < nStmts; s++ {
+		last := s == nStmts-1
+		// Output indices: rank 2..3.
+		outIdx := pickIndices(2 + rng.Intn(min(2, len(indices)-1)))
+		kind := loops.Intermediate
+		name := fmt.Sprintf("M%d", s)
+		if last {
+			kind, name = loops.Output, "Out"
+		}
+		p.DeclareArray(name, kind, outIdx...)
+		out := expr.Ref{Name: name, Indices: outIdx}
+
+		// Factors: the previous intermediate (if any) plus 1-2 fresh inputs
+		// covering the remaining indices.
+		var factors []expr.Ref
+		covered := map[string]bool{}
+		if prev.Name != "" {
+			factors = append(factors, prev)
+			for _, x := range prev.Indices {
+				covered[x] = true
+			}
+		}
+		// One input covering the output indices (ensures coverage), plus
+		// possibly a random extra.
+		factors = append(factors, newInput(outIdx))
+		for _, x := range outIdx {
+			covered[x] = true
+		}
+		if rng.Intn(2) == 0 || len(factors) < 2 {
+			extra := pickIndices(2)
+			factors = append(factors, newInput(extra))
+			for _, x := range extra {
+				covered[x] = true
+			}
+		}
+
+		// Loop order: all covered indices, shuffled.
+		var loopIdx []string
+		for _, x := range indices {
+			if covered[x] {
+				loopIdx = append(loopIdx, x)
+			}
+		}
+		rng.Shuffle(len(loopIdx), func(i, j int) { loopIdx[i], loopIdx[j] = loopIdx[j], loopIdx[i] })
+
+		p.Body = append(p.Body, &loops.Init{Array: name})
+		p.Body = append(p.Body, loops.L([]loops.Node{&loops.Stmt{Out: out, Factors: factors}}, loopIdx...))
+		prev = out
+
+		// Optionally add a second term accumulating into the output.
+		if last && opt.MultiTerm && rng.Intn(2) == 0 {
+			extraIdx := pickIndices(2)
+			f2 := []expr.Ref{newInput(outIdx), newInput(extraIdx)}
+			covered2 := map[string]bool{}
+			for _, x := range outIdx {
+				covered2[x] = true
+			}
+			for _, x := range extraIdx {
+				covered2[x] = true
+			}
+			var loop2 []string
+			for _, x := range indices {
+				if covered2[x] {
+					loop2 = append(loop2, x)
+				}
+			}
+			rng.Shuffle(len(loop2), func(i, j int) { loop2[i], loop2[j] = loop2[j], loop2[i] })
+			p.Body = append(p.Body, loops.L([]loops.Node{&loops.Stmt{Out: out, Factors: f2}}, loop2...))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("progen produced invalid program: %v\n%s", err, p))
+	}
+	if opt.Fuse {
+		p = loops.FuseGreedy(p)
+	}
+	return p
+}
+
+// InputTensors builds deterministic pseudo-random input tensors for a
+// generated program.
+func InputTensors(p *loops.Program, rng *rand.Rand) map[string]*tensor.Tensor {
+	out := map[string]*tensor.Tensor{}
+	for _, name := range p.ArraysOfKind(loops.Input) {
+		a := p.Arrays[name]
+		dims := make([]int, len(a.Indices))
+		for i, x := range a.Indices {
+			dims[i] = int(p.Ranges[x])
+		}
+		t := tensor.New(dims...)
+		for i := range t.Data() {
+			t.Data()[i] = rng.NormFloat64()
+		}
+		out[name] = t
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+// Package sweep produces parameter-sweep series over the synthesis
+// system — disk I/O time vs. memory limit, problem size, or processor
+// count — as CSV-exportable series. These are the repo's "figure"
+// generators beyond the paper's tables: the qualitative curves (memory
+// starvation blow-up, superlinear parallel scaling, size scaling) that
+// characterize out-of-core behaviour.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ga"
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+// Point is one sweep sample: an x value and named y values.
+type Point struct {
+	X      float64
+	Values map[string]float64
+}
+
+// Series is a named sweep with fixed columns.
+type Series struct {
+	Name    string
+	XLabel  string
+	Columns []string
+	Points  []Point
+}
+
+// WriteCSV emits the series with a header row.
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{s.XLabel}, s.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := []string{strconv.FormatFloat(p.X, 'g', -1, 64)}
+		for _, c := range s.Columns {
+			row = append(row, strconv.FormatFloat(p.Values[c], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Options configure the sweeps.
+type Options struct {
+	Machine machine.Config // per-node; zero value = OSCItanium2
+	Seed    int64
+	Evals   int
+}
+
+func (o Options) machine() machine.Config {
+	if o.Machine.MemoryLimit == 0 {
+		return machine.OSCItanium2()
+	}
+	return o.Machine
+}
+
+// MemoryLimit sweeps the memory limit for a fixed program, reporting the
+// DCS-synthesized code's predicted and measured I/O time per limit. The
+// curve shows the memory-starvation blow-up: as memory shrinks, redundant
+// passes multiply.
+func MemoryLimit(build func() *loops.Program, limits []int64, opt Options) (Series, error) {
+	s := Series{Name: "io-time-vs-memory", XLabel: "memory_bytes", Columns: []string{"predicted_s", "measured_s"}}
+	for _, limit := range limits {
+		cfg := opt.machine()
+		cfg.MemoryLimit = limit
+		syn, err := core.Synthesize(core.Request{
+			Program:  build(),
+			Machine:  cfg,
+			Strategy: core.DCS,
+			Seed:     opt.Seed,
+			MaxEvals: opt.Evals,
+		})
+		if err != nil {
+			return s, fmt.Errorf("sweep: limit %d: %w", limit, err)
+		}
+		st, err := syn.MeasureSim()
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(limit),
+			Values: map[string]float64{
+				"predicted_s": syn.Predicted(),
+				"measured_s":  st.Time(),
+			},
+		})
+	}
+	return s, nil
+}
+
+// Processors sweeps the GA/DRA cluster size for the four-index transform,
+// synthesizing for the aggregate memory of each processor count (the
+// Table 4 mechanism as a curve).
+func Processors(n, v int64, procCounts []int, opt Options) (Series, error) {
+	s := Series{Name: "io-time-vs-procs", XLabel: "processors", Columns: []string{"wallclock_s", "volume_gb"}}
+	perNode := opt.machine()
+	for _, p := range procCounts {
+		cfg := perNode
+		cfg.MemoryLimit = perNode.MemoryLimit * int64(p)
+		syn, err := core.Synthesize(core.Request{
+			Program:  loops.FourIndexAbstract(n, v),
+			Machine:  cfg,
+			Strategy: core.DCS,
+			Seed:     opt.Seed,
+			MaxEvals: opt.Evals,
+		})
+		if err != nil {
+			return s, err
+		}
+		cluster, err := ga.NewCluster(p, perNode.Disk, false)
+		if err != nil {
+			return s, err
+		}
+		if _, err := exec.Run(syn.Plan, cluster, nil, exec.Options{DryRun: true}); err != nil {
+			cluster.Close()
+			return s, err
+		}
+		agg := cluster.Stats()
+		s.Points = append(s.Points, Point{
+			X: float64(p),
+			Values: map[string]float64{
+				"wallclock_s": cluster.Time(),
+				"volume_gb":   float64(agg.BytesRead+agg.BytesWritten) / float64(machine.GB),
+			},
+		})
+		cluster.Close()
+	}
+	return s, nil
+}
+
+// ProblemSize sweeps N (with V = scale·N) for the four-index transform,
+// reporting synthesis time and predicted I/O time — how both grow with
+// the problem.
+func ProblemSize(ns []int64, vScale float64, opt Options) (Series, error) {
+	s := Series{Name: "io-time-vs-size", XLabel: "N", Columns: []string{"predicted_s", "codegen_s"}}
+	for _, n := range ns {
+		v := int64(float64(n) * vScale)
+		if v < 2 {
+			v = 2
+		}
+		syn, err := core.Synthesize(core.Request{
+			Program:  loops.FourIndexAbstract(n, v),
+			Machine:  opt.machine(),
+			Strategy: core.DCS,
+			Seed:     opt.Seed,
+			MaxEvals: opt.Evals,
+		})
+		if err != nil {
+			return s, err
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(n),
+			Values: map[string]float64{
+				"predicted_s": syn.Predicted(),
+				"codegen_s":   syn.GenTime.Seconds(),
+			},
+		})
+	}
+	return s, nil
+}

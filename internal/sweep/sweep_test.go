@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+func opt() Options { return Options{Seed: 1, Evals: 60000} }
+
+func TestMemoryLimitSweepMonotone(t *testing.T) {
+	limits := []int64{1 * machine.GB, 2 * machine.GB, 4 * machine.GB}
+	s, err := MemoryLimit(func() *loops.Program {
+		return loops.FourIndexAbstract(140, 120)
+	}, limits, opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		prev := s.Points[i-1].Values["predicted_s"]
+		cur := s.Points[i].Values["predicted_s"]
+		if cur > prev*1.05 {
+			t.Fatalf("predicted time rose with memory: %g → %g", prev, cur)
+		}
+	}
+	for _, p := range s.Points {
+		m, pr := p.Values["measured_s"], p.Values["predicted_s"]
+		if m <= 0 || m > pr*1.000001 {
+			t.Fatalf("measured %g vs predicted %g inconsistent", m, pr)
+		}
+	}
+}
+
+func TestProcessorsSweep(t *testing.T) {
+	s, err := Processors(140, 120, []int{1, 2, 4}, opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock decreases; I/O volume never increases with more memory.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Values["wallclock_s"] >= s.Points[i-1].Values["wallclock_s"] {
+			t.Fatalf("wall clock not decreasing: %+v", s.Points)
+		}
+		if s.Points[i].Values["volume_gb"] > s.Points[i-1].Values["volume_gb"]*1.05 {
+			t.Fatalf("volume rose with procs: %+v", s.Points)
+		}
+	}
+}
+
+func TestProblemSizeSweep(t *testing.T) {
+	s, err := ProblemSize([]int64{60, 100, 140}, 0.85, opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicted I/O grows with N.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Values["predicted_s"] <= s.Points[i-1].Values["predicted_s"] {
+			t.Fatalf("I/O time not growing with size: %+v", s.Points)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := Series{
+		Name:    "demo",
+		XLabel:  "x",
+		Columns: []string{"a", "b"},
+		Points: []Point{
+			{X: 1, Values: map[string]float64{"a": 2, "b": 3}},
+			{X: 4, Values: map[string]float64{"a": 5, "b": 6}},
+		},
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,2,3\n4,5,6\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}

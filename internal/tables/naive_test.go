@@ -1,0 +1,81 @@
+package tables
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+func TestNaivePagingFarWorseThanSynthesis(t *testing.T) {
+	prog := loops.FourIndexAbstract(140, 120)
+	cfg := machine.OSCItanium2()
+	naive, err := NaivePagingCost(prog.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Synthesize(core.Request{
+		Program:  prog,
+		Machine:  cfg,
+		Strategy: core.DCS,
+		Seed:     1,
+		MaxEvals: 60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive < s.Predicted()*50 {
+		t.Fatalf("naive paging %.0f s should be orders of magnitude above synthesized %.0f s",
+			naive, s.Predicted())
+	}
+}
+
+func TestBalanceClassification(t *testing.T) {
+	s, err := core.Synthesize(core.Request{
+		Program:  loops.FourIndexAbstract(140, 120),
+		Machine:  machine.OSCItanium2(),
+		Strategy: core.DCS,
+		Seed:     1,
+		MaxEvals: 60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Balance()
+	if b.IOSeconds != s.Predicted() {
+		t.Fatal("balance I/O mismatch")
+	}
+	if b.ComputeSeconds <= 0 {
+		t.Fatal("compute time missing (flop rate set in OSCItanium2)")
+	}
+	if b.Serial != b.IOSeconds+b.ComputeSeconds {
+		t.Fatal("serial sum wrong")
+	}
+	want := b.IOSeconds
+	if b.ComputeSeconds > want {
+		want = b.ComputeSeconds
+	}
+	if b.Overlapped != want {
+		t.Fatal("overlap bound wrong")
+	}
+	if b.String() == "" {
+		t.Fatal("empty balance string")
+	}
+	// The four-index transform at paper scale under this disk is I/O
+	// bound: ~10 GB of traffic vs ~0.1 Tflop of compute.
+	if !b.IOBound {
+		t.Fatalf("expected I/O-bound: %s", b)
+	}
+}
+
+func TestFlopsExact(t *testing.T) {
+	// Two-index fused program: statement 1 iterates i·n·j with 2 factors
+	// (4 flops/iter), statement 2 iterates i·n·m with 2 factors.
+	p := loops.TwoIndexFused(4, 5) // m,n = 4; i,j = 5
+	got := core.Flops(p)
+	want := float64(5*4*5*4 + 5*4*4*4)
+	if got != want {
+		t.Fatalf("Flops = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,99 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// capped returns options that keep the tests quick: the sampling grid is
+// capped (the full grid is the point of Table 2's hours-vs-minutes
+// comparison and is exercised by cmd/oocbench and the benchmarks).
+func capped() Options {
+	return Options{Seed: 1, DCSEvals: 60000, SamplingCombos: 40000}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	rows, err := Table2([]Size{{140, 120}}, capped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.UniformCombos == 0 || r.DCSEvals == 0 {
+		t.Fatalf("missing counters: %+v", r)
+	}
+	out := FormatTable2(rows)
+	for _, want := range []string{"Table 2", "Uniform Sampling", "DCS", "140", "120"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	rows, err := Table3([]Size{{140, 120}}, capped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Predicted ≈ measured for both approaches (Table 3's headline).
+	for _, pair := range [][2]float64{
+		{r.UniformMeasured, r.UniformPredicted},
+		{r.DCSMeasured, r.DCSPredicted},
+	} {
+		measured, predicted := pair[0], pair[1]
+		if measured <= 0 || predicted <= 0 {
+			t.Fatalf("non-positive times: %+v", r)
+		}
+		if measured > predicted*1.000001 || measured < predicted*0.6 {
+			t.Fatalf("measured %f vs predicted %f diverge: %+v", measured, predicted, r)
+		}
+	}
+	// The DCS code must be at least as good as the baseline's.
+	if r.DCSMeasured > r.UniformMeasured*1.05 {
+		t.Fatalf("DCS code slower than uniform sampling: %+v", r)
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Table 3") {
+		t.Fatalf("bad format:\n%s", out)
+	}
+}
+
+func TestTable4ScalingShapeHolds(t *testing.T) {
+	rows, err := Table4(Size{140, 120}, []int{2, 4}, capped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	two, four := rows[0], rows[1]
+	if two.Procs != 2 || four.Procs != 4 {
+		t.Fatalf("proc counts wrong: %+v", rows)
+	}
+	// Table 4's shape: going from 2 to 4 processors improves I/O time
+	// superlinearly (more aggregate memory → less I/O volume, plus twice
+	// the disks). The paper sees 997→491.6 and 778→368.4 (>2×).
+	for _, pair := range [][2]float64{
+		{two.UniformMeasured, four.UniformMeasured},
+		{two.DCSMeasured, four.DCSMeasured},
+	} {
+		if pair[0] <= 0 || pair[1] <= 0 {
+			t.Fatalf("non-positive times: %+v", rows)
+		}
+		speedup := pair[0] / pair[1]
+		if speedup < 1.8 {
+			t.Fatalf("2→4 processors speedup %.2f too weak: %+v", speedup, rows)
+		}
+	}
+	// DCS beats the baseline in parallel too.
+	if two.DCSMeasured > two.UniformMeasured*1.05 {
+		t.Fatalf("DCS parallel code slower than baseline: %+v", rows)
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "Processors") {
+		t.Fatalf("bad format:\n%s", out)
+	}
+}

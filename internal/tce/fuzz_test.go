@@ -1,0 +1,33 @@
+package tce
+
+import "testing"
+
+// FuzzParse checks that arbitrary TCE source never panics the parser and
+// that accepted specs lower without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(fourIndexSpec)
+	f.Add(FourIndexSpec(10, 8))
+	f.Add(CCDoublesSpec(6, 8))
+	f.Add(CCTriplesSpec(4, 5))
+	f.Add("range N = 4; index i : N; tensor A[i,i]; X[i] = A[i,i];")
+	f.Add("range N 4;")
+	f.Add("index : N;")
+	f.Add("tensor ;")
+	f.Add("# only a comment")
+	f.Add(";;;;;")
+	f.Add("range N = 99999999999999999999;")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must lower cleanly or error, never panic.
+		prog, err := s.Lower("fuzz")
+		if err != nil {
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("lowered program invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Package tce provides the front-end input language of the synthesis
+// system, modelled on the Tensor Contraction Engine's input: a high-level
+// specification of a computation as a set of tensor contraction
+// expressions over declared index ranges. A spec is parsed, each
+// statement is operation-minimized into binary contractions, and the
+// whole computation is lowered to one abstract loop program ready for
+// out-of-core synthesis.
+//
+// Example spec:
+//
+//	# AO-to-MO four-index transform
+//	range N = 140;
+//	range V = 120;
+//	index p, q, r, s : N;
+//	index a, b, c, d : V;
+//	tensor A[p,q,r,s];
+//	tensor C1[s,d]; tensor C2[r,c]; tensor C3[q,b]; tensor C4[p,a];
+//	B[a,b,c,d] = C1[s,d] * C2[r,c] * C3[q,b] * C4[p,a] * A[p,q,r,s];
+package tce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/tensor"
+)
+
+// Spec is a parsed TCE input.
+type Spec struct {
+	// Ranges maps range names (N, V, ...) to extents.
+	Ranges map[string]int64
+	// IndexRanges maps index names to extents (resolved through Ranges).
+	IndexRanges map[string]int64
+	// Inputs are the declared disk-resident tensors.
+	Inputs []expr.Ref
+	// Statements are the contraction statements in program order.
+	Statements []*expr.Contraction
+}
+
+// Parse reads a TCE spec. Statements are ';'-terminated; '#' starts a
+// comment.
+func Parse(src string) (*Spec, error) {
+	s := &Spec{
+		Ranges:      map[string]int64{},
+		IndexRanges: map[string]int64{},
+	}
+	// Strip comments, join lines, split on ';'.
+	var clean []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		clean = append(clean, line)
+	}
+	for lineNo, stmt := range strings.Split(strings.Join(clean, "\n"), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if err := s.parseStatement(stmt); err != nil {
+			return nil, fmt.Errorf("tce: statement %d: %w", lineNo+1, err)
+		}
+	}
+	if len(s.Statements) == 0 {
+		return nil, fmt.Errorf("tce: no contraction statements")
+	}
+	return s, nil
+}
+
+func (s *Spec) parseStatement(stmt string) error {
+	switch {
+	case strings.HasPrefix(stmt, "range "):
+		return s.parseRange(strings.TrimPrefix(stmt, "range "))
+	case strings.HasPrefix(stmt, "index "):
+		return s.parseIndex(strings.TrimPrefix(stmt, "index "))
+	case strings.HasPrefix(stmt, "tensor "):
+		return s.parseTensor(strings.TrimPrefix(stmt, "tensor "))
+	default:
+		c, err := expr.Parse(stmt, s.IndexRanges)
+		if err != nil {
+			return err
+		}
+		s.Statements = append(s.Statements, c)
+		return nil
+	}
+}
+
+// parseRange handles "N = 140".
+func (s *Spec) parseRange(body string) error {
+	kv := strings.SplitN(body, "=", 2)
+	if len(kv) != 2 {
+		return fmt.Errorf("malformed range declaration %q", body)
+	}
+	name := strings.TrimSpace(kv[0])
+	v, err := strconv.ParseInt(strings.TrimSpace(kv[1]), 10, 64)
+	if err != nil || v <= 0 {
+		return fmt.Errorf("bad range value in %q", body)
+	}
+	if _, dup := s.Ranges[name]; dup {
+		return fmt.Errorf("range %q declared twice", name)
+	}
+	s.Ranges[name] = v
+	return nil
+}
+
+// parseIndex handles "p, q, r, s : N" (N may also be a literal).
+func (s *Spec) parseIndex(body string) error {
+	parts := strings.SplitN(body, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("malformed index declaration %q", body)
+	}
+	rangeName := strings.TrimSpace(parts[1])
+	extent, ok := s.Ranges[rangeName]
+	if !ok {
+		v, err := strconv.ParseInt(rangeName, 10, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("unknown range %q", rangeName)
+		}
+		extent = v
+	}
+	for _, idx := range strings.Split(parts[0], ",") {
+		name := strings.TrimSpace(idx)
+		if name == "" {
+			return fmt.Errorf("empty index name in %q", body)
+		}
+		if _, dup := s.IndexRanges[name]; dup {
+			return fmt.Errorf("index %q declared twice", name)
+		}
+		s.IndexRanges[name] = extent
+	}
+	return nil
+}
+
+// parseTensor handles "A[p,q,r,s]" declarations of input tensors.
+func (s *Spec) parseTensor(body string) error {
+	// Multiple declarations may share a line: "tensor C1[s,d]" only, the
+	// split on ';' already separated them.
+	c, err := expr.Parse("Z__["+strings.Join(indexList(body), ",")+"] = "+strings.TrimSpace(body), s.IndexRanges)
+	if err != nil {
+		return fmt.Errorf("malformed tensor declaration %q: %w", body, err)
+	}
+	ref := c.Operands[0]
+	for _, in := range s.Inputs {
+		if in.Name == ref.Name {
+			return fmt.Errorf("tensor %q declared twice", ref.Name)
+		}
+	}
+	s.Inputs = append(s.Inputs, ref)
+	return nil
+}
+
+// indexList extracts the bracketed index names of a ref string.
+func indexList(ref string) []string {
+	open := strings.IndexByte(ref, '[')
+	close := strings.IndexByte(ref, ']')
+	if open < 0 || close < open {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(ref[open+1:close], ",") {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Lower operation-minimizes every statement and lowers the whole spec to
+// one abstract loop program. Array kinds are inferred: declared tensors
+// are inputs; statement targets consumed by later statements are
+// intermediates; the rest are outputs. Intermediates created by operation
+// minimization are named "<target>_k".
+func (s *Spec) Lower(name string) (*loops.Program, error) {
+	declared := map[string]bool{}
+	for _, in := range s.Inputs {
+		declared[in.Name] = true
+	}
+	producedCount := map[string]int{}
+	consumedLater := map[string]bool{}
+	for _, c := range s.Statements {
+		if declared[c.Out.Name] {
+			return nil, fmt.Errorf("tce: statement target %q is a declared input tensor", c.Out.Name)
+		}
+		for _, op := range c.Operands {
+			if op.Name == c.Out.Name {
+				return nil, fmt.Errorf("tce: statement for %q consumes itself", c.Out.Name)
+			}
+			if !declared[op.Name] && producedCount[op.Name] == 0 {
+				return nil, fmt.Errorf("tce: %q consumed before it is produced", op.Name)
+			}
+		}
+		producedCount[c.Out.Name]++
+		for _, op := range c.Operands {
+			if !declared[op.Name] {
+				consumedLater[op.Name] = true
+			}
+		}
+	}
+	// Multiple statements may accumulate into the same target (a sum of
+	// products) only for final outputs; a multi-term intermediate would
+	// need multi-producer placement, which the model restricts to outputs.
+	for name, n := range producedCount {
+		if n > 1 && consumedLater[name] {
+			return nil, fmt.Errorf("tce: %q is produced by %d statements and consumed later; multi-term intermediates are not supported", name, n)
+		}
+	}
+	prog := loops.NewProgram(name, s.IndexRanges)
+	for _, in := range s.Inputs {
+		prog.DeclareArray(in.Name, loops.Input, in.Indices...)
+	}
+	// Minimize each statement and lower its steps. Operation-minimization
+	// intermediates are prefixed per statement so accumulating statements
+	// with the same target do not collide.
+	var allSteps []expr.Step
+	declaredTargets := map[string]bool{}
+	for si, c := range s.Statements {
+		plan, err := expr.Minimize(c, fmt.Sprintf("%s_%d_", c.Out.Name, si))
+		if err != nil {
+			return nil, err
+		}
+		for _, ref := range plan.Intermediates() {
+			prog.DeclareArray(ref.Name, loops.Intermediate, ref.Indices...)
+		}
+		if !declaredTargets[c.Out.Name] {
+			declaredTargets[c.Out.Name] = true
+			kind := loops.Output
+			if consumedLater[c.Out.Name] {
+				kind = loops.Intermediate
+			}
+			prog.DeclareArray(c.Out.Name, kind, c.Out.Indices...)
+		}
+		allSteps = append(allSteps, plan.Steps...)
+	}
+	initialized := map[string]bool{}
+	for _, st := range allSteps {
+		if !initialized[st.Result.Name] {
+			initialized[st.Result.Name] = true
+			prog.Body = append(prog.Body, &loops.Init{Array: st.Result.Name})
+		}
+		var loopIdx []string
+		loopIdx = append(loopIdx, st.Result.Indices...)
+		loopIdx = append(loopIdx, st.SumIndices...)
+		stmt := &loops.Stmt{Out: st.Result, Factors: []expr.Ref{st.Left}}
+		if !st.IsUnary() {
+			stmt.Factors = append(stmt.Factors, st.Right)
+		}
+		prog.Body = append(prog.Body, loops.L([]loops.Node{stmt}, loopIdx...))
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("tce: lowering produced invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+// EvalReference evaluates the whole spec in memory (for verification):
+// statements run in order, later statements seeing earlier results. The
+// returned map holds every statement target.
+func (s *Spec) EvalReference(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	env := map[string]*tensor.Tensor{}
+	for k, v := range inputs {
+		env[k] = v
+	}
+	out := map[string]*tensor.Tensor{}
+	for _, c := range s.Statements {
+		res, err := expr.EvalDirect(c, env)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := out[c.Out.Name]; ok {
+			// Accumulating statement (sum of products): add the term.
+			for i, v := range res.Data() {
+				prev.Data()[i] += v
+			}
+			res = prev
+		}
+		env[c.Out.Name] = res
+		out[c.Out.Name] = res
+	}
+	return out, nil
+}
+
+// RandomInputs builds deterministic pseudo-random tensors for every
+// declared input.
+func (s *Spec) RandomInputs(seed int64) map[string]*tensor.Tensor {
+	c := &expr.Contraction{
+		Out:      expr.Ref{Name: "__all", Indices: nil},
+		Operands: s.Inputs,
+		Ranges:   s.IndexRanges,
+	}
+	return expr.RandomInputs(c, seed)
+}

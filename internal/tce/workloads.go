@@ -1,0 +1,63 @@
+package tce
+
+import "fmt"
+
+// Canned workload specs. FourIndexSpec is the paper's evaluation
+// workload; the coupled-cluster-style specs below have progressively more
+// loop indices and exist to reproduce the paper's motivating claim: the
+// uniform-sampling baseline's tile grid grows exponentially with the
+// number of loops (hours → impractical for higher-order coupled cluster
+// methods), while the DCS formulation's cost stays essentially flat.
+
+// FourIndexSpec returns the AO-to-MO transform spec (8 loop indices).
+func FourIndexSpec(n, v int64) string {
+	return fmt.Sprintf(`
+# AO-to-MO four-index transform
+range N = %d;
+range V = %d;
+index p, q, r, s : N;
+index a, b, c, d : V;
+tensor A[p,q,r,s];
+tensor C1[s,d];
+tensor C2[r,c];
+tensor C3[q,b];
+tensor C4[p,a];
+B[a,b,c,d] = C1[s,d] * C2[r,c] * C3[q,b] * C4[p,a] * A[p,q,r,s];
+`, n, v)
+}
+
+// CCDoublesSpec returns a CCSD doubles ladder-type term (8 loop indices,
+// two four-dimensional tensors contracted over four indices):
+//
+//	R[i,j,a,b] = Σ_{k,l,c,d} W[k,l,c,d] T[i,k,a,c] T2[l,j,d,b]
+func CCDoublesSpec(o, v int64) string {
+	return fmt.Sprintf(`
+# CCSD doubles ladder term
+range O = %d;
+range V = %d;
+index i, j, k, l : O;
+index a, b, c, d : V;
+tensor W[k,l,c,d];
+tensor T[i,k,a,c];
+tensor T2[l,j,d,b];
+R[i,j,a,b] = W[k,l,c,d] * T[i,k,a,c] * T2[l,j,d,b];
+`, o, v)
+}
+
+// CCTriplesSpec returns a triples-like chained term with 10 distinct loop
+// indices, the regime the paper calls impractical for uniform sampling:
+//
+//	R[i,j,k,a,b,c] = Σ_{l,m,d,e} A1[i,a,d,l] A2[l,d,j,b,e,m] A3[m,e,k,c]
+func CCTriplesSpec(o, v int64) string {
+	return fmt.Sprintf(`
+# triples-like chained contraction (10 loop indices)
+range O = %d;
+range V = %d;
+index i, j, k, l, m : O;
+index a, b, c, d, e : V;
+tensor A1[i,a,d,l];
+tensor A2[l,d,j,b,e,m];
+tensor A3[m,e,k,c];
+R[i,j,k,a,b,c] = A1[i,a,d,l] * A2[l,d,j,b,e,m] * A3[m,e,k,c];
+`, o, v)
+}

@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operand pairs a tensor with the index labels of its dimensions, e.g.
+// A(p,q,r,s) is Operand{T: a, Labels: []string{"p","q","r","s"}}.
+type Operand struct {
+	T      *Tensor
+	Labels []string
+}
+
+// Einsum computes the generalized tensor contraction
+//
+//	out[outLabels] += Σ_{summed} Π_i operands[i][labels_i]
+//
+// by direct loop-nest evaluation. Every label appearing in outLabels must
+// appear in at least one operand; labels absent from outLabels are summed
+// over. All occurrences of a label must have equal extents. The result is
+// accumulated into a fresh zeroed tensor, which is returned.
+//
+// This is the reference semantics against which synthesized out-of-core
+// plans are verified; it favours obvious correctness over speed.
+func Einsum(outLabels []string, operands ...Operand) (*Tensor, error) {
+	extent := map[string]int{}
+	for _, op := range operands {
+		if op.T.Rank() != len(op.Labels) {
+			return nil, fmt.Errorf("tensor: operand rank %d does not match %d labels %v", op.T.Rank(), len(op.Labels), op.Labels)
+		}
+		for i, lbl := range op.Labels {
+			d := op.T.Dim(i)
+			if prev, ok := extent[lbl]; ok && prev != d {
+				return nil, fmt.Errorf("tensor: label %q has conflicting extents %d and %d", lbl, prev, d)
+			}
+			extent[lbl] = d
+		}
+	}
+	outDims := make([]int, len(outLabels))
+	for i, lbl := range outLabels {
+		d, ok := extent[lbl]
+		if !ok {
+			return nil, fmt.Errorf("tensor: output label %q not found in any operand", lbl)
+		}
+		outDims[i] = d
+	}
+
+	// Deterministic ordering: output labels first, then summed labels sorted.
+	var summed []string
+	isOut := map[string]bool{}
+	for _, lbl := range outLabels {
+		if isOut[lbl] {
+			return nil, fmt.Errorf("tensor: duplicate output label %q", lbl)
+		}
+		isOut[lbl] = true
+	}
+	for lbl := range extent {
+		if !isOut[lbl] {
+			summed = append(summed, lbl)
+		}
+	}
+	sort.Strings(summed)
+
+	all := append(append([]string(nil), outLabels...), summed...)
+	allDims := make([]int, len(all))
+	pos := map[string]int{}
+	for i, lbl := range all {
+		pos[lbl] = i
+		allDims[i] = extent[lbl]
+	}
+
+	// Precompute, per operand, the positions of its labels in the global
+	// index vector.
+	opPos := make([][]int, len(operands))
+	for i, op := range operands {
+		opPos[i] = make([]int, len(op.Labels))
+		for j, lbl := range op.Labels {
+			opPos[i][j] = pos[lbl]
+		}
+	}
+
+	maxRank := 0
+	for _, op := range operands {
+		if len(op.Labels) > maxRank {
+			maxRank = len(op.Labels)
+		}
+	}
+	out := New(outDims...)
+	it := NewIterator(allDims)
+	opIdx := make([]int, maxRank)
+	outIdx := make([]int, len(outLabels))
+	for it.Next() {
+		gi := it.Index()
+		prod := 1.0
+		for i, op := range operands {
+			idx := opIdx[:len(op.Labels)]
+			for j, p := range opPos[i] {
+				idx[j] = gi[p]
+			}
+			prod *= op.T.At(idx...)
+			if prod == 0 {
+				break
+			}
+		}
+		if prod == 0 {
+			continue
+		}
+		copy(outIdx, gi[:len(outLabels)])
+		out.Add(prod, outIdx...)
+	}
+	return out, nil
+}
+
+// MustEinsum is Einsum that panics on error; convenient in tests and
+// examples where the labelling is statically known to be valid.
+func MustEinsum(outLabels []string, operands ...Operand) *Tensor {
+	t, err := Einsum(outLabels, operands...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package tensor
+
+// Iterator walks a multi-dimensional index space in row-major order. It is
+// the workhorse behind block copies, the reference einsum, and the
+// out-of-core execution engine's tile loops.
+type Iterator struct {
+	dims    []int
+	idx     []int
+	offset  int
+	started bool
+	done    bool
+}
+
+// NewIterator returns an iterator over the index space [0,dims[0]) × ... ×
+// [0,dims[n-1)). An empty dims iterates exactly once (the scalar index).
+func NewIterator(dims []int) *Iterator {
+	it := &Iterator{
+		dims: append([]int(nil), dims...),
+		idx:  make([]int, len(dims)),
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			it.done = true
+		}
+	}
+	return it
+}
+
+// Next advances to the next index, returning false when the space is
+// exhausted. It must be called before the first Index/Offset access.
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	if !it.started {
+		it.started = true
+		return true
+	}
+	for i := len(it.idx) - 1; i >= 0; i-- {
+		it.idx[i]++
+		if it.idx[i] < it.dims[i] {
+			it.offset++
+			return true
+		}
+		it.idx[i] = 0
+	}
+	it.done = true
+	return false
+}
+
+// Index returns the current multi-index. The slice is reused between calls;
+// copy it if it must be retained.
+func (it *Iterator) Index() []int { return it.idx }
+
+// Offset returns the row-major flat offset of the current index.
+func (it *Iterator) Offset() int { return it.offset }
+
+// Reset rewinds the iterator to the beginning.
+func (it *Iterator) Reset() {
+	for i := range it.idx {
+		it.idx[i] = 0
+	}
+	it.offset = 0
+	it.started = false
+	it.done = false
+	for _, d := range it.dims {
+		if d <= 0 {
+			it.done = true
+		}
+	}
+}
+
+// Card returns the cardinality of the iteration space.
+func (it *Iterator) Card() int {
+	n := 1
+	for _, d := range it.dims {
+		n *= d
+	}
+	return n
+}
+
+// TileStarts returns the starting offsets of tiles of size tile covering
+// [0,n): 0, tile, 2*tile, ... The final tile may be partial.
+func TileStarts(n, tile int) []int {
+	if tile <= 0 {
+		panic("tensor: non-positive tile size")
+	}
+	starts := make([]int, 0, (n+tile-1)/tile)
+	for s := 0; s < n; s += tile {
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic("tensor: non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

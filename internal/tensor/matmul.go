@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// gemmBlock is the cache-blocking factor for the in-memory kernel. The
+// paper performs all in-memory tile products with BLAS matrix-matrix
+// kernels; this blocked dgemm plays that role.
+const gemmBlock = 64
+
+// MatMulAcc computes C += A × B for 2-D tensors with compatible shapes
+// (A: m×k, B: k×n, C: m×n) using a cache-blocked kernel.
+func MatMulAcc(c, a, b *Tensor) {
+	m, k, n := checkGemmShapes(c, a, b)
+	gemmRange(c.data, a.data, b.data, m, k, n, 0, m)
+}
+
+// MatMulAccParallel is MatMulAcc with the row range of C split across
+// workers goroutines (workers<=0 uses GOMAXPROCS).
+func MatMulAccParallel(c, a, b *Tensor, workers int) {
+	m, k, n := checkGemmShapes(c, a, b)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		gemmRange(c.data, a.data, b.data, m, k, n, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRange(c.data, a.data, b.data, m, k, n, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkGemmShapes(c, a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulAcc requires rank-2 tensors")
+	}
+	m, k = a.dims[0], a.dims[1]
+	if b.dims[0] != k {
+		panic(fmt.Sprintf("tensor: inner dimension mismatch %v × %v", a.dims, b.dims))
+	}
+	n = b.dims[1]
+	if c.dims[0] != m || c.dims[1] != n {
+		panic(fmt.Sprintf("tensor: output shape %v does not match %dx%d", c.dims, m, n))
+	}
+	return m, k, n
+}
+
+// gemmRange computes rows [rlo,rhi) of C += A×B with i-k-j loop order and
+// square blocking; the inner j loop is stride-1 over both B and C.
+func gemmRange(c, a, b []float64, m, k, n, rlo, rhi int) {
+	for ii := rlo; ii < rhi; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, rhi)
+		for kk := 0; kk < k; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, k)
+			for jj := 0; jj < n; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, n)
+				for i := ii; i < iMax; i++ {
+					arow := a[i*k : i*k+k]
+					crow := c[i*n : i*n+n]
+					for l := kk; l < kMax; l++ {
+						av := arow[l]
+						if av == 0 {
+							continue
+						}
+						brow := b[l*n : l*n+n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package tiling implements step 1 of the out-of-core code generation
+// algorithm: every loop of the abstract program is split into a tiling
+// loop xT and an intra-tile loop xI, and the intra-tile loops are
+// propagated down to the leaves of the parse tree (Fig. 3). The tiled tree
+// is the structure over which candidate I/O placements are enumerated and
+// on which concrete code is generated.
+package tiling
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loops"
+)
+
+// Node is a node of the tiled parse tree: *Loop, *Leaf, or *InitMark.
+type Node interface{ tnode() }
+
+// Loop is a tiling loop xT iterating over the tiles of index x.
+type Loop struct {
+	Index string
+	Body  []Node
+}
+
+// Leaf is a statement wrapped in its block of intra-tile loops. Intra
+// lists the intra-tile loop indices in order (outermost first), one for
+// each loop enclosing the statement in the abstract program.
+type Leaf struct {
+	Stmt  *loops.Stmt
+	Intra []string
+}
+
+// InitMark records where an array initialization sat in the abstract
+// program; code generation expands it according to the chosen placement.
+type InitMark struct {
+	Array string
+}
+
+func (*Loop) tnode()     {}
+func (*Leaf) tnode()     {}
+func (*InitMark) tnode() {}
+
+// Tree is the tiled form of an abstract program.
+type Tree struct {
+	Prog *loops.Program
+	Body []Node
+}
+
+// Tile splits every loop of the program into tiling + intra-tile loops.
+// The tree mirrors the abstract loop structure (tiling loops keep their
+// positions); each statement becomes a leaf carrying the intra-tile loops
+// of all its enclosing indices.
+func Tile(p *loops.Program) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("tiling: %w", err)
+	}
+	var conv func(ns []loops.Node, enclosing []string) []Node
+	conv = func(ns []loops.Node, enclosing []string) []Node {
+		var out []Node
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *loops.Loop:
+				body := conv(n.Body, append(enclosing, n.Index))
+				out = append(out, &Loop{Index: n.Index, Body: body})
+			case *loops.Stmt:
+				out = append(out, &Leaf{Stmt: n, Intra: append([]string(nil), enclosing...)})
+			case *loops.Init:
+				out = append(out, &InitMark{Array: n.Array})
+			}
+		}
+		return out
+	}
+	return &Tree{Prog: p, Body: conv(p.Body, nil)}, nil
+}
+
+// LeafSite is a leaf with its path of tiling loops, outermost first.
+type LeafSite struct {
+	Leaf *Leaf
+	Path []*Loop
+}
+
+// Leaves returns all statement leaves in program order.
+func (t *Tree) Leaves() []LeafSite {
+	var out []LeafSite
+	var walk func(ns []Node, path []*Loop)
+	walk = func(ns []Node, path []*Loop) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				walk(n.Body, append(path, n))
+			case *Leaf:
+				out = append(out, LeafSite{Leaf: n, Path: append([]*Loop(nil), path...)})
+			}
+		}
+	}
+	walk(t.Body, nil)
+	return out
+}
+
+// CommonPrefixLen returns the number of leading tiling loops shared (as
+// tree nodes) by two leaf paths; the last shared loop is the lowest common
+// ancestor of the two leaves.
+func CommonPrefixLen(a, b []*Loop) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// PathEntry is one entry of a leaf's extended path: the tiling loops from
+// the root followed by the intra-tile loops of the leaf.
+type PathEntry struct {
+	Index string
+	Intra bool
+}
+
+func (e PathEntry) String() string {
+	if e.Intra {
+		return e.Index + "I"
+	}
+	return e.Index + "T"
+}
+
+// ExtendedPath returns the full loop path of a leaf site: tiling loops
+// outermost-first, then the leaf's intra-tile loops. Candidate I/O
+// placements are positions between entries of this path.
+func (s LeafSite) ExtendedPath() []PathEntry {
+	out := make([]PathEntry, 0, len(s.Path)+len(s.Leaf.Intra))
+	for _, l := range s.Path {
+		out = append(out, PathEntry{Index: l.Index})
+	}
+	for _, x := range s.Leaf.Intra {
+		out = append(out, PathEntry{Index: x, Intra: true})
+	}
+	return out
+}
+
+// String renders the tiled code in the paper's Fig. 3 notation: tiling
+// loops as "FOR xT", intra-tile blocks as "FOR xI, yI, ...".
+func (t *Tree) String() string {
+	var b strings.Builder
+	writeTiled(&b, t.Prog, t.Body, 0)
+	return b.String()
+}
+
+func writeTiled(b *strings.Builder, p *loops.Program, ns []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *Loop:
+			// Coalesce perfect chains of tiling loops.
+			chain := []string{n.Index + "T"}
+			body := n.Body
+			for len(body) == 1 {
+				inner, ok := body[0].(*Loop)
+				if !ok {
+					break
+				}
+				chain = append(chain, inner.Index+"T")
+				body = inner.Body
+			}
+			fmt.Fprintf(b, "%sFOR %s\n", ind, strings.Join(chain, ", "))
+			writeTiled(b, p, body, depth+1)
+		case *Leaf:
+			intra := make([]string, len(n.Intra))
+			for i, x := range n.Intra {
+				intra[i] = x + "I"
+			}
+			fmt.Fprintf(b, "%sFOR %s\n", ind, strings.Join(intra, ", "))
+			fmt.Fprintf(b, "%s  %s\n", ind, stmtString(n.Stmt))
+		case *InitMark:
+			fmt.Fprintf(b, "%s%s = 0\n", ind, n.Array)
+		}
+	}
+}
+
+func stmtString(s *loops.Stmt) string {
+	parts := make([]string, len(s.Factors))
+	for i, f := range s.Factors {
+		parts[i] = refStr(f.Name, f.Indices)
+	}
+	return fmt.Sprintf("%s += %s", refStr(s.Out.Name, s.Out.Indices), strings.Join(parts, " * "))
+}
+
+func refStr(name string, idx []string) string {
+	if len(idx) == 0 {
+		return name
+	}
+	return name + "[" + strings.Join(idx, ",") + "]"
+}
+
+// ParseTree renders the tiled parse tree (Fig. 3(b) style).
+func (t *Tree) ParseTree() string {
+	var b strings.Builder
+	b.WriteString("root\n")
+	writeTiledTree(&b, t.Body, "")
+	return b.String()
+}
+
+func writeTiledTree(b *strings.Builder, ns []Node, prefix string) {
+	for i, n := range ns {
+		last := i == len(ns)-1
+		branch, cont := "├── ", "│   "
+		if last {
+			branch, cont = "└── ", "    "
+		}
+		switch n := n.(type) {
+		case *Loop:
+			fmt.Fprintf(b, "%s%s%sT\n", prefix, branch, n.Index)
+			writeTiledTree(b, n.Body, prefix+cont)
+		case *Leaf:
+			intra := make([]string, len(n.Intra))
+			for j, x := range n.Intra {
+				intra[j] = x + "I"
+			}
+			fmt.Fprintf(b, "%s%s[%s] %s\n", prefix, branch, strings.Join(intra, " "), stmtString(n.Stmt))
+		case *InitMark:
+			fmt.Fprintf(b, "%s%s%s = 0\n", prefix, branch, n.Array)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package tiling
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+)
+
+func TestTileTwoIndexFused(t *testing.T) {
+	p := loops.TwoIndexFused(4, 5)
+	tree, err := Tile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("got %d leaves, want 2", len(leaves))
+	}
+	// Producer: path iT,nT,jT with intra i,n,j.
+	prod := leaves[0]
+	if got := pathIndices(prod.Path); got != "i,n,j" {
+		t.Fatalf("producer path = %s, want i,n,j", got)
+	}
+	if got := strings.Join(prod.Leaf.Intra, ","); got != "i,n,j" {
+		t.Fatalf("producer intra = %s, want i,n,j", got)
+	}
+	cons := leaves[1]
+	if got := pathIndices(cons.Path); got != "i,n,m" {
+		t.Fatalf("consumer path = %s, want i,n,m", got)
+	}
+	if got := strings.Join(cons.Leaf.Intra, ","); got != "i,n,m" {
+		t.Fatalf("consumer intra = %s, want i,n,m", got)
+	}
+}
+
+func pathIndices(path []*Loop) string {
+	parts := make([]string, len(path))
+	for i, l := range path {
+		parts[i] = l.Index
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestCommonPrefixIsLCA(t *testing.T) {
+	// The paper (Sec 4.1): for the two-index transform, the lowest common
+	// ancestor of the producer and consumer of T is the nT loop.
+	tree, err := Tile(loops.TwoIndexFused(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	n := CommonPrefixLen(leaves[0].Path, leaves[1].Path)
+	if n != 2 {
+		t.Fatalf("common prefix length = %d, want 2 (iT,nT)", n)
+	}
+	if leaves[0].Path[n-1].Index != "n" {
+		t.Fatalf("LCA = %sT, want nT", leaves[0].Path[n-1].Index)
+	}
+}
+
+func TestCommonPrefixDistinguishesSameIndexLoops(t *testing.T) {
+	// Two sibling nests both looping over i share no tree nodes, so the
+	// common prefix must be 0 even though the index names coincide.
+	tree, err := Tile(loops.TwoIndexUnfused(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if n := CommonPrefixLen(leaves[0].Path, leaves[1].Path); n != 0 {
+		t.Fatalf("unfused nests share prefix %d, want 0", n)
+	}
+}
+
+func TestExtendedPath(t *testing.T) {
+	tree, err := Tile(loops.TwoIndexFused(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := tree.Leaves()[0].ExtendedPath()
+	var parts []string
+	for _, e := range ep {
+		parts = append(parts, e.String())
+	}
+	want := "iT,nT,jT,iI,nI,jI"
+	if got := strings.Join(parts, ","); got != want {
+		t.Fatalf("extended path = %s, want %s", got, want)
+	}
+}
+
+func TestTiledPrintMatchesFig3Style(t *testing.T) {
+	tree, err := Tile(loops.TwoIndexFused(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.String()
+	for _, want := range []string{
+		"FOR iT, nT",
+		"T = 0",
+		"FOR jT",
+		"FOR iI, nI, jI",
+		"T += C2[n,j] * A[i,j]",
+		"FOR mT",
+		"FOR iI, nI, mI",
+		"B[m,n] += C1[m,i] * T",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("tiled print missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTiledParseTree(t *testing.T) {
+	tree, err := Tile(loops.TwoIndexFused(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.ParseTree()
+	for _, want := range []string{"iT", "nT", "jT", "mT", "[iI nI jI]", "[iI nI mI]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("tiled parse tree missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTileFourIndex(t *testing.T) {
+	tree, err := Tile(loops.FourIndexAbstract(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 4 {
+		t.Fatalf("four-index tiled tree has %d leaves, want 4", len(leaves))
+	}
+	// T2 producer and consumer share prefix aT,bT,rT,sT.
+	n := CommonPrefixLen(leaves[1].Path, leaves[2].Path)
+	if n != 4 {
+		t.Fatalf("T2 producer/consumer prefix = %d, want 4", n)
+	}
+	// T3 producer (leaf 2) and consumer (leaf 3) share aT,bT.
+	n = CommonPrefixLen(leaves[2].Path, leaves[3].Path)
+	if n != 2 {
+		t.Fatalf("T3 producer/consumer prefix = %d, want 2", n)
+	}
+	// T1 producer (leaf 0) and consumer (leaf 1) share nothing.
+	if n := CommonPrefixLen(leaves[0].Path, leaves[1].Path); n != 0 {
+		t.Fatalf("T1 producer/consumer prefix = %d, want 0", n)
+	}
+}
+
+func TestTileRejectsInvalidProgram(t *testing.T) {
+	p := loops.NewProgram("bad", map[string]int64{"i": 2})
+	p.Body = []loops.Node{loops.L([]loops.Node{loops.S("X[i]")}, "i")}
+	if _, err := Tile(p); err == nil {
+		t.Fatal("tiling an invalid program must error")
+	}
+}
+
+func TestInitMarksPreserved(t *testing.T) {
+	tree, err := Tile(loops.FourIndexAbstract(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var walk func(ns []Node)
+	walk = func(ns []Node) {
+		for _, n := range ns {
+			switch n := n.(type) {
+			case *Loop:
+				walk(n.Body)
+			case *InitMark:
+				count++
+			}
+		}
+	}
+	walk(tree.Body)
+	if count != 4 {
+		t.Fatalf("tiled tree has %d init marks, want 4 (T1,B,T3,T2)", count)
+	}
+}

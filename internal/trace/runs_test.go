@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestRunsCountingUnit(t *testing.T) {
+	dims := []int64{4, 6, 8}
+	cases := []struct {
+		shape []int64
+		want  int64
+	}{
+		{[]int64{4, 6, 8}, 1}, // whole array
+		{[]int64{2, 6, 8}, 1}, // trailing dims full → rows merge
+		{[]int64{2, 3, 8}, 2}, // last dim full: 3 consecutive mid rows merge per outer
+		{[]int64{2, 3, 5}, 6}, // partial last dim: every row separate
+		{[]int64{1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := Runs(dims, c.shape); got != c.want {
+			t.Errorf("Runs(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+	// Rank-1 and scalar edge cases.
+	if Runs([]int64{10}, []int64{3}) != 1 {
+		t.Error("a 1-D section is one run")
+	}
+	if Runs(nil, nil) != 1 {
+		t.Error("a scalar section is one run")
+	}
+}
+
+func TestRunAwareTimeUnit(t *testing.T) {
+	d := machine.Disk{SeekTime: 0.01, ReadBandwidth: 1000, WriteBandwidth: 500}
+	dims := map[string][]int64{"A": {4, 8}}
+	ops := []Op{
+		// Full-last-dim read: 1 run → 1 seek + 128 B transfer.
+		{Array: "A", Read: true, Shape: []int64{2, 8}, Bytes: 128},
+		// Partial-last-dim write: 2 runs → 2 seeks + 64 B transfer.
+		{Array: "A", Read: false, Shape: []int64{2, 4}, Bytes: 64},
+		// Unknown array: skipped.
+		{Array: "Z", Read: true, Shape: []int64{1}, Bytes: 8},
+	}
+	want := (0.01 + 128.0/1000) + (2*0.01 + 64.0/500)
+	if got := RunAwareTime(ops, dims, d); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RunAwareTime = %g, want %g", got, want)
+	}
+}

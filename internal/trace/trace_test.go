@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/nlp"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+	"repro/internal/tiling"
+)
+
+func testDisk() machine.Disk {
+	return machine.Disk{SeekTime: 0.01, ReadBandwidth: 1000, WriteBandwidth: 500}
+}
+
+func TestRecorderRecordsOps(t *testing.T) {
+	r := New(disk.NewSim(testDisk(), false))
+	defer r.Close()
+	a, err := r.Create("X", []int64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReadSection([]int64{0, 0}, []int64{5, 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteSection([]int64{5, 5}, []int64{5, 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ops := r.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops, want 2", len(ops))
+	}
+	if !ops[0].Read || ops[1].Read {
+		t.Fatal("directions wrong")
+	}
+	if ops[0].Bytes != 25*8 || ops[1].Bytes != 25*8 {
+		t.Fatalf("bytes wrong: %+v", ops)
+	}
+	if ops[0].Seq != 0 || ops[1].Seq != 1 {
+		t.Fatal("sequence numbers wrong")
+	}
+	if ops[1].Start <= ops[0].Start {
+		t.Fatal("clock must advance")
+	}
+	// Stats pass through the wrapper.
+	if r.Stats().ReadOps != 1 || r.Stats().WriteOps != 1 {
+		t.Fatalf("stats wrong: %+v", r.Stats())
+	}
+	r.ResetStats()
+	if len(r.Ops()) != 0 || r.Stats().ReadOps != 0 {
+		t.Fatal("ResetStats must clear trace and stats")
+	}
+}
+
+func TestRecorderOpenWrapsToo(t *testing.T) {
+	r := New(disk.NewSim(testDisk(), false))
+	defer r.Close()
+	if _, err := r.Create("X", []int64{4}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Open("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "X" || a.Dims()[0] != 4 {
+		t.Fatal("wrapped array metadata wrong")
+	}
+	if err := a.ReadSection([]int64{0}, []int64{4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ops()) != 1 {
+		t.Fatal("opened array not traced")
+	}
+	if _, err := r.Open("missing"); err == nil {
+		t.Fatal("open of missing array must fail")
+	}
+	if err := a.ReadSection([]int64{0}, []int64{99}, nil); err == nil {
+		t.Fatal("errors must propagate and not be recorded")
+	}
+	if len(r.Ops()) != 1 {
+		t.Fatal("failed op must not be recorded")
+	}
+}
+
+func TestSummarizeAndPhases(t *testing.T) {
+	// Trace a real synthesized execution.
+	prog := loops.TwoIndexFused(12, 16)
+	cfg := machine.Small(3 << 10)
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nlp.Build(m)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 6, "j": 8, "m": 6, "n": 8}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(disk.NewSim(cfg.Disk, true))
+	defer rec.Close()
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 5)
+	res, err := exec.Run(plan, rec, inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The engine reads outputs back after its stats snapshot; that final
+	// fetch (one read of B) is traced but not counted in res.Stats.
+	ops := rec.Ops()
+	if int64(len(ops)) != res.Stats.ReadOps+res.Stats.WriteOps+1 {
+		t.Fatalf("trace has %d ops, stats say %d (+1 output fetch)", len(ops), res.Stats.ReadOps+res.Stats.WriteOps)
+	}
+	fetch := ops[len(ops)-1]
+	if !fetch.Read || fetch.Array != "B" {
+		t.Fatalf("last traced op should be the output fetch, got %+v", fetch)
+	}
+	ops = ops[:len(ops)-1]
+	sums := Summarize(ops)
+	var totalBytes int64
+	seen := map[string]bool{}
+	for _, s := range sums {
+		totalBytes += s.BytesRead + s.BytesWrite
+		seen[s.Array] = true
+	}
+	if totalBytes != res.Stats.BytesRead+res.Stats.BytesWritten {
+		t.Fatalf("summary bytes %d != stats %d", totalBytes, res.Stats.BytesRead+res.Stats.BytesWritten)
+	}
+	for _, name := range []string{"A", "C1", "C2", "B"} {
+		if !seen[name] {
+			t.Fatalf("array %s missing from summary", name)
+		}
+	}
+	// Summaries are time-sorted.
+	for i := 1; i < len(sums); i++ {
+		if sums[i].Seconds > sums[i-1].Seconds {
+			t.Fatal("summaries not sorted by time")
+		}
+	}
+	text := FormatSummary(sums)
+	if !strings.Contains(text, "TOTAL") || !strings.Contains(text, "A") {
+		t.Fatalf("bad summary:\n%s", text)
+	}
+
+	phases := SplitPhases(ops)
+	if len(phases) < 2 || len(phases) > len(ops) {
+		t.Fatalf("bad phase split: %d phases from %d ops", len(phases), len(ops))
+	}
+	var phaseOps int64
+	for _, ph := range phases {
+		phaseOps += ph.Ops
+	}
+	if phaseOps != int64(len(ops)) {
+		t.Fatal("phases do not partition the trace")
+	}
+
+	tl := Timeline(ops, 5)
+	if !strings.Contains(tl, "#0") || !strings.Contains(tl, "more operations") {
+		t.Fatalf("bad timeline:\n%s", tl)
+	}
+	if full := Timeline(ops, 0); strings.Contains(full, "more operations") {
+		t.Fatal("full timeline must not truncate")
+	}
+}
+
+func TestTracedExecutionNumericallyUnchanged(t *testing.T) {
+	// The recorder must be a pure observer.
+	prog := loops.TwoIndexFused(8, 8)
+	cfg := machine.Small(2 << 10)
+	tree, _ := tiling.Tile(prog)
+	m, _ := placement.Enumerate(tree, cfg, placement.Options{})
+	p := nlp.Build(m)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 4, "j": 4, "m": 4, "n": 4}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(8, 8), 6)
+
+	plain := disk.NewSim(cfg.Disk, true)
+	a, err := exec.Run(plan, plain, inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(disk.NewSim(cfg.Disk, true))
+	b, err := exec.Run(plan, rec, inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a.Outputs["B"], b.Outputs["B"]); d != 0 {
+		t.Fatalf("tracing changed results by %g", d)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("tracing changed stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

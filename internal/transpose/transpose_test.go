@@ -1,0 +1,158 @@
+package transpose
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/machine"
+)
+
+func testDisk() machine.Disk {
+	return machine.OSCItanium2().Disk
+}
+
+func TestTransposeCorrect(t *testing.T) {
+	be := disk.NewSim(testDisk(), true)
+	defer be.Close()
+	rows, cols := int64(17), int64(23)
+	a, err := be.Create("A", []int64{rows, cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{rows, cols}, data); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := Transpose(be, "A", "At", 8*5*5*2) // blocks of edge 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge != 5 {
+		t.Fatalf("block edge = %d, want 5", edge)
+	}
+	at, _ := be.Open("At")
+	got := make([]float64, rows*cols)
+	if err := at.ReadSection([]int64{0, 0}, []int64{cols, rows}, got); err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if got[c*rows+r] != data[r*cols+c] {
+				t.Fatalf("transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	// Double transposition is the identity, for random shapes and memory
+	// limits.
+	f := func(seed int64, rRaw, cRaw, memRaw uint8) bool {
+		rows := int64(rRaw)%19 + 2
+		cols := int64(cRaw)%13 + 2
+		mem := int64(memRaw)%2048 + 64
+		be := disk.NewSim(testDisk(), true)
+		defer be.Close()
+		a, err := be.Create("A", []int64{rows, cols})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		if a.WriteSection([]int64{0, 0}, []int64{rows, cols}, data) != nil {
+			return false
+		}
+		if _, err := Transpose(be, "A", "At", mem); err != nil {
+			return false
+		}
+		if _, err := Transpose(be, "At", "Att", mem); err != nil {
+			return false
+		}
+		att, err := be.Open("Att")
+		if err != nil {
+			return false
+		}
+		got := make([]float64, rows*cols)
+		if att.ReadSection([]int64{0, 0}, []int64{rows, cols}, got) != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeErrors(t *testing.T) {
+	be := disk.NewSim(testDisk(), true)
+	defer be.Close()
+	if _, err := Transpose(be, "missing", "X", 1024); err == nil {
+		t.Error("missing source must error")
+	}
+	be.Create("v", []int64{4})
+	if _, err := Transpose(be, "v", "vt", 1024); err == nil {
+		t.Error("rank-1 source must error")
+	}
+	be.Create("m", []int64{4, 4})
+	if _, err := Transpose(be, "m", "mt", 8); err == nil {
+		t.Error("absurd memory limit must error")
+	}
+}
+
+func TestBlockSizeStudyDiminishingReturns(t *testing.T) {
+	d := testDisk()
+	sizes := []int64{64 << 10, 256 << 10, 1 << 20, 2 << 20, 8 << 20, 32 << 20}
+	pts := BlockSizeStudy(d, 1<<30, sizes)
+	if len(pts) != len(sizes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Effective bandwidth is increasing, seek fraction decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EffectiveBandwidth <= pts[i-1].EffectiveBandwidth {
+			t.Fatalf("bandwidth not increasing at %d: %+v", i, pts)
+		}
+		if pts[i].SeekFraction >= pts[i-1].SeekFraction {
+			t.Fatalf("seek fraction not decreasing at %d: %+v", i, pts)
+		}
+	}
+	// The paper's observation: improvements become negligible past the
+	// threshold — the last step must gain far less than the first.
+	if pts[len(pts)-1].Improvement > pts[1].Improvement/4 {
+		t.Fatalf("no diminishing returns: %+v", pts)
+	}
+	// At the 2 MB read threshold, seeks are already a modest fraction.
+	for _, p := range pts {
+		if p.BlockBytes == 2<<20 && p.SeekFraction > 0.25 {
+			t.Fatalf("2MB blocks still seek-dominated: %+v", p)
+		}
+	}
+}
+
+func TestRecommendedMinBlockMatchesPaperThresholds(t *testing.T) {
+	d := testDisk()
+	read := RecommendedMinBlock(d.SeekTime, d.ReadBandwidth, 0.2)
+	if read < 3*(1<<20)/2 || read > 5*(1<<20)/2 {
+		t.Fatalf("recommended read block %d not near 2MB", read)
+	}
+	write := RecommendedMinBlock(d.SeekTime, d.WriteBandwidth, 0.3)
+	if write < (1<<20)/2 || write > 2*(1<<20) {
+		t.Fatalf("recommended write block %d not near 1MB", write)
+	}
+	if RecommendedMinBlock(0.01, 1e6, 0) != 0 || RecommendedMinBlock(0.01, 1e6, 1) != 0 {
+		t.Fatal("degenerate fractions must return 0")
+	}
+}
