@@ -3,6 +3,7 @@
 //	oocbench            # all tables at the paper's sizes
 //	oocbench -table 2   # one table
 //	oocbench -quick     # capped search budgets (seconds instead of minutes)
+//	oocbench -pipeline  # add the pipelined-engine study (serial vs overlapped)
 //
 // Table 2 compares code generation time between the uniform-sampling
 // baseline (full logarithmic grid, brute force) and the DCS approach;
@@ -24,11 +25,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oocbench: ")
 	var (
-		table   = flag.Int("table", 0, "table to reproduce (1, 2, 3, 4; 0 = all)")
-		quick   = flag.Bool("quick", false, "cap search budgets for a fast run")
-		seed    = flag.Int64("seed", 1, "DCS solver seed")
-		small   = flag.Bool("small", false, "only the (140,120) size")
-		scaling = flag.Bool("scaling", false, "also run the higher-order coupled-cluster scaling study")
+		table    = flag.Int("table", 0, "table to reproduce (1, 2, 3, 4; 0 = all)")
+		quick    = flag.Bool("quick", false, "cap search budgets for a fast run")
+		seed     = flag.Int64("seed", 1, "DCS solver seed")
+		small    = flag.Bool("small", false, "only the (140,120) size")
+		scaling  = flag.Bool("scaling", false, "also run the higher-order coupled-cluster scaling study")
+		pipeline = flag.Bool("pipeline", false, "also measure the pipelined engine: serial vs overlapped I/O critical path")
 	)
 	flag.Parse()
 
@@ -81,6 +83,19 @@ func main() {
 		fmt.Printf("  flop rate: %.1f Gflop/s\n\n", cfg.FlopRate/1e9)
 	}
 
+	runPipeline := func() {
+		rows, err := tables.TablePipeline(sizes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatTablePipeline(rows))
+		for _, r := range rows {
+			fmt.Printf("  (%d,%d): %d reads prefetched, %d writes retired in the background\n",
+				r.Size.N, r.Size.V, r.PrefetchedReads, r.WriteBehindWrites)
+		}
+		fmt.Println()
+	}
+
 	runScaling := func() {
 		workloads, err := tables.ScalingWorkloads()
 		if err != nil {
@@ -109,6 +124,9 @@ func main() {
 		run4()
 	default:
 		log.Fatalf("unknown table %d (have 1, 2, 3, 4)", *table)
+	}
+	if *pipeline {
+		runPipeline()
 	}
 	if *scaling {
 		runScaling()

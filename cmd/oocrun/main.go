@@ -37,6 +37,7 @@ func main() {
 		mem      = flag.String("mem", "2g", "memory limit (e.g. 64k, 512m, 2g)")
 		seed     = flag.Int64("seed", 1, "solver / data seed")
 		workers  = flag.Int("workers", 1, "parallel compute workers")
+		pipeline = flag.Bool("pipeline", false, "execute through the asynchronous double-buffered engine (prefetch + write-behind)")
 		quiet    = flag.Bool("quiet", false, "suppress the synthesized code listing")
 		savePlan = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
 		planFile = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
@@ -71,15 +72,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rec := trace.New(fs)
+		rec := trace.NewWithDisk(fs, cfg.Disk)
 		res, err := exec.Run(plan, rec, nil, exec.Options{
-			OpenInputs: true, NoFetch: true, Workers: *workers,
+			OpenInputs: true, NoFetch: true, Workers: *workers, Pipeline: *pipeline,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("executed saved plan %q\n%s\npredicted %.2f s, measured (modelled) %.2f s\n",
 			*planFile, res.Stats, plan.Predicted, res.Stats.Time())
+		printPipeline(res.Pipeline)
 		fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
 		return
 	}
@@ -90,12 +92,13 @@ func main() {
 		return
 	}
 
-	rec := trace.New(fs)
+	rec := trace.NewWithDisk(fs, cfg.Disk)
 	res, err := ooc.Contract(rec, *spec, ooc.Options{
 		Machine:  cfg,
 		Seed:     *seed,
 		Workers:  *workers,
 		MaxEvals: 0,
+		Pipeline: *pipeline,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -118,8 +121,19 @@ func main() {
 	fmt.Printf("%s\n", res.Stats)
 	fmt.Printf("predicted %.2f s, measured (modelled) %.2f s\n",
 		res.Synthesis.Predicted(), res.Stats.Time())
+	printPipeline(res.Pipeline)
 	fmt.Println("\n== per-array I/O ==")
 	fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
+}
+
+// printPipeline reports the pipelined engine's serial-vs-overlapped
+// modelled I/O-critical-path timeline when the run used -pipeline.
+func printPipeline(ps *exec.PipelineStats) {
+	if ps == nil {
+		return
+	}
+	fmt.Printf("pipelined: serial %.2f s -> overlapped %.2f s (%.2fx; %d reads prefetched, %d writes behind)\n",
+		ps.SerialSeconds, ps.OverlappedSeconds, ps.Speedup(), ps.PrefetchedReads, ps.WriteBehindWrites)
 }
 
 // stageRandom parses "A[i,j]=200x300,B[j,k]=300x150" and creates the

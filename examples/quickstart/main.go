@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,13 +29,14 @@ func main() {
 	fmt.Println("Abstract code (Fig. 1(c)):")
 	fmt.Print(prog.String())
 
-	s, err := core.Synthesize(core.Request{
-		Program:  prog,
-		Machine:  cfg,
-		Strategy: core.DCS,
-		Seed:     1,
-		MaxEvals: 40000,
-	})
+	// The functional-options entry point; WithPipeline executes through
+	// the asynchronous double-buffered engine (bit-identical to serial).
+	s, err := core.SynthesizeOpts(context.Background(), prog,
+		core.WithMachine(cfg),
+		core.WithSeed(1),
+		core.WithMaxEvals(40000),
+		core.WithPipeline(0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

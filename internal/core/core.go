@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -97,10 +98,28 @@ type Synthesis struct {
 	GenTime time.Duration
 	// SolverEvals is the number of cost-model evaluations performed.
 	SolverEvals int64
+	// Pipeline selects the asynchronous double-buffered execution engine
+	// for MeasureSim/RunSim/RunFiles (set via WithPipeline);
+	// PipelineDepth bounds its in-flight disk operations.
+	Pipeline      bool
+	PipelineDepth int
 }
 
-// Synthesize runs the full pipeline.
+// Synthesize runs the full pipeline. It is the frozen Request-struct
+// compatibility path; new call sites should prefer SynthesizeOpts.
 func Synthesize(req Request) (*Synthesis, error) {
+	return SynthesizeContext(context.Background(), req)
+}
+
+// SynthesizeContext runs the full pipeline under a context. Cancellation
+// during the solve aborts the synthesis with the context's error; the
+// solver itself treats the context as a budget signal (Request.MaxTime is
+// layered on the context as a deadline and still returns the best point
+// found).
+func SynthesizeContext(ctx context.Context, req Request) (*Synthesis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if req.Program == nil {
 		return nil, fmt.Errorf("core: no program")
 	}
@@ -132,7 +151,7 @@ func Synthesize(req Request) (*Synthesis, error) {
 		if req.Strategy == RandomSearch {
 			strat = dcs.RandomSearch
 		}
-		res, err := dcs.Solve(prob, dcs.Options{
+		res, err := dcs.SolveContext(ctx, prob, dcs.Options{
 			Strategy: strat,
 			Seed:     req.Seed,
 			MaxEvals: req.MaxEvals,
@@ -140,6 +159,12 @@ func Synthesize(req Request) (*Synthesis, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		// The solver treats ctx expiry as a budget signal; the caller's
+		// own cancellation must surface as an error, not a silent
+		// truncated search.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: synthesis cancelled: %w", err)
 		}
 		if !res.Feasible {
 			return nil, fmt.Errorf("core: %v found no feasible configuration (memory limit %d too tight?)", req.Strategy, req.Machine.MemoryLimit)
@@ -150,6 +175,9 @@ func Synthesize(req Request) (*Synthesis, error) {
 		res, err := sampling.Search(prob, req.Sampling)
 		if err != nil {
 			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: synthesis cancelled: %w", err)
 		}
 		x = res.X
 		evals = res.Combos
@@ -192,17 +220,32 @@ func (s *Synthesis) AMPL() string {
 // synthesized code (the Table 3 "predicted" column).
 func (s *Synthesis) Predicted() float64 { return s.Plan.Predicted }
 
+// execOptions returns the execution options the synthesis selects
+// (pipelined or serial), with extra fields merged in.
+func (s *Synthesis) execOptions(opt exec.Options) exec.Options {
+	opt.Pipeline = s.Pipeline
+	opt.PipelineDepth = s.PipelineDepth
+	return opt
+}
+
 // MeasureSim executes the plan's I/O structure against the simulated disk
 // at full array scale (dry run, no data) and returns the measured
 // statistics (the Table 3 "measured" column).
 func (s *Synthesis) MeasureSim() (disk.Stats, error) {
-	be := disk.NewSim(s.Request.Machine.Disk, false)
-	defer be.Close()
-	res, err := exec.Run(s.Plan, be, nil, exec.Options{DryRun: true})
+	res, err := s.MeasureSimFull()
 	if err != nil {
 		return disk.Stats{}, err
 	}
 	return res.Stats, nil
+}
+
+// MeasureSimFull is MeasureSim returning the full execution result; under
+// WithPipeline, Result.Pipeline holds the modelled serial-vs-overlapped
+// critical-path times.
+func (s *Synthesis) MeasureSimFull() (*exec.Result, error) {
+	be := disk.NewSim(s.Request.Machine.Disk, false)
+	defer be.Close()
+	return exec.Run(s.Plan, be, nil, s.execOptions(exec.Options{DryRun: true}))
 }
 
 // RunSim executes the plan with real data on the in-memory simulated disk
@@ -211,7 +254,7 @@ func (s *Synthesis) MeasureSim() (disk.Stats, error) {
 func (s *Synthesis) RunSim(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, disk.Stats, error) {
 	be := disk.NewSim(s.Request.Machine.Disk, true)
 	defer be.Close()
-	res, err := exec.Run(s.Plan, be, inputs, exec.Options{})
+	res, err := exec.Run(s.Plan, be, inputs, s.execOptions(exec.Options{}))
 	if err != nil {
 		return nil, disk.Stats{}, err
 	}
@@ -225,7 +268,7 @@ func (s *Synthesis) RunFiles(dir string, inputs map[string]*tensor.Tensor) (map[
 		return nil, disk.Stats{}, err
 	}
 	defer be.Close()
-	res, err := exec.Run(s.Plan, be, inputs, exec.Options{})
+	res, err := exec.Run(s.Plan, be, inputs, s.execOptions(exec.Options{}))
 	if err != nil {
 		return nil, disk.Stats{}, err
 	}

@@ -1,0 +1,108 @@
+package core
+
+// This file is the redesigned public entry point of the synthesis system:
+// SynthesizeOpts(ctx, program, ...Option). Functional options replace the
+// ever-growing Request struct at call sites, carry cross-cutting concerns
+// (context, pipelined execution) that the struct predates, and leave
+// Request itself frozen as the compatibility path — Synthesize(Request)
+// keeps working unchanged, and every option maps onto it.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/placement"
+	"repro/internal/sampling"
+)
+
+// config collects the effect of the options over a Request.
+type config struct {
+	req           Request
+	pipeline      bool
+	pipelineDepth int
+}
+
+// Option configures SynthesizeOpts.
+type Option func(*config)
+
+// WithMachine targets the synthesis at a machine model (default:
+// machine.OSCItanium2, the paper's evaluation node).
+func WithMachine(m machine.Config) Option {
+	return func(c *config) { c.req.Machine = m }
+}
+
+// WithStrategy selects the search algorithm (default DCS).
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.req.Strategy = s }
+}
+
+// WithSeed makes solver-based strategies deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.req.Seed = seed }
+}
+
+// WithMaxEvals bounds the solver's cost-model evaluation budget.
+func WithMaxEvals(n int) Option {
+	return func(c *config) { c.req.MaxEvals = n }
+}
+
+// WithMaxTime bounds the solver wall clock; it is layered on the caller's
+// context as a deadline, so expiry returns the best point found rather
+// than an error.
+func WithMaxTime(d time.Duration) Option {
+	return func(c *config) { c.req.MaxTime = d }
+}
+
+// WithSampling configures the uniform-sampling strategy.
+func WithSampling(o sampling.Options) Option {
+	return func(c *config) { c.req.Sampling = o }
+}
+
+// WithPlacement configures candidate I/O placement enumeration.
+func WithPlacement(o placement.Options) Option {
+	return func(c *config) { c.req.Placement = o }
+}
+
+// WithAutoFuse applies greedy loop fusion before tiling (programs lowered
+// from arbitrary contraction specs; the paper's workloads arrive
+// pre-fused).
+func WithAutoFuse() Option {
+	return func(c *config) { c.req.AutoFuse = true }
+}
+
+// WithTileAlignment raises last-dimension tile sizes to at least n
+// elements after solving (the spatial-locality adjustment).
+func WithTileAlignment(n int64) Option {
+	return func(c *config) { c.req.AlignTiles = n }
+}
+
+// WithPipeline makes the synthesis execute through the asynchronous
+// double-buffered engine: MeasureSim/RunSim/RunFiles prefetch reads and
+// retire writes in the background while compute runs, bit-identically to
+// serial execution. depth bounds in-flight disk operations (0: default).
+func WithPipeline(depth int) Option {
+	return func(c *config) {
+		c.pipeline = true
+		c.pipelineDepth = depth
+	}
+}
+
+// SynthesizeOpts runs the full synthesis pipeline for a program under a
+// context, configured by functional options. It is equivalent to building
+// a Request by hand and calling SynthesizeContext, plus the
+// execution-engine selection Request cannot express.
+func SynthesizeOpts(ctx context.Context, prog *loops.Program, opts ...Option) (*Synthesis, error) {
+	c := config{req: Request{Program: prog, Machine: machine.OSCItanium2()}}
+	for _, o := range opts {
+		o(&c)
+	}
+	s, err := SynthesizeContext(ctx, c.req)
+	if err != nil {
+		return nil, err
+	}
+	s.Pipeline = c.pipeline
+	s.PipelineDepth = c.pipelineDepth
+	return s, nil
+}

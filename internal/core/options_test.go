@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/loops"
+	"repro/internal/machine"
+)
+
+// TestSynthesizeOptsMatchesRequest checks the functional-options entry
+// point is a faithful mapping onto the frozen Request path.
+func TestSynthesizeOptsMatchesRequest(t *testing.T) {
+	prog := loops.TwoIndexFused(40, 60)
+	cfg := machine.Small(256 << 10)
+	req := Request{Program: prog, Machine: cfg, Strategy: DCS, Seed: 7, MaxEvals: 4000}
+	want, err := Synthesize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SynthesizeOpts(context.Background(), prog,
+		WithMachine(cfg), WithStrategy(DCS), WithSeed(7), WithMaxEvals(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Predicted() != want.Predicted() {
+		t.Fatalf("options path predicted %.6f, request path %.6f", got.Predicted(), want.Predicted())
+	}
+	if len(got.X) != len(want.X) {
+		t.Fatalf("solution lengths differ: %d vs %d", len(got.X), len(want.X))
+	}
+	for i := range got.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, got.X, want.X)
+		}
+	}
+}
+
+// TestSynthesizeOptsPipelineBitIdentical checks WithPipeline switches the
+// run helpers to the asynchronous engine without changing a single bit of
+// the result.
+func TestSynthesizeOptsPipelineBitIdentical(t *testing.T) {
+	nmn, nij := int64(6), int64(8)
+	prog := loops.TwoIndexFused(nmn, nij)
+	cfg := machine.Small(16 << 10)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(nmn, nij), 5)
+
+	serial, err := SynthesizeOpts(context.Background(), prog,
+		WithMachine(cfg), WithSeed(3), WithMaxEvals(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := SynthesizeOpts(context.Background(), prog,
+		WithMachine(cfg), WithSeed(3), WithMaxEvals(3000), WithPipeline(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !piped.Pipeline {
+		t.Fatal("WithPipeline must mark the synthesis")
+	}
+	wantOut, _, err := serial.RunSim(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOut, _, err := piped.RunSim(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, w := gotOut["B"].Data(), wantOut["B"].Data()
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("element %d: pipelined %v != serial %v", i, g[i], w[i])
+		}
+	}
+	// The pipelined dry run reports the overlap timeline.
+	res, err := piped.MeasureSimFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline == nil {
+		t.Fatal("pipelined MeasureSimFull must report PipelineStats")
+	}
+	if res.Pipeline.OverlappedSeconds > res.Pipeline.SerialSeconds+1e-12 {
+		t.Fatal("overlapped critical path cannot exceed the serial one")
+	}
+	sres, err := serial.MeasureSimFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Pipeline != nil {
+		t.Fatal("serial MeasureSimFull must not report PipelineStats")
+	}
+	if sres.Stats.ReadOps != 0 || sres.Stats.BytesRead != 0 {
+		// Byte totals must agree between the engines.
+		pr, sr := res.Stats, sres.Stats
+		if pr.BytesRead != sr.BytesRead || pr.BytesWritten != sr.BytesWritten ||
+			pr.ReadOps != sr.ReadOps || pr.WriteOps != sr.WriteOps {
+			t.Fatalf("pipelined I/O counts %v != serial %v", pr, sr)
+		}
+	}
+}
+
+// TestSynthesizeContextCancelled checks caller cancellation aborts the
+// synthesis with an error (unlike MaxTime, which degrades gracefully).
+func TestSynthesizeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SynthesizeOpts(ctx, loops.TwoIndexFused(40, 60), WithMachine(machine.Small(256<<10)))
+	if err == nil {
+		t.Fatal("cancelled synthesis must fail")
+	}
+}
+
+// TestMaxTimeStillSynthesizes checks the MaxTime budget degrades
+// gracefully: a tight deadline still yields a feasible synthesis.
+func TestMaxTimeStillSynthesizes(t *testing.T) {
+	s, err := SynthesizeOpts(context.Background(), loops.TwoIndexFused(40, 60),
+		WithMachine(machine.Small(256<<10)), WithSeed(1), WithMaxTime(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Plan == nil {
+		t.Fatal("expected a plan under a time budget")
+	}
+}

@@ -14,6 +14,7 @@
 package dcs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -89,9 +90,10 @@ type Options struct {
 	// MaxEvals bounds the number of objective/constraint evaluations
 	// (default 200000).
 	MaxEvals int
-	// MaxTime bounds the wall-clock solve time (0: unbounded). The
-	// evaluation budget still applies; whichever is hit first stops the
-	// search.
+	// MaxTime bounds the wall-clock solve time (0: unbounded). It is
+	// implemented as a context deadline layered over the caller's context
+	// (SolveContext); the evaluation budget still applies, and whichever
+	// is hit first stops the search.
 	MaxTime time.Duration
 	// Restarts is the number of independent starts (default 8).
 	Restarts int
@@ -131,17 +133,31 @@ type Result struct {
 
 // Solve minimizes the problem.
 func Solve(p Problem, opt Options) (Result, error) {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext minimizes the problem under a context. Cancellation and
+// deadline expiry stop the search gracefully: the best point found so far
+// is returned, never an error — a budget signal, exactly like MaxEvals.
+// Options.MaxTime is layered on the context as a deadline.
+func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if p.Dim() == 0 {
 		return Result{}, fmt.Errorf("dcs: empty problem")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.MaxTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.MaxTime)
+		defer cancel()
+	}
 	s := &solver{
 		p:   p,
 		opt: opt,
+		ctx: ctx,
 		rng: rand.New(rand.NewSource(opt.Seed)),
-	}
-	if opt.MaxTime > 0 {
-		s.deadline = time.Now().Add(opt.MaxTime)
 	}
 	if gp, ok := p.(GroupedProblem); ok {
 		s.groups = gp.Groups()
@@ -155,6 +171,10 @@ func Solve(p Problem, opt Options) (Result, error) {
 		s.randomSearch()
 	default:
 		return Result{}, fmt.Errorf("dcs: unknown strategy %v", opt.Strategy)
+	}
+	if s.best == nil && s.leastBadX == nil {
+		// The budget (context) expired before any point was evaluated.
+		return Result{}, fmt.Errorf("dcs: search stopped before evaluating any point: %w", ctx.Err())
 	}
 	if s.best == nil {
 		// No feasible point found anywhere: report the least-infeasible.
@@ -176,11 +196,11 @@ func Solve(p Problem, opt Options) (Result, error) {
 }
 
 type solver struct {
-	p        Problem
-	opt      Options
-	rng      *rand.Rand
-	groups   []Group
-	deadline time.Time
+	p      Problem
+	opt    Options
+	ctx    context.Context
+	rng    *rand.Rand
+	groups []Group
 
 	evals    int
 	restarts int
@@ -217,8 +237,8 @@ func (s *solver) budgetLeft() bool {
 	if s.evals >= s.opt.MaxEvals {
 		return false
 	}
-	// Check the wall clock sparingly: time.Now costs ~50ns, an eval ~1µs.
-	if !s.deadline.IsZero() && s.evals%256 == 0 && time.Now().After(s.deadline) {
+	// Poll the context sparingly: ctx.Err takes a lock, an eval ~1µs.
+	if s.evals%256 == 0 && s.ctx.Err() != nil {
 		return false
 	}
 	return true

@@ -1,0 +1,168 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// plainArray hides a simArray's async capability to exercise the adapter.
+type plainArray struct{ Array }
+
+func TestAsAsyncCapabilityDetection(t *testing.T) {
+	s := NewSim(machine.Small(1<<20).Disk, true)
+	defer s.Close()
+	a, err := s.Create("A", []int64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsAsync(a) {
+		t.Fatal("Sim arrays should be natively async")
+	}
+	if aa := AsAsync(a); aa != a.(AsyncArray) {
+		t.Fatal("AsAsync must return the native implementation unchanged")
+	}
+	wrapped := plainArray{a}
+	if IsAsync(wrapped) {
+		t.Fatal("plain wrapper must not be async")
+	}
+	if aa := AsAsync(wrapped); aa == nil {
+		t.Fatal("AsAsync must adapt a synchronous array")
+	}
+	var be Backend = s
+	ab, ok := be.(AsyncBackend)
+	if !ok || !ab.AsyncCapable() {
+		t.Fatal("Sim should advertise AsyncBackend")
+	}
+}
+
+func TestSimAsyncRoundTripAndStats(t *testing.T) {
+	d := machine.Small(1 << 20).Disk
+	sync := NewSim(d, true)
+	defer sync.Close()
+	async := NewSim(d, true)
+	defer async.Close()
+	for _, s := range []*Sim{sync, async} {
+		if _, err := s.Create("A", []int64{8, 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = float64(i) + 0.5
+	}
+	lo, shape := []int64{2, 4}, []int64{4, 4}
+
+	sa, _ := sync.Open("A")
+	if err := sa.WriteSection(lo, shape, buf); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]float64, 16)
+	if err := sa.ReadSection(lo, shape, back); err != nil {
+		t.Fatal(err)
+	}
+
+	aaArr, _ := async.Open("A")
+	aa := AsAsync(aaArr)
+	if err := aa.WriteAsync(lo, shape, buf).Await(); err != nil {
+		t.Fatal(err)
+	}
+	aback := make([]float64, 16)
+	if err := aa.ReadAsync(lo, shape, aback).Await(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != aback[i] {
+			t.Fatalf("element %d: async %v != sync %v", i, aback[i], back[i])
+		}
+	}
+	if sync.Stats() != async.Stats() {
+		t.Fatalf("async stats %v != sync stats %v", async.Stats(), sync.Stats())
+	}
+	cs := async.ChannelStats()
+	if cs.Ops != 2 {
+		t.Fatalf("channel should have processed 2 ops, got %d", cs.Ops)
+	}
+	if cs.BusySeconds <= 0 {
+		t.Fatal("channel busy time should be positive")
+	}
+}
+
+func TestSimChannelOverlapsQueuedSeeks(t *testing.T) {
+	d := machine.Small(1 << 20).Disk
+	s := NewSim(d, false)
+	defer s.Close()
+	a, err := s.Create("A", []int64{1 << 10, 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa := AsAsync(a)
+	const ops = 16
+	cs := make([]Completion, 0, ops)
+	lo := []int64{0, 0}
+	shape := []int64{1 << 10, 1 << 10}
+	for i := 0; i < ops; i++ {
+		cs = append(cs, aa.ReadAsync(lo, shape, nil))
+	}
+	for _, c := range cs {
+		if err := c.Await(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.ChannelStats()
+	if st.Ops != ops {
+		t.Fatalf("want %d ops, got %d", ops, st.Ops)
+	}
+	if st.QueuedOps == 0 {
+		t.Fatal("back-to-back issues should queue behind the in-progress transfer")
+	}
+	serial := s.Stats().ReadTime // ops seeks + transfers, back to back
+	if st.BusySeconds >= serial {
+		t.Fatalf("overlapped channel time %.6f should beat serial %.6f (queued seeks overlap transfers)",
+			st.BusySeconds, serial)
+	}
+	lower := serial - float64(ops)*d.SeekTime
+	if st.BusySeconds < lower-1e-12 {
+		t.Fatalf("channel busy %.6f below the all-seeks-hidden bound %.6f", st.BusySeconds, lower)
+	}
+}
+
+func TestFileStoreAsyncRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir(), machine.Small(1<<20).Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if !fs.AsyncCapable() {
+		t.Fatal("FileStore should advertise async capability")
+	}
+	a, err := fs.Create("A", []int64{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa := AsAsync(a)
+	if aa != a.(AsyncArray) {
+		t.Fatal("FileStore arrays should be natively async")
+	}
+	buf := make([]float64, 9)
+	for i := range buf {
+		buf[i] = float64(i * i)
+	}
+	lo, shape := []int64{3, 0}, []int64{3, 3}
+	if err := aa.WriteAsync(lo, shape, buf).Await(); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]float64, 9)
+	if err := aa.ReadAsync(lo, shape, back).Await(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if back[i] != buf[i] {
+			t.Fatalf("element %d: got %v want %v", i, back[i], buf[i])
+		}
+	}
+	// Errors surface through the completion.
+	if err := aa.ReadAsync([]int64{5, 5}, []int64{3, 3}, back).Await(); err == nil {
+		t.Fatal("out-of-bounds async read should fail")
+	}
+}

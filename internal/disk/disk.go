@@ -6,6 +6,12 @@
 // charges the machine's I/O cost model (usable at paper scale, with or
 // without backing data) and a real file-backed store for small-scale
 // integration tests.
+//
+// The contract is split into an explicit sync/async pair: Backend/Array
+// are the synchronous baseline, AsyncArray/AsyncBackend (async.go) add
+// completion-handle section I/O for the pipelined execution engine, and
+// AsAsync upgrades any array with capability detection, so wrappers need
+// not assume either contract.
 package disk
 
 import (

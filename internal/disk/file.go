@@ -25,15 +25,31 @@ type FileStore struct {
 	dir    string
 	sl     statsLocked
 	arrays map[string]*fileArray
+	// pool serves asynchronous section operations: ReadAt/WriteAt are
+	// safe to issue concurrently on one *os.File, so a small worker pool
+	// overlaps real file I/O with the caller's compute.
+	pool *ioPool
 }
+
+// fileAsyncWorkers is the FileStore pool size: enough to keep a prefetch
+// and a write-behind in flight alongside the odd metadata operation.
+const fileAsyncWorkers = 4
 
 // NewFileStore creates a store rooted at dir (created if missing).
 func NewFileStore(dir string, d machine.Disk) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk: %w", err)
 	}
-	return &FileStore{dir: dir, sl: statsLocked{d: d}, arrays: map[string]*fileArray{}}, nil
+	return &FileStore{
+		dir:    dir,
+		sl:     statsLocked{d: d},
+		arrays: map[string]*fileArray{},
+		pool:   newIOPool(fileAsyncWorkers),
+	}, nil
 }
+
+// AsyncCapable reports native AsyncArray support.
+func (fs *FileStore) AsyncCapable() bool { return true }
 
 type fileArray struct {
 	fs     *FileStore
@@ -150,8 +166,10 @@ func (fs *FileStore) Stats() Stats { return fs.sl.snapshot() }
 // ResetStats zeroes the counters.
 func (fs *FileStore) ResetStats() { fs.sl.reset() }
 
-// Close closes all array files.
+// Close closes all array files and stops the worker pool. Pending
+// asynchronous operations must have been awaited first.
 func (fs *FileStore) Close() error {
+	fs.pool.close()
 	var first error
 	for _, a := range fs.arrays {
 		if err := a.f.Close(); err != nil && first == nil {
@@ -164,6 +182,16 @@ func (fs *FileStore) Close() error {
 
 func (a *fileArray) Name() string  { return a.name }
 func (a *fileArray) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+// ReadAsync performs the read on the store's worker pool.
+func (a *fileArray) ReadAsync(lo, shape []int64, buf []float64) Completion {
+	return a.fs.pool.submit(func() error { return a.ReadSection(lo, shape, buf) })
+}
+
+// WriteAsync performs the write on the store's worker pool.
+func (a *fileArray) WriteAsync(lo, shape []int64, buf []float64) Completion {
+	return a.fs.pool.submit(func() error { return a.WriteSection(lo, shape, buf) })
+}
 
 func (a *fileArray) ReadSection(lo, shape []int64, buf []float64) error {
 	n, err := checkSection(a.dims, lo, shape)

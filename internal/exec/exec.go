@@ -8,7 +8,9 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/codegen"
@@ -48,6 +50,16 @@ type Options struct {
 	// not be re-staged: combine with OpenInputs and a backend holding the
 	// interrupted run's state.
 	Resume *Checkpoint
+	// Pipeline enables the asynchronous double-buffered engine: disk reads
+	// are prefetched and writes retired in the background while compute
+	// blocks run, with hazard tracking keeping results bit-identical to the
+	// serial interpreter. A barrier at every top-level work-unit boundary
+	// preserves StopAfter/Resume semantics. Result.Pipeline reports the
+	// modelled serial vs overlapped critical-path times.
+	Pipeline bool
+	// PipelineDepth bounds in-flight asynchronous disk operations
+	// (default 4).
+	PipelineDepth int
 }
 
 // Checkpoint identifies a safe resumption boundary: top-level body item
@@ -95,22 +107,39 @@ type Result struct {
 	// holds the checkpoint to Resume from. Outputs are not fetched on a
 	// stopped run.
 	Stopped *Checkpoint
+	// Pipeline reports the pipelined engine's modelled timeline (nil unless
+	// Options.Pipeline).
+	Pipeline *PipelineStats
 }
 
 // Run executes the plan. In data mode, inputs must hold a tensor for
 // every input array; outputs are read back from disk afterwards.
 func Run(p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, opt Options) (*Result, error) {
+	return RunContext(context.Background(), p, be, inputs, opt)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry aborts
+// the run at the next node boundary (pipelined runs drain in-flight disk
+// operations first) and returns the context's error.
+func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, opt Options) (*Result, error) {
 	if (opt.StopAfter > 0 || opt.Resume != nil) && !Checkpointable(p) {
 		return nil, fmt.Errorf("exec: plan holds buffer state across top-level iterations; not checkpointable")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	e := &engine{
 		plan:  p,
 		be:    be,
 		opt:   opt,
+		ctx:   ctx,
 		base:  map[string]int64{},
 		bufs:  map[*codegen.Buffer]*bufInst{},
 		arrs:  map[string]disk.Array{},
 		hasIO: map[*codegen.Loop]bool{},
+	}
+	if opt.Pipeline {
+		e.pipe = newPipeline(e, opt.PipelineDepth)
 	}
 	e.subtreeHasIO(p.Body)
 	if err := e.stage(inputs); err != nil {
@@ -122,6 +151,9 @@ func Run(p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, opt
 		return nil, err
 	}
 	res := &Result{Stats: be.Stats(), PeakBufferBytes: e.peakBytes, Stopped: stopped}
+	if e.pipe != nil {
+		res.Pipeline = e.pipe.snapshot()
+	}
 	if stopped != nil {
 		return res, nil
 	}
@@ -133,7 +165,7 @@ func Run(p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, opt
 			}
 			t, err := e.fetch(da)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("exec: fetch output %q: %w", da.Name, err)
 			}
 			res.Outputs[da.Name] = t
 		}
@@ -150,13 +182,24 @@ type engine struct {
 	plan *codegen.Plan
 	be   disk.Backend
 	opt  Options
+	ctx  context.Context
+	// pipe is non-nil in pipelined mode; top-level work units are then
+	// executed by the asynchronous engine (pipeline.go) instead of exec.
+	pipe *pipeline
 	base map[string]int64 // current tile base per loop index
-	bufs map[*codegen.Buffer]*bufInst
-	arrs map[string]disk.Array
+	// loopStack holds the enclosing loop indices, outermost first, for
+	// error attribution (e.base alone has no deterministic order).
+	loopStack []string
+	bufs      map[*codegen.Buffer]*bufInst
+	arrs      map[string]disk.Array
 	// hasIO caches, per loop node, whether its subtree performs disk I/O;
 	// dry runs skip I/O-free subtrees (their iteration counts are
 	// unconstrained by the cost model and can be astronomical).
 	hasIO map[*codegen.Loop]bool
+	// dryLoops is the stack of I/O-free loops the pipelined step generator
+	// is currently descending once instead of iterating (dry-run only);
+	// their trip counts scale the modelled compute durations beneath.
+	dryLoops []*codegen.Loop
 	// curBytes/peakBytes track instantiated buffer memory.
 	curBytes  int64
 	peakBytes int64
@@ -195,7 +238,7 @@ func (e *engine) stage(inputs map[string]*tensor.Tensor) error {
 		if da.Kind == loops.Input && e.opt.OpenInputs {
 			a, err := e.be.Open(da.Name)
 			if err != nil {
-				return err
+				return fmt.Errorf("exec: open input %q: %w", da.Name, err)
 			}
 			got := a.Dims()
 			if len(got) != len(da.Dims) {
@@ -211,7 +254,7 @@ func (e *engine) stage(inputs map[string]*tensor.Tensor) error {
 		}
 		a, err := e.be.Create(da.Name, da.Dims)
 		if err != nil {
-			return err
+			return fmt.Errorf("exec: create array %q: %w", da.Name, err)
 		}
 		e.arrs[da.Name] = a
 		if da.Kind != loops.Input || e.opt.DryRun {
@@ -226,7 +269,7 @@ func (e *engine) stage(inputs map[string]*tensor.Tensor) error {
 		}
 		lo := make([]int64, len(da.Dims))
 		if err := a.WriteSection(lo, da.Dims, in.Data()); err != nil {
-			return err
+			return fmt.Errorf("exec: stage input %q: %w", da.Name, err)
 		}
 	}
 	return nil
@@ -263,27 +306,33 @@ func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
 	resume := e.opt.Resume
 	for i, n := range body {
 		item := int64(i)
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 		if l, ok := n.(*codegen.Loop); ok {
 			if e.opt.DryRun && !e.hasIO[l] {
 				continue
 			}
 			var it int64
+			e.loopStack = append(e.loopStack, l.Index)
 			for b := int64(0); b < l.Range; b += l.Tile {
 				if resume != nil && (item < resume.Item || (item == resume.Item && it < resume.Iter)) {
 					it++
 					continue
 				}
 				e.base[l.Index] = b
-				if err := e.exec(l.Body); err != nil {
+				if err := e.execUnit(l.Body); err != nil {
 					return nil, err
 				}
 				delete(e.base, l.Index)
 				it++
 				units++
 				if e.opt.StopAfter > 0 && units >= e.opt.StopAfter && b+l.Tile < l.Range {
+					e.loopStack = e.loopStack[:len(e.loopStack)-1]
 					return &Checkpoint{Item: item, Iter: it}, nil
 				}
 			}
+			e.loopStack = e.loopStack[:len(e.loopStack)-1]
 			continue
 		}
 		// Non-loop top-level item. On resume: re-execute reads (restores
@@ -293,11 +342,47 @@ func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
 				continue
 			}
 		}
-		if err := e.exec([]codegen.Node{n}); err != nil {
+		if err := e.execUnit([]codegen.Node{n}); err != nil {
 			return nil, err
 		}
 	}
 	return nil, nil
+}
+
+// execUnit executes one top-level work unit: a single iteration of a
+// top-level loop, or a non-loop top-level item. In pipelined mode the unit
+// runs through the asynchronous engine, which drains all in-flight disk
+// operations before returning — the barrier that keeps unit boundaries
+// (and thus StopAfter/Resume checkpoints) safe.
+func (e *engine) execUnit(ns []codegen.Node) error {
+	if e.pipe != nil {
+		return e.pipe.runUnit(ns)
+	}
+	return e.exec(ns)
+}
+
+// ctxErr reports context cancellation as a run error.
+func (e *engine) ctxErr() error {
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("exec: run cancelled: %w", err)
+	}
+	return nil
+}
+
+// pos describes the current loop position ("i=0,j=128") for error
+// attribution.
+func (e *engine) pos() string {
+	if len(e.loopStack) == 0 {
+		return "top level"
+	}
+	var b strings.Builder
+	for i, idx := range e.loopStack {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", idx, e.base[idx])
+	}
+	return b.String()
 }
 
 func (e *engine) exec(ns []codegen.Node) error {
@@ -307,16 +392,21 @@ func (e *engine) exec(ns []codegen.Node) error {
 			if e.opt.DryRun && !e.hasIO[n] {
 				continue
 			}
+			e.loopStack = append(e.loopStack, n.Index)
 			for b := int64(0); b < n.Range; b += n.Tile {
+				if err := e.ctxErr(); err != nil {
+					return err
+				}
 				e.base[n.Index] = b
 				if err := e.exec(n.Body); err != nil {
 					return err
 				}
 			}
+			e.loopStack = e.loopStack[:len(e.loopStack)-1]
 			delete(e.base, n.Index)
 		case *codegen.IO:
 			if err := e.doIO(n); err != nil {
-				return err
+				return ioErr(n.Read, n.Array, e.pos(), err)
 			}
 		case *codegen.ZeroBuf:
 			if e.opt.DryRun {
@@ -325,7 +415,7 @@ func (e *engine) exec(ns []codegen.Node) error {
 			e.instantiate(n.Buffer).t.Zero()
 		case *codegen.InitPass:
 			if err := e.initPass(n.Array); err != nil {
-				return err
+				return fmt.Errorf("exec: init pass over %q: %w", n.Array, err)
 			}
 		case *codegen.Compute:
 			if e.opt.DryRun {
@@ -337,6 +427,15 @@ func (e *engine) exec(ns []codegen.Node) error {
 		}
 	}
 	return nil
+}
+
+// ioErr attributes a disk error to the array and plan position.
+func ioErr(read bool, array, pos string, err error) error {
+	verb := "write to"
+	if read {
+		verb = "read of"
+	}
+	return fmt.Errorf("exec: %s %q at %s: %w", verb, array, pos, err)
 }
 
 // section computes the disk section a buffer maps to at the current tile
@@ -419,7 +518,7 @@ func (e *engine) doIO(n *codegen.IO) error {
 	}
 	inst := e.bufs[n.Buffer]
 	if inst == nil {
-		return fmt.Errorf("exec: write of uninstantiated buffer %q", n.Buffer.Name)
+		return fmt.Errorf("write of uninstantiated buffer %q", n.Buffer.Name)
 	}
 	return arr.WriteSection(inst.base, dimsToInt64(inst.t.Dims()), inst.t.Data())
 }
@@ -481,24 +580,31 @@ func (e *engine) initPass(name string) error {
 func (e *engine) compute(c *codegen.Compute) error {
 	outInst := e.bufs[c.Out]
 	if outInst == nil {
-		return fmt.Errorf("exec: compute into uninstantiated buffer %q", c.Out.Name)
+		return fmt.Errorf("exec: compute into uninstantiated buffer %q at %s", c.Out.Name, e.pos())
 	}
 	facInsts := make([]*bufInst, len(c.Factors))
 	for i, f := range c.Factors {
 		inst := e.bufs[f]
 		if inst == nil {
-			return fmt.Errorf("exec: compute reads uninstantiated buffer %q", f.Name)
+			return fmt.Errorf("exec: compute reads uninstantiated buffer %q at %s", f.Name, e.pos())
 		}
 		facInsts[i] = inst
 	}
+	e.computeWith(c, e.base, outInst, facInsts)
+	return nil
+}
 
-	// Intra-tile extents at the current tile bases.
+// computeWith executes the intra-tile block against explicit buffer
+// instances at the given tile bases — the shared kernel of the serial and
+// pipelined engines (the latter passes snapshots taken at scheduling time).
+func (e *engine) computeWith(c *codegen.Compute, base map[string]int64, outInst *bufInst, facInsts []*bufInst) {
+	// Intra-tile extents at the tile bases.
 	extents := make([]int64, len(c.Intra))
 	bases := make([]int64, len(c.Intra))
 	intraPos := map[string]int{}
 	for i, x := range c.Intra {
 		n := e.plan.Prog.Ranges[x]
-		b := e.base[x]
+		b := base[x]
 		bases[i] = b
 		extents[i] = min64(e.plan.Tiles[x], n-b)
 		intraPos[x] = i
@@ -518,8 +624,8 @@ func (e *engine) compute(c *codegen.Compute) error {
 		}
 	}
 	if splitDim < 0 || workers <= 1 {
-		e.computeRange(c, outInst, facInsts, intraPos, bases, extents, 0, 0, extents0(extents))
-		return nil
+		e.computeRange(c, base, outInst, facInsts, intraPos, bases, extents, 0, 0, extents0(extents))
+		return
 	}
 	if int64(workers) > extents[splitDim] {
 		workers = int(extents[splitDim])
@@ -534,11 +640,21 @@ func (e *engine) compute(c *codegen.Compute) error {
 		wg.Add(1)
 		go func(lo, hi int64) {
 			defer wg.Done()
-			e.computeRange(c, outInst, facInsts, intraPos, bases, extents, splitDim, lo, hi)
+			e.computeRange(c, base, outInst, facInsts, intraPos, bases, extents, splitDim, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return nil
+}
+
+// computePoints returns the number of intra-tile index points of a compute
+// block at the given tile bases (used by the pipelined timeline model).
+func (e *engine) computePoints(c *codegen.Compute, base map[string]int64) int64 {
+	pts := int64(1)
+	for _, x := range c.Intra {
+		n := e.plan.Prog.Ranges[x]
+		pts *= min64(e.plan.Tiles[x], n-base[x])
+	}
+	return pts
 }
 
 // extents0 returns the full range of dimension 0 (or 1 for scalar
@@ -552,7 +668,7 @@ func extents0(extents []int64) int64 {
 
 // computeRange executes the intra-tile block with dimension splitDim
 // restricted to [lo, hi).
-func (e *engine) computeRange(c *codegen.Compute, outInst *bufInst, facInsts []*bufInst,
+func (e *engine) computeRange(c *codegen.Compute, base map[string]int64, outInst *bufInst, facInsts []*bufInst,
 	intraPos map[string]int, bases, extents []int64, splitDim int, lo, hi int64) {
 
 	idx := make([]int64, len(c.Intra))
@@ -574,7 +690,7 @@ func (e *engine) computeRange(c *codegen.Compute, outInst *bufInst, facInsts []*
 				src = &idx[j]
 				con = bases[j] - inst.base[i]
 			} else {
-				con = e.base[d.Index] - inst.base[i]
+				con = base[d.Index] - inst.base[i]
 			}
 			cr.dims = append(cr.dims, refDim{size: dim, src: src, con: con})
 		}

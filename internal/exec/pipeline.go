@@ -1,0 +1,714 @@
+package exec
+
+// This file is the asynchronous double-buffered execution engine. The
+// serial interpreter (exec.go) performs every disk operation inline; here
+// each top-level work unit is first flattened into a program-order step
+// list, then re-executed with reads prefetched and writes retired in the
+// background while compute blocks run on the caller's goroutine. Three
+// mechanisms keep results bit-identical to serial execution:
+//
+//   - double-buffered slots: every plan buffer owns up to two instances,
+//     so the next tile's read fills the shadow slot while compute and
+//     write-behind still use the current one. The shadow slot is only
+//     allocated while total buffer memory stays within the machine's
+//     limit; under memory pressure the engine falls back to reusing the
+//     slot in place, which serializes exactly like the serial engine.
+//   - hazard tracking: an operation waits for every earlier operation it
+//     conflicts with — through a buffer slot (fill/use) or through
+//     overlapping disk sections of the same array (RAW/WAR/WAW).
+//   - unit barriers: all in-flight operations drain at every top-level
+//     work-unit boundary, so StopAfter/Resume checkpoints and backend
+//     Close see quiescent disks.
+//
+// Alongside real execution the scheduler maintains a deterministic
+// two-clock timeline (one I/O channel, one compute engine) under the
+// machine's cost model: an operation starts at max(its channel's clock,
+// its dependencies' finish times). The resulting OverlappedSeconds is the
+// modelled critical path of the pipelined code, against SerialSeconds,
+// the plain sum every operation would cost back to back — the Table 3
+// style serial-vs-overlapped comparison.
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/tensor"
+)
+
+// defaultPipelineDepth bounds in-flight asynchronous disk operations when
+// Options.PipelineDepth is zero: enough for a prefetch and a couple of
+// write-behinds without flooding the backend.
+const defaultPipelineDepth = 4
+
+// PipelineStats reports the pipelined engine's modelled timeline and
+// overlap counters.
+type PipelineStats struct {
+	// SerialSeconds is the modelled time with every disk operation and
+	// compute block executed back to back (the serial engine's critical
+	// path under the same cost model).
+	SerialSeconds float64
+	// OverlappedSeconds is the modelled critical path with prefetch and
+	// write-behind overlapping compute: never above SerialSeconds, and at
+	// best max(IOSeconds, ComputeSeconds) plus barrier stalls.
+	OverlappedSeconds float64
+	// IOSeconds and ComputeSeconds split SerialSeconds by engine.
+	IOSeconds      float64
+	ComputeSeconds float64
+	// PrefetchedReads counts reads issued into a shadow slot while the
+	// previous instance of the buffer was still live.
+	PrefetchedReads int64
+	// WriteBehindWrites counts writes retired asynchronously.
+	WriteBehindWrites int64
+	// Barriers counts top-level work-unit boundaries (each drains all
+	// in-flight operations).
+	Barriers int64
+}
+
+// Speedup returns SerialSeconds / OverlappedSeconds (1 when undefined).
+func (s PipelineStats) Speedup() float64 {
+	if s.OverlappedSeconds <= 0 {
+		return 1
+	}
+	return s.SerialSeconds / s.OverlappedSeconds
+}
+
+func (s PipelineStats) String() string {
+	return fmt.Sprintf("serial %.3f s, overlapped %.3f s (%.2fx; I/O %.3f s, compute %.3f s; %d prefetches, %d write-behinds)",
+		s.SerialSeconds, s.OverlappedSeconds, s.Speedup(), s.IOSeconds, s.ComputeSeconds, s.PrefetchedReads, s.WriteBehindWrites)
+}
+
+// stepKind discriminates pstep.
+type stepKind uint8
+
+const (
+	stepRead stepKind = iota
+	stepWrite
+	stepZero
+	stepInit
+	stepCompute
+)
+
+// pstep is one operation of a work unit, flattened into program order with
+// loop bases resolved.
+type pstep struct {
+	kind stepKind
+	// buf, array, lo, shape describe I/O and zero steps (section resolved
+	// at generation time).
+	buf       *codegen.Buffer
+	array     string
+	lo, shape []int64
+	// comp and base describe compute steps (base is a snapshot of the loop
+	// bases, owned by the step).
+	comp *codegen.Compute
+	base map[string]int64
+	// mul scales the modelled compute duration in dry-run mode: an
+	// I/O-free enclosing loop is descended once with the remaining trip
+	// count folded in here (0 means 1).
+	mul float64
+	// pos is the loop position for error attribution.
+	pos string
+}
+
+// genSteps flattens a unit's node list into program-order steps, applying
+// the same dry-run pruning as the serial interpreter. Compute steps are
+// generated even in dry-run mode: their execution is skipped but their
+// modelled duration feeds the timeline.
+func (e *engine) genSteps(ns []codegen.Node, steps []pstep) []pstep {
+	for _, n := range ns {
+		switch n := n.(type) {
+		case *codegen.Loop:
+			if e.opt.DryRun && !e.hasIO[n] {
+				// No disk traffic inside (the subtree holds only compute:
+				// InitPass counts as I/O): descend a single iteration and
+				// fold the remaining trips into the compute multiplier, so
+				// the modelled compute time covers the whole subtree without
+				// enumerating its (cost-model-unconstrained) iteration space.
+				e.loopStack = append(e.loopStack, n.Index)
+				e.base[n.Index] = 0
+				e.dryLoops = append(e.dryLoops, n)
+				steps = e.genSteps(n.Body, steps)
+				e.dryLoops = e.dryLoops[:len(e.dryLoops)-1]
+				e.loopStack = e.loopStack[:len(e.loopStack)-1]
+				delete(e.base, n.Index)
+				continue
+			}
+			e.loopStack = append(e.loopStack, n.Index)
+			for b := int64(0); b < n.Range; b += n.Tile {
+				e.base[n.Index] = b
+				steps = e.genSteps(n.Body, steps)
+			}
+			e.loopStack = e.loopStack[:len(e.loopStack)-1]
+			delete(e.base, n.Index)
+		case *codegen.IO:
+			k := stepWrite
+			if n.Read {
+				k = stepRead
+			}
+			lo, shape := e.section(n.Buffer)
+			steps = append(steps, pstep{kind: k, buf: n.Buffer, array: n.Array, lo: lo, shape: shape, pos: e.pos()})
+		case *codegen.ZeroBuf:
+			if e.opt.DryRun {
+				continue
+			}
+			lo, shape := e.section(n.Buffer)
+			steps = append(steps, pstep{kind: stepZero, buf: n.Buffer, lo: lo, shape: shape, pos: e.pos()})
+		case *codegen.InitPass:
+			steps = append(steps, pstep{kind: stepInit, array: n.Array, pos: e.pos()})
+		case *codegen.Compute:
+			base := make(map[string]int64, len(e.base))
+			for k, v := range e.base {
+				base[k] = v
+			}
+			// Scale the modelled duration for enclosing pruned loops: an
+			// intra dim's extents sum to its full range across the trips; a
+			// non-intra dim repeats the same points every trip.
+			mul := 1.0
+			for _, l := range e.dryLoops {
+				if containsIndex(n.Intra, l.Index) {
+					mul *= float64(l.Range) / float64(min64(l.Tile, l.Range))
+				} else {
+					mul *= float64((l.Range + l.Tile - 1) / l.Tile)
+				}
+			}
+			steps = append(steps, pstep{kind: stepCompute, comp: n, base: base, mul: mul, pos: e.pos()})
+		}
+	}
+	return steps
+}
+
+// containsIndex reports whether the index list names x.
+func containsIndex(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// pop is one scheduled pipeline operation.
+type pop struct {
+	// deps are the earlier operations this one must wait for.
+	deps []*pop
+	done chan struct{}
+	err  error
+	// inline is non-nil for steps executed in program order on the unit's
+	// goroutine (zero, compute, init pass); disk I/O runs asynchronously.
+	inline func() error
+	// end is the modelled completion time on the pipeline timeline.
+	end float64
+	// lo/shape is the disk section for hazard tracking (nil lo on an init
+	// pass: the whole array); write marks disk-mutating operations.
+	lo, shape []int64
+	write     bool
+}
+
+// pslot is one instance of a double-buffered plan buffer.
+type pslot struct {
+	t    *tensor.Tensor
+	base []int64
+	// filler is the last operation producing the slot's contents; users
+	// are the operations consuming them since then.
+	filler *pop
+	users  []*pop
+}
+
+// pipeBuf is the double-buffer state of one plan buffer.
+type pipeBuf struct {
+	slots [2]*pslot
+	cur   int
+}
+
+// pipeline is the asynchronous engine's state. All fields are owned by the
+// scheduling goroutine during a unit; the executing goroutine touches only
+// operation payloads, and the engine reads aggregate state between units
+// (the barrier join orders those accesses).
+type pipeline struct {
+	e      *engine
+	sem    chan struct{}
+	budget int64
+	aarrs  map[string]disk.AsyncArray
+	bufs   map[*codegen.Buffer]*pipeBuf
+	// pending tracks outstanding disk operations per array for section
+	// hazard detection; completed entries are pruned on the fly.
+	pending map[string][]*pop
+
+	ioClock, compClock float64
+	stats              PipelineStats
+}
+
+func newPipeline(e *engine, depth int) *pipeline {
+	if depth <= 0 {
+		depth = defaultPipelineDepth
+	}
+	return &pipeline{
+		e:     e,
+		sem:   make(chan struct{}, depth),
+		aarrs: map[string]disk.AsyncArray{},
+		bufs:  map[*codegen.Buffer]*pipeBuf{},
+	}
+}
+
+// snapshot finalizes the stats (the overlapped critical path is the later
+// of the two clocks).
+func (p *pipeline) snapshot() *PipelineStats {
+	st := p.stats
+	st.OverlappedSeconds = p.ioClock
+	if p.compClock > st.OverlappedSeconds {
+		st.OverlappedSeconds = p.compClock
+	}
+	return &st
+}
+
+// runUnit executes one top-level work unit through the pipeline and drains
+// it (the unit barrier). The scheduling goroutine walks the step list,
+// resolving hazards and issuing disk operations bounded by the in-flight
+// semaphore; the calling goroutine executes the inline steps (zero,
+// compute, init) in program order.
+func (p *pipeline) runUnit(ns []codegen.Node) error {
+	steps := p.e.genSteps(ns, nil)
+	if len(steps) == 0 {
+		return nil
+	}
+	if p.budget == 0 {
+		p.budget = p.e.plan.Cfg.MemoryLimit
+		if mb := p.e.plan.MemoryBytes(); mb > p.budget {
+			// Never refuse a plan the serial engine would run: an
+			// over-budget plan gets no shadow slots but still executes.
+			p.budget = mb
+		}
+	}
+	p.pending = map[string][]*pop{}
+	// Full capacity: the scheduler never blocks sending inline steps, only
+	// on the in-flight I/O semaphore.
+	inlineQ := make(chan *pop, len(steps))
+	var ops []*pop
+	var genErr error
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		defer close(inlineQ)
+		for i := range steps {
+			if err := p.e.ctxErr(); err != nil {
+				genErr = err
+				return
+			}
+			op, err := p.schedule(&steps[i])
+			if err != nil {
+				genErr = err
+				return
+			}
+			ops = append(ops, op)
+			if op.inline != nil {
+				inlineQ <- op
+			}
+		}
+	}()
+	for op := range inlineQ {
+		var err error
+		for _, d := range op.deps {
+			<-d.done
+			if d.err != nil && err == nil {
+				err = d.err
+			}
+		}
+		if err == nil {
+			err = op.inline()
+		}
+		op.err = err
+		close(op.done)
+	}
+	<-schedDone
+	for _, op := range ops {
+		<-op.done
+	}
+	// Barrier: both engines are idle; synchronize the timeline clocks.
+	if p.compClock > p.ioClock {
+		p.ioClock = p.compClock
+	} else {
+		p.compClock = p.ioClock
+	}
+	p.stats.Barriers++
+	for _, op := range ops {
+		if op.err != nil {
+			return op.err
+		}
+	}
+	return genErr
+}
+
+// schedule does the program-order bookkeeping for one step: slot and
+// hazard resolution, timeline accounting, and (for disk steps) issuing the
+// asynchronous operation.
+func (p *pipeline) schedule(s *pstep) (*pop, error) {
+	op := &pop{done: make(chan struct{})}
+	switch s.kind {
+	case stepRead:
+		p.scheduleRead(s, op)
+	case stepWrite:
+		if err := p.scheduleWrite(s, op); err != nil {
+			return nil, err
+		}
+	case stepZero:
+		p.scheduleZero(s, op)
+	case stepInit:
+		p.scheduleInit(s, op)
+	case stepCompute:
+		if err := p.scheduleCompute(s, op); err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
+}
+
+// buf returns the double-buffer state of a plan buffer.
+func (p *pipeline) buf(b *codegen.Buffer) *pipeBuf {
+	pb := p.bufs[b]
+	if pb == nil {
+		pb = &pipeBuf{}
+		p.bufs[b] = pb
+	}
+	return pb
+}
+
+// arr returns the asynchronous view of a disk array.
+func (p *pipeline) arr(name string) disk.AsyncArray {
+	aa, ok := p.aarrs[name]
+	if !ok {
+		aa = disk.AsAsync(p.e.arrs[name])
+		p.aarrs[name] = aa
+	}
+	return aa
+}
+
+// fillSlot picks the slot a fill (read or zero) targets and binds its
+// tensor: the shadow slot when memory allows (enabling overlap with the
+// previous instance's consumers), otherwise the current slot in place.
+// shadow reports whether the fill flipped away from a live instance.
+func (p *pipeline) fillSlot(s *pstep) (slot *pslot, shadow bool) {
+	pb := p.buf(s.buf)
+	n := int64(1)
+	for _, x := range s.shape {
+		n *= x
+	}
+	want := 1 - pb.cur
+	if pb.slots[pb.cur] == nil {
+		want = pb.cur // first use: no live instance to shadow
+	} else if pb.slots[want] == nil && !p.e.opt.DryRun && p.e.curBytes+n*8 > p.budget {
+		want = pb.cur // no headroom for a shadow slot: reuse in place
+	}
+	shadow = want != pb.cur
+	pb.cur = want
+	slot = pb.slots[want]
+	if slot == nil {
+		slot = &pslot{}
+		pb.slots[want] = slot
+	}
+	if !p.e.opt.DryRun {
+		dims := make([]int, len(s.shape))
+		for i, x := range s.shape {
+			dims[i] = int(x)
+		}
+		if slot.t == nil || slot.t.Size() != int(n) {
+			// A fresh tensor, never a resize in place: already-issued
+			// operations keep the instance they captured at scheduling
+			// time.
+			p.e.curBytes += (n - int64(sizeOf(slot.t))) * 8
+			if p.e.curBytes > p.e.peakBytes {
+				p.e.peakBytes = p.e.curBytes
+			}
+			slot.t = tensor.New(dimsOrScalar(dims)...)
+		} else {
+			slot.t = slot.t.Reshape(dimsOrScalar(dims)...)
+		}
+	}
+	return slot, shadow
+}
+
+// slotDeps returns every operation still tied to a slot's current
+// contents.
+func slotDeps(slot *pslot) []*pop {
+	var deps []*pop
+	if slot.filler != nil {
+		deps = append(deps, slot.filler)
+	}
+	deps = append(deps, slot.users...)
+	return deps
+}
+
+// conflicts returns the outstanding operations on an array that a new
+// operation over [lo, lo+shape) must wait for: a reader conflicts with
+// pending writes, a writer with everything overlapping. Completed entries
+// are pruned in passing. nil lo means the whole array.
+func (p *pipeline) conflicts(array string, lo, shape []int64, isWrite bool) []*pop {
+	var out []*pop
+	live := p.pending[array][:0]
+	for _, op := range p.pending[array] {
+		select {
+		case <-op.done:
+			continue
+		default:
+		}
+		live = append(live, op)
+		if (isWrite || op.write) && boxesOverlap(lo, shape, op.lo, op.shape) {
+			out = append(out, op)
+		}
+	}
+	p.pending[array] = live
+	return out
+}
+
+// boxesOverlap reports hyper-rectangle intersection; a nil box spans the
+// whole array.
+func boxesOverlap(alo, ash, blo, bsh []int64) bool {
+	if alo == nil || blo == nil {
+		return true
+	}
+	for i := range alo {
+		if alo[i]+ash[i] <= blo[i] || blo[i]+bsh[i] <= alo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// track registers an outstanding disk operation for hazard detection.
+func (p *pipeline) track(array string, op *pop) {
+	p.pending[array] = append(p.pending[array], op)
+}
+
+// ioTime places an operation on the I/O-channel timeline.
+func (p *pipeline) ioTime(op *pop, dur float64) {
+	start := p.ioClock
+	for _, d := range op.deps {
+		if d.end > start {
+			start = d.end
+		}
+	}
+	op.end = start + dur
+	p.ioClock = op.end
+	p.stats.IOSeconds += dur
+	p.stats.SerialSeconds += dur
+}
+
+// compTime places an operation on the compute timeline.
+func (p *pipeline) compTime(op *pop, dur float64) {
+	start := p.compClock
+	for _, d := range op.deps {
+		if d.end > start {
+			start = d.end
+		}
+	}
+	op.end = start + dur
+	p.compClock = op.end
+	p.stats.ComputeSeconds += dur
+	p.stats.SerialSeconds += dur
+}
+
+// issue runs a disk operation asynchronously: wait for the hazards, then
+// perform the backend call and resolve the completion. The semaphore is
+// taken on the scheduling goroutine, bounding how far issue runs ahead.
+func (p *pipeline) issue(op *pop, read bool, array, pos string, run func() error) {
+	p.sem <- struct{}{}
+	go func() {
+		defer func() { <-p.sem }()
+		for _, d := range op.deps {
+			<-d.done
+			if d.err != nil {
+				op.err = d.err
+				close(op.done)
+				return
+			}
+		}
+		if err := run(); err != nil {
+			op.err = ioErr(read, array, pos, err)
+		}
+		close(op.done)
+	}()
+}
+
+func (p *pipeline) scheduleRead(s *pstep, op *pop) {
+	slot, shadow := p.fillSlot(s)
+	deps := slotDeps(slot)
+	deps = append(deps, p.conflicts(s.array, s.lo, s.shape, false)...)
+	op.deps = deps
+	op.lo, op.shape = s.lo, s.shape
+	slot.filler = op
+	slot.users = nil
+	slot.base = s.lo
+	p.track(s.array, op)
+	n := int64(1)
+	for _, x := range s.shape {
+		n *= x
+	}
+	p.ioTime(op, p.e.plan.Cfg.Disk.ReadTime(n*8, 1))
+	if shadow {
+		p.stats.PrefetchedReads++
+	}
+	var data []float64
+	if slot.t != nil {
+		data = slot.t.Data()
+	}
+	aa := p.arr(s.array)
+	lo, shape := s.lo, s.shape
+	p.issue(op, true, s.array, s.pos, func() error {
+		return aa.ReadAsync(lo, shape, data).Await()
+	})
+}
+
+func (p *pipeline) scheduleWrite(s *pstep, op *pop) error {
+	pb := p.bufs[s.buf]
+	var slot *pslot
+	if pb != nil {
+		slot = pb.slots[pb.cur]
+	}
+	lo, shape := s.lo, s.shape
+	var data []float64
+	if slot == nil {
+		// Dry-run plans skip zero-fills, so a write may target a buffer
+		// with no instance; the generation-time section stands in.
+		if !p.e.opt.DryRun {
+			return fmt.Errorf("exec: write to %q at %s: write of uninstantiated buffer %q", s.array, s.pos, s.buf.Name)
+		}
+	} else {
+		if slot.t != nil {
+			lo = slot.base
+			shape = dimsToInt64(slot.t.Dims())
+			data = slot.t.Data()
+		}
+		op.deps = slotDeps(slot)
+		slot.users = append(slot.users, op)
+	}
+	op.deps = append(op.deps, p.conflicts(s.array, lo, shape, true)...)
+	op.lo, op.shape = lo, shape
+	op.write = true
+	p.track(s.array, op)
+	n := int64(1)
+	for _, x := range shape {
+		n *= x
+	}
+	p.ioTime(op, p.e.plan.Cfg.Disk.WriteTime(n*8, 1))
+	p.stats.WriteBehindWrites++
+	aa := p.arr(s.array)
+	p.issue(op, false, s.array, s.pos, func() error {
+		return aa.WriteAsync(lo, shape, data).Await()
+	})
+	return nil
+}
+
+func (p *pipeline) scheduleZero(s *pstep, op *pop) {
+	slot, _ := p.fillSlot(s)
+	op.deps = slotDeps(slot)
+	slot.filler = op
+	slot.users = nil
+	slot.base = s.lo
+	t := slot.t // captured: a later fill re-binds the slot, not this tensor
+	op.inline = func() error {
+		if t != nil {
+			t.Zero()
+		}
+		return nil
+	}
+	p.compTime(op, 0)
+}
+
+func (p *pipeline) scheduleInit(s *pstep, op *pop) {
+	op.deps = p.conflicts(s.array, nil, nil, true)
+	op.write = true
+	p.track(s.array, op)
+	name := s.array
+	op.inline = func() error {
+		if err := p.e.initPass(name); err != nil {
+			return fmt.Errorf("exec: init pass over %q: %w", name, err)
+		}
+		return nil
+	}
+	bytes, writes := p.initCost(name)
+	p.ioTime(op, p.e.plan.Cfg.Disk.WriteTime(bytes, writes))
+}
+
+// initCost returns the modelled bytes and operation count of an init pass
+// (the tile-by-tile zero-fill initPass performs).
+func (p *pipeline) initCost(name string) (bytes, writes int64) {
+	for _, da := range p.e.plan.DiskArrays {
+		if da.Name != name {
+			continue
+		}
+		bytes = size(da.Dims) * 8
+		writes = 1
+		for i, idx := range da.Indices {
+			t := p.e.plan.Tiles[idx]
+			writes *= (da.Dims[i] + t - 1) / t
+		}
+		return bytes, writes
+	}
+	return 0, 0
+}
+
+// scheduleCompute binds the compute block to the current buffer instances
+// and queues it for in-order inline execution. In data mode a missing
+// instance is a plan error (as in the serial engine); in dry-run mode the
+// block is timeline-only and missing instances simply contribute no
+// dependencies.
+func (p *pipeline) scheduleCompute(s *pstep, op *pop) error {
+	c := s.comp
+	curSlot := func(b *codegen.Buffer) *pslot {
+		if pb := p.bufs[b]; pb != nil {
+			return pb.slots[pb.cur]
+		}
+		return nil
+	}
+	outSlot := curSlot(c.Out)
+	if outSlot == nil && !p.e.opt.DryRun {
+		return fmt.Errorf("exec: compute into uninstantiated buffer %q at %s", c.Out.Name, s.pos)
+	}
+	var deps []*pop
+	var outInst *bufInst
+	if outSlot != nil {
+		deps = append(deps, slotDeps(outSlot)...)
+		outInst = &bufInst{t: outSlot.t, base: outSlot.base}
+	}
+	facInsts := make([]*bufInst, len(c.Factors))
+	for i, f := range c.Factors {
+		slot := curSlot(f)
+		if slot == nil {
+			if !p.e.opt.DryRun {
+				return fmt.Errorf("exec: compute reads uninstantiated buffer %q at %s", f.Name, s.pos)
+			}
+			continue
+		}
+		if slot.filler != nil {
+			deps = append(deps, slot.filler)
+		}
+		slot.users = append(slot.users, op)
+		facInsts[i] = &bufInst{t: slot.t, base: slot.base}
+	}
+	if outSlot != nil {
+		// The block mutates the output instance: it becomes the contents'
+		// producer, and the waited-for users are spent.
+		outSlot.filler = op
+		outSlot.users = nil
+	}
+	op.deps = deps
+	dryRun := p.e.opt.DryRun
+	e := p.e
+	base := s.base
+	op.inline = func() error {
+		if dryRun {
+			return nil
+		}
+		e.computeWith(c, base, outInst, facInsts)
+		return nil
+	}
+	var dur float64
+	if rate := p.e.plan.Cfg.FlopRate; rate > 0 {
+		flops := float64(p.e.computePoints(c, base)) * float64(2*len(c.Factors))
+		if s.mul > 0 {
+			flops *= s.mul
+		}
+		dur = flops / rate
+	}
+	p.compTime(op, dur)
+	return nil
+}

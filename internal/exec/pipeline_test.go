@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/expr"
+	"repro/internal/ga"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// bitIdentical requires exact float64 equality element by element — the
+// pipelined engine reorders disk traffic, never arithmetic.
+func bitIdentical(t *testing.T, got, want *tensor.Tensor, ctx string) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: missing output tensor", ctx)
+	}
+	g, w := got.Data(), want.Data()
+	if len(g) != len(w) {
+		t.Fatalf("%s: size %d vs %d", ctx, len(g), len(w))
+	}
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("%s: element %d: %v != %v (not bit-identical)", ctx, i, g[i], w[i])
+		}
+	}
+}
+
+// sameIO requires identical operation and byte counts; the modelled times
+// are accumulated in completion order, so only their sums are compared
+// (floating-point addition is not associative).
+func sameIO(t *testing.T, got, want disk.Stats, ctx string) {
+	t.Helper()
+	if got.ReadOps != want.ReadOps || got.WriteOps != want.WriteOps ||
+		got.BytesRead != want.BytesRead || got.BytesWritten != want.BytesWritten {
+		t.Fatalf("%s: pipelined I/O counts %v != serial %v", ctx, got, want)
+	}
+	if math.Abs(got.ReadTime-want.ReadTime) > 1e-9*(1+math.Abs(want.ReadTime)) ||
+		math.Abs(got.WriteTime-want.WriteTime) > 1e-9*(1+math.Abs(want.WriteTime)) {
+		t.Fatalf("%s: pipelined modelled I/O time %v != serial %v", ctx, got, want)
+	}
+}
+
+// TestPipelineMatchesSerialAllPlacements is the pipelined engine's central
+// property: for EVERY placement combination and several tile shapes of the
+// fused two-index transform, pipelined execution is bit-identical to
+// serial execution and moves exactly the same disk bytes and operations.
+func TestPipelineMatchesSerialAllPlacements(t *testing.T) {
+	nmn, nij := int64(6), int64(8)
+	prog := loops.TwoIndexFused(nmn, nij)
+	cfg := machine.Small(1 << 20)
+	p := buildProblem(t, prog, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(nmn, nij), 99)
+
+	tileSets := []map[string]int64{
+		{"i": 8, "j": 8, "m": 6, "n": 6},
+		{"i": 4, "j": 4, "m": 3, "n": 3},
+		{"i": 3, "j": 5, "m": 4, "n": 5},
+		{"i": 1, "j": 1, "m": 1, "n": 1},
+	}
+	nCombos := 1
+	for ci := 0; ci < p.NumChoices(); ci++ {
+		nCombos *= p.NumCandidates(ci)
+	}
+	for _, tiles := range tileSets {
+		for combo := 0; combo < nCombos; combo++ {
+			sel := map[string]int{}
+			rest := combo
+			for ci := 0; ci < p.NumChoices(); ci++ {
+				m := p.NumCandidates(ci)
+				sel[p.Choices[ci].Name] = rest % m
+				rest /= m
+			}
+			plan, err := codegen.Generate(p, p.Encode(tiles, sel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(opt Options) *Result {
+				be := disk.NewSim(cfg.Disk, true)
+				defer be.Close()
+				res, err := Run(plan, be, inputs, opt)
+				if err != nil {
+					t.Fatalf("tiles %v combo %d: %v", tiles, combo, err)
+				}
+				return res
+			}
+			serial := run(Options{})
+			piped := run(Options{Pipeline: true})
+			bitIdentical(t, piped.Outputs["B"], serial.Outputs["B"], "pipelined output")
+			sameIO(t, piped.Stats, serial.Stats, "all-placements")
+			if piped.Pipeline == nil {
+				t.Fatal("pipelined run must report PipelineStats")
+			}
+			if o, s := piped.Pipeline.OverlappedSeconds, piped.Pipeline.SerialSeconds; o > s+1e-12 {
+				t.Fatalf("tiles %v combo %d: overlapped %.9f exceeds serial %.9f", tiles, combo, o, s)
+			}
+		}
+	}
+}
+
+// TestPipelineWatermarkWithinLimit checks the double-buffer memory
+// accounting: shadow slots may at most double the plan's static footprint
+// and are only allocated while the machine's memory limit holds.
+func TestPipelineWatermarkWithinLimit(t *testing.T) {
+	nmn, nij := int64(12), int64(16)
+	prog := loops.TwoIndexFused(nmn, nij)
+	cfg := machine.Small(64 << 10)
+	p := buildProblem(t, prog, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(nmn, nij), 3)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 4, "j": 4, "m": 6, "n": 8}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MemoryBytes() > cfg.MemoryLimit {
+		t.Fatalf("test plan should fit the machine: %d > %d", plan.MemoryBytes(), cfg.MemoryLimit)
+	}
+	be := disk.NewSim(cfg.Disk, true)
+	defer be.Close()
+	res, err := Run(plan, be, inputs, Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBufferBytes > cfg.MemoryLimit {
+		t.Fatalf("pipelined watermark %d exceeds machine limit %d", res.PeakBufferBytes, cfg.MemoryLimit)
+	}
+	if res.PeakBufferBytes > 2*plan.MemoryBytes() {
+		t.Fatalf("pipelined watermark %d exceeds double the static footprint %d", res.PeakBufferBytes, plan.MemoryBytes())
+	}
+}
+
+// TestPipelineOverlapFourIndex runs the four-index transform dry-run at a
+// scale where compute time is significant (OSC Itanium-2 model) and
+// requires the pipelined critical path to be strictly shorter than the
+// serial one, with identical I/O totals.
+func TestPipelineOverlapFourIndex(t *testing.T) {
+	n, v := int64(48), int64(32)
+	prog := loops.FourIndexAbstract(n, v)
+	cfg := machine.OSCItanium2()
+	cfg.MemoryLimit = 8 << 20 // force a genuinely out-of-core tiling at test scale
+	p := buildProblem(t, prog, cfg)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{
+		"p": 16, "q": 16, "r": 16, "s": 16, "a": 16, "b": 16, "c": 16, "d": 16,
+	}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opt Options) *Result {
+		be := disk.NewSim(cfg.Disk, false)
+		defer be.Close()
+		opt.DryRun = true
+		res, err := Run(plan, be, nil, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(Options{})
+	piped := run(Options{Pipeline: true})
+	sameIO(t, piped.Stats, serial.Stats, "four-index dry run")
+	ps := piped.Pipeline
+	if ps == nil {
+		t.Fatal("pipelined run must report PipelineStats")
+	}
+	if ps.ComputeSeconds <= 0 {
+		t.Fatalf("expected nonzero modelled compute time, got %v", ps.ComputeSeconds)
+	}
+	if ps.OverlappedSeconds >= ps.SerialSeconds {
+		t.Fatalf("no overlap: overlapped %.3f s >= serial %.3f s", ps.OverlappedSeconds, ps.SerialSeconds)
+	}
+	lower := math.Max(ps.IOSeconds, ps.ComputeSeconds)
+	if ps.OverlappedSeconds < lower-1e-9 {
+		t.Fatalf("overlapped %.3f s below the max(I/O, compute) bound %.3f s", ps.OverlappedSeconds, lower)
+	}
+	if ps.PrefetchedReads == 0 {
+		t.Fatal("expected prefetched reads on a multi-tile plan")
+	}
+	if ps.WriteBehindWrites == 0 {
+		t.Fatal("expected write-behind writes")
+	}
+}
+
+// TestPipelineOnCluster runs the pipelined engine against the ga parallel
+// backend (native async collectives) and checks bit-identical results.
+func TestPipelineOnCluster(t *testing.T) {
+	nmn, nij := int64(6), int64(8)
+	prog := loops.TwoIndexFused(nmn, nij)
+	cfg := machine.Small(1 << 20)
+	p := buildProblem(t, prog, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(nmn, nij), 11)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 3, "j": 5, "m": 4, "n": 5}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opt Options) *Result {
+		cl, err := ga.NewCluster(4, cfg.Disk, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		res, err := Run(plan, cl, inputs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(Options{})
+	piped := run(Options{Pipeline: true, Workers: 2})
+	bitIdentical(t, piped.Outputs["B"], serial.Outputs["B"], "cluster pipelined output")
+}
+
+// TestPipelineCrashAndResume checks that the unit barrier keeps
+// StopAfter/Resume checkpointing exact under the pipelined engine.
+func TestPipelineCrashAndResume(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	plan := crashResumePlan(t, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+
+	ref, err := Run(plan, disk.NewSim(cfg.Disk, true), inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stop := int64(1); stop <= 3; stop++ {
+		dir := t.TempDir()
+		fs1, err := disk.NewFileStore(dir, cfg.Disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := Run(plan, fs1, inputs, Options{Pipeline: true, StopAfter: stop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Stopped == nil {
+			t.Fatalf("stop=%d: pipelined run was not interrupted", stop)
+		}
+		fs1.Close()
+
+		fs2, err := disk.NewFileStore(dir, cfg.Disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Run(plan, fs2, nil, Options{Pipeline: true, Resume: first.Stopped})
+		if err != nil {
+			t.Fatalf("stop=%d: resume: %v", stop, err)
+		}
+		bitIdentical(t, second.Outputs["B"], ref.Outputs["B"], "resumed pipelined output")
+		fs2.Close()
+	}
+}
+
+// TestRunContextCancelled checks that a cancelled context aborts both
+// engines with a context error.
+func TestRunContextCancelled(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	plan := crashResumePlan(t, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opt := range []Options{{}, {Pipeline: true}} {
+		be := disk.NewSim(cfg.Disk, true)
+		_, err := RunContext(ctx, plan, be, inputs, opt)
+		if err == nil || !errorsIsCancel(err) {
+			t.Fatalf("pipeline=%v: want context cancellation error, got %v", opt.Pipeline, err)
+		}
+		be.Close()
+	}
+}
+
+func errorsIsCancel(err error) bool {
+	return err != nil && context.Canceled == rootCause(err)
+}
+
+func rootCause(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		err = u.Unwrap()
+	}
+}

@@ -43,6 +43,11 @@ func NewCluster(p int, d machine.Disk, withData bool) (*Cluster, error) {
 // Procs returns the process count.
 func (c *Cluster) Procs() int { return c.p }
 
+// AsyncCapable reports native disk.AsyncArray support: collective
+// operations can be issued in the background, which is how the pipelined
+// execution engine threads prefetch and write-behind through the cluster.
+func (c *Cluster) AsyncCapable() bool { return true }
+
 type clusterArray struct {
 	c      *Cluster
 	name   string
@@ -122,6 +127,19 @@ func (c *Cluster) Close() error {
 
 func (a *clusterArray) Name() string  { return a.name }
 func (a *clusterArray) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+// ReadAsync starts the collective read in the background: the per-process
+// transfers already run concurrently, so async here means the issuing
+// process (the pipelined execution engine) does not wait for the slowest
+// local disk before computing.
+func (a *clusterArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion {
+	return disk.Go(func() error { return a.collective(lo, shape, buf, true) })
+}
+
+// WriteAsync starts the collective write in the background.
+func (a *clusterArray) WriteAsync(lo, shape []int64, buf []float64) disk.Completion {
+	return disk.Go(func() error { return a.collective(lo, shape, buf, false) })
+}
 
 // ReadSection performs a collective read: the section is partitioned along
 // its leading dimension and each process reads its share from its local

@@ -30,6 +30,12 @@ type Options struct {
 	Workers int
 	// KeepUnfused disables the greedy fusion pass.
 	KeepUnfused bool
+	// Pipeline executes through the asynchronous double-buffered engine:
+	// reads are prefetched and writes retired in the background while
+	// compute runs, bit-identically to serial execution. PipelineDepth
+	// bounds in-flight disk operations (0: engine default).
+	Pipeline      bool
+	PipelineDepth int
 }
 
 // Result reports a contraction run.
@@ -38,6 +44,9 @@ type Result struct {
 	Synthesis *core.Synthesis
 	// Stats are the I/O statistics of the execution.
 	Stats disk.Stats
+	// Pipeline holds the pipelined engine's modelled serial-vs-overlapped
+	// timeline (nil unless Options.Pipeline).
+	Pipeline *exec.PipelineStats
 }
 
 // Contract evaluates an einsum-style contraction over arrays resident on
@@ -79,14 +88,16 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 		return nil, err
 	}
 	res, err := exec.Run(s.Plan, be, nil, exec.Options{
-		OpenInputs: true,
-		NoFetch:    true, // results stay disk-resident
-		Workers:    opt.Workers,
+		OpenInputs:    true,
+		NoFetch:       true, // results stay disk-resident
+		Workers:       opt.Workers,
+		Pipeline:      opt.Pipeline,
+		PipelineDepth: opt.PipelineDepth,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Synthesis: s, Stats: res.Stats}, nil
+	return &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline}, nil
 }
 
 // parseWithInferredRanges parses the spec and infers every index's extent

@@ -113,6 +113,42 @@ func TestContractParallelWorkersSameResult(t *testing.T) {
 	}
 }
 
+func TestContractPipelineSameResult(t *testing.T) {
+	mk := func(pipe bool) ([]float64, *Result) {
+		be := disk.NewSim(machine.Small(4<<10).Disk, true)
+		defer be.Close()
+		stage(t, be, "A", 12, 9)
+		stage(t, be, "B", 9, 11)
+		opt := smallOpt()
+		opt.Pipeline = pipe
+		res, err := MatMul(be, "C", "A", "B", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := be.DumpArray("C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, res
+	}
+	serial, sres := mk(false)
+	piped, pres := mk(true)
+	for i := range serial {
+		if serial[i] != piped[i] {
+			t.Fatalf("pipeline changed results at %d: %v != %v", i, piped[i], serial[i])
+		}
+	}
+	if sres.Pipeline != nil {
+		t.Fatal("serial run must not report PipelineStats")
+	}
+	if pres.Pipeline == nil {
+		t.Fatal("pipelined run must report PipelineStats")
+	}
+	if pres.Pipeline.OverlappedSeconds > pres.Pipeline.SerialSeconds+1e-12 {
+		t.Fatalf("overlapped %v exceeds serial %v", pres.Pipeline.OverlappedSeconds, pres.Pipeline.SerialSeconds)
+	}
+}
+
 func TestContractUnfusedOption(t *testing.T) {
 	be := disk.NewSim(machine.Small(4<<10).Disk, true)
 	defer be.Close()

@@ -167,6 +167,84 @@ func FormatTable3(rows []Table3Row) string {
 	return b.String()
 }
 
+// TablePipelineRow is one row of the pipelined-execution study: the
+// modelled I/O-critical-path time of the DCS-synthesized code executed
+// serially vs. through the asynchronous double-buffered engine (prefetch
+// + write-behind overlapping compute).
+type TablePipelineRow struct {
+	Size Size
+	// SerialSeconds is the modelled time with every operation on the
+	// critical path (the Table 3 execution discipline).
+	SerialSeconds float64
+	// OverlappedSeconds is the modelled critical path of the pipelined
+	// engine over the same plan — identical bytes and operations.
+	OverlappedSeconds float64
+	// IOSeconds/ComputeSeconds split the serial time by engine; their max
+	// lower-bounds OverlappedSeconds.
+	IOSeconds      float64
+	ComputeSeconds float64
+	// PrefetchedReads and WriteBehindWrites count the operations the
+	// pipeline moved off the critical path.
+	PrefetchedReads   int64
+	WriteBehindWrites int64
+}
+
+// Speedup returns the serial/overlapped ratio.
+func (r TablePipelineRow) Speedup() float64 {
+	if r.OverlappedSeconds <= 0 {
+		return 1
+	}
+	return r.SerialSeconds / r.OverlappedSeconds
+}
+
+// TablePipeline synthesizes each size with DCS and measures the generated
+// code on the simulated disk both serially and pipelined. The pipelined
+// run moves exactly the same bytes in the same operations; only the
+// modelled critical path changes.
+func TablePipeline(sizes []Size, opt Options) ([]TablePipelineRow, error) {
+	opt = opt.withDefaults()
+	var rows []TablePipelineRow
+	for _, sz := range sizes {
+		ds, err := synthesize(core.DCS, sz, opt, 0)
+		if err != nil {
+			return nil, fmt.Errorf("tables: DCS at %v: %w", sz, err)
+		}
+		ds.Pipeline = true
+		res, err := ds.MeasureSimFull()
+		if err != nil {
+			return nil, fmt.Errorf("tables: pipelined measurement at %v: %w", sz, err)
+		}
+		ps := res.Pipeline
+		if ps == nil {
+			return nil, fmt.Errorf("tables: pipelined measurement at %v reported no pipeline stats", sz)
+		}
+		rows = append(rows, TablePipelineRow{
+			Size:              sz,
+			SerialSeconds:     ps.SerialSeconds,
+			OverlappedSeconds: ps.OverlappedSeconds,
+			IOSeconds:         ps.IOSeconds,
+			ComputeSeconds:    ps.ComputeSeconds,
+			PrefetchedReads:   ps.PrefetchedReads,
+			WriteBehindWrites: ps.WriteBehindWrites,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTablePipeline renders rows in the Table 3 layout, extended with
+// the overlapped column.
+func FormatTablePipeline(rows []TablePipelineRow) string {
+	var b strings.Builder
+	b.WriteString("Pipelined execution: modelled serial vs overlapped disk I/O critical path (s)\n")
+	b.WriteString("Ranges(p..s)  Ranges(a..d)       serial     io  compute  overlapped  speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d  %12d  %11.0f  %5.0f  %7.0f  %10.0f  %6.2fx\n",
+			r.Size.N, r.Size.V, r.SerialSeconds, r.IOSeconds, r.ComputeSeconds,
+			r.OverlappedSeconds, r.Speedup())
+	}
+	return b.String()
+}
+
 // NaivePagingCost estimates the disk time of running the abstract code
 // untiled under OS demand paging (the ViC*-style strawman the
 // out-of-core synthesis replaces): every array is accessed at its

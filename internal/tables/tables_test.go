@@ -61,6 +61,41 @@ func TestTable3ShapeHolds(t *testing.T) {
 	}
 }
 
+func TestTablePipelineShapeHolds(t *testing.T) {
+	rows, err := TablePipeline([]Size{{140, 120}}, capped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.SerialSeconds <= 0 || r.OverlappedSeconds <= 0 || r.ComputeSeconds <= 0 {
+		t.Fatalf("non-positive times: %+v", r)
+	}
+	// The headline: the overlapped critical path is strictly below the
+	// serial one, bounded below by the busier engine.
+	if r.OverlappedSeconds >= r.SerialSeconds {
+		t.Fatalf("no overlap win: %+v", r)
+	}
+	lower := r.IOSeconds
+	if r.ComputeSeconds > lower {
+		lower = r.ComputeSeconds
+	}
+	if r.OverlappedSeconds < lower*(1-1e-9) {
+		t.Fatalf("overlapped %v below the busier engine %v", r.OverlappedSeconds, lower)
+	}
+	if r.PrefetchedReads == 0 {
+		t.Fatalf("no prefetch happened: %+v", r)
+	}
+	if r.Speedup() <= 1 {
+		t.Fatalf("speedup %v not above 1", r.Speedup())
+	}
+	out := FormatTablePipeline(rows)
+	for _, want := range []string{"overlapped", "speedup", "140", "120"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pipeline table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestTable4ScalingShapeHolds(t *testing.T) {
 	rows, err := Table4(Size{140, 120}, []int{2, 4}, capped())
 	if err != nil {

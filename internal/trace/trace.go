@@ -34,17 +34,38 @@ type Op struct {
 }
 
 // Recorder wraps a disk backend and records every section operation.
+//
+// The recorder passes the asynchronous contract through: its arrays
+// implement disk.AsyncArray over whatever the inner backend offers
+// (natively or via disk.AsAsync), so the pipelined execution engine runs
+// traced without losing overlap. Asynchronous operations are recorded at
+// completion time with bytes derived from the section shape and duration
+// from the recorder's disk model (NewWithDisk) — the synchronous path's
+// stats-delta attribution would misattribute bytes across concurrently
+// completing operations.
 type Recorder struct {
 	inner disk.Backend
+
+	model    machine.Disk
+	hasModel bool
 
 	mu    sync.Mutex
 	ops   []Op
 	clock float64
 }
 
-// New wraps a backend.
+// New wraps a backend. Asynchronous operations traced through a Recorder
+// built this way carry zero Duration (the recorder has no disk model to
+// charge); use NewWithDisk when tracing pipelined executions.
 func New(inner disk.Backend) *Recorder {
 	return &Recorder{inner: inner}
+}
+
+// NewWithDisk wraps a backend and charges asynchronous operations the
+// given disk model's per-section time (seek + transfer), matching the
+// simulator's synchronous accounting.
+func NewWithDisk(inner disk.Backend, d machine.Disk) *Recorder {
+	return &Recorder{inner: inner, model: d, hasModel: true}
 }
 
 // Ops returns a copy of the recorded operations.
@@ -83,6 +104,10 @@ func (r *Recorder) Open(name string) (disk.Array, error) {
 // Stats implements disk.Backend.
 func (r *Recorder) Stats() disk.Stats { return r.inner.Stats() }
 
+// AsyncCapable implements disk.AsyncBackend: traced arrays always carry
+// the asynchronous contract (adapting the inner array when it lacks one).
+func (r *Recorder) AsyncCapable() bool { return true }
+
 // ResetStats implements disk.Backend; it also clears the recording so the
 // trace covers exactly what the statistics cover.
 func (r *Recorder) ResetStats() {
@@ -107,6 +132,69 @@ func (a *tracedArray) ReadSection(lo, shape []int64, buf []float64) error {
 
 func (a *tracedArray) WriteSection(lo, shape []int64, buf []float64) error {
 	return a.record(lo, shape, buf, false)
+}
+
+// ReadAsync implements disk.AsyncArray: the inner operation (native or
+// adapted) proceeds concurrently; the op is recorded when awaited.
+func (a *tracedArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion {
+	return &tracedCompletion{
+		inner: disk.AsAsync(a.inner).ReadAsync(lo, shape, buf),
+		rec:   func() { a.rec.addAsync(a.inner.Name(), lo, shape, true) },
+	}
+}
+
+// WriteAsync implements disk.AsyncArray.
+func (a *tracedArray) WriteAsync(lo, shape []int64, buf []float64) disk.Completion {
+	return &tracedCompletion{
+		inner: disk.AsAsync(a.inner).WriteAsync(lo, shape, buf),
+		rec:   func() { a.rec.addAsync(a.inner.Name(), lo, shape, false) },
+	}
+}
+
+// tracedCompletion records the operation once it succeeds.
+type tracedCompletion struct {
+	inner disk.Completion
+	rec   func()
+}
+
+func (c *tracedCompletion) Await() error {
+	err := c.inner.Await()
+	if err == nil {
+		c.rec()
+	}
+	return err
+}
+
+// addAsync appends an asynchronous op in completion order. Bytes come
+// from the section shape and duration from the disk model: concurrent
+// completions make the synchronous path's stats-delta attribution
+// unsound.
+func (r *Recorder) addAsync(array string, lo, shape []int64, read bool) {
+	bytes := int64(8)
+	for _, s := range shape {
+		bytes *= s
+	}
+	var dur float64
+	if r.hasModel {
+		if read {
+			dur = r.model.ReadTime(bytes, 1)
+		} else {
+			dur = r.model.WriteTime(bytes, 1)
+		}
+	}
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{
+		Seq:      int64(len(r.ops)),
+		Array:    array,
+		Read:     read,
+		Lo:       append([]int64(nil), lo...),
+		Shape:    append([]int64(nil), shape...),
+		Bytes:    bytes,
+		Start:    r.clock,
+		Duration: dur,
+	})
+	r.clock += dur
+	r.mu.Unlock()
 }
 
 func (a *tracedArray) record(lo, shape []int64, buf []float64, read bool) error {

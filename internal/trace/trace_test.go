@@ -89,6 +89,66 @@ func TestRecorderOpenWrapsToo(t *testing.T) {
 	}
 }
 
+func TestRecorderAsyncPassthrough(t *testing.T) {
+	d := testDisk()
+	r := NewWithDisk(disk.NewSim(d, true), d)
+	defer r.Close()
+	a, err := r.Create("X", []int64{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traced arrays carry the async contract natively: no adapter.
+	if !disk.IsAsync(a) {
+		t.Fatal("traced array must implement AsyncArray")
+	}
+	if !r.AsyncCapable() {
+		t.Fatal("recorder must report async capability")
+	}
+	aa := disk.AsAsync(a)
+	buf := make([]float64, 12)
+	for i := range buf {
+		buf[i] = float64(i) + 0.5
+	}
+	if err := aa.WriteAsync([]int64{1, 2}, []int64{3, 4}, buf).Await(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 12)
+	if err := aa.ReadAsync([]int64{1, 2}, []int64{3, 4}, got).Await(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("async round trip lost data at %d: %v != %v", i, got[i], buf[i])
+		}
+	}
+	ops := r.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops, want 2", len(ops))
+	}
+	if ops[0].Read || !ops[1].Read {
+		t.Fatalf("directions wrong: %+v", ops)
+	}
+	if ops[0].Bytes != 12*8 || ops[1].Bytes != 12*8 {
+		t.Fatalf("bytes wrong: %+v", ops)
+	}
+	if w := d.WriteTime(96, 1); ops[0].Duration != w {
+		t.Fatalf("write duration %v, model says %v", ops[0].Duration, w)
+	}
+	if rd := d.ReadTime(96, 1); ops[1].Duration != rd {
+		t.Fatalf("read duration %v, model says %v", ops[1].Duration, rd)
+	}
+	if ops[1].Start != ops[0].Duration {
+		t.Fatal("clock must advance by the modelled duration")
+	}
+	// Failed operations propagate and are not recorded.
+	if err := aa.ReadAsync([]int64{0, 0}, []int64{99, 99}, nil).Await(); err == nil {
+		t.Fatal("out-of-bounds async read must fail")
+	}
+	if len(r.Ops()) != 2 {
+		t.Fatal("failed async op must not be recorded")
+	}
+}
+
 func TestSummarizeAndPhases(t *testing.T) {
 	// Trace a real synthesized execution.
 	prog := loops.TwoIndexFused(12, 16)
@@ -200,5 +260,57 @@ func TestTracedExecutionNumericallyUnchanged(t *testing.T) {
 	}
 	if a.Stats != b.Stats {
 		t.Fatalf("tracing changed stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestTracedPipelinedExecutionUnchanged(t *testing.T) {
+	// The recorder composes with the pipelined engine: results stay
+	// bit-identical to untraced serial execution and the trace covers
+	// every operation with the modelled per-op timing.
+	prog := loops.TwoIndexFused(8, 8)
+	cfg := machine.Small(2 << 10)
+	tree, _ := tiling.Tile(prog)
+	m, _ := placement.Enumerate(tree, cfg, placement.Options{})
+	p := nlp.Build(m)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 4, "j": 4, "m": 4, "n": 4}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(8, 8), 6)
+
+	plain := disk.NewSim(cfg.Disk, true)
+	a, err := exec.Run(plan, plain, inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewWithDisk(disk.NewSim(cfg.Disk, true), cfg.Disk)
+	defer rec.Close()
+	b, err := exec.Run(plan, rec, inputs, exec.Options{Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a.Outputs["B"], b.Outputs["B"]); d != 0 {
+		t.Fatalf("traced pipelined run changed results by %g", d)
+	}
+	if b.Pipeline == nil {
+		t.Fatal("pipelined run must report PipelineStats through the recorder")
+	}
+	// Same operations and bytes as the serial run (the final output fetch
+	// happens after the stats snapshot and adds one traced read).
+	ops := rec.Ops()
+	if int64(len(ops)) != a.Stats.ReadOps+a.Stats.WriteOps+1 {
+		t.Fatalf("trace has %d ops, serial stats say %d (+1 fetch)", len(ops), a.Stats.ReadOps+a.Stats.WriteOps)
+	}
+	var bytes int64
+	var secs float64
+	for _, op := range ops[:len(ops)-1] {
+		bytes += op.Bytes
+		secs += op.Duration
+	}
+	if bytes != a.Stats.BytesRead+a.Stats.BytesWritten {
+		t.Fatalf("traced bytes %d != serial stats %d", bytes, a.Stats.BytesRead+a.Stats.BytesWritten)
+	}
+	if want := a.Stats.Time(); secs < want*(1-1e-9) || secs > want*(1+1e-9) {
+		t.Fatalf("traced seconds %v != modelled %v", secs, want)
 	}
 }
