@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cliutil"
 	"repro/internal/machine"
 	"repro/internal/tables"
 )
@@ -32,9 +33,20 @@ func main() {
 		scaling  = flag.Bool("scaling", false, "also run the higher-order coupled-cluster scaling study")
 		pipeline = flag.Bool("pipeline", false, "also measure the pipelined engine: serial vs overlapped I/O critical path")
 	)
+	obsFlags := cliutil.RegisterObs()
+	showVersion := cliutil.VersionFlag()
 	flag.Parse()
+	showVersion()
+	if err := obsFlags.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			log.Print(err)
+		}
+	}()
 
-	opt := tables.Options{Seed: *seed}
+	opt := tables.Options{Seed: *seed, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer()}
 	if *quick {
 		opt.SamplingCombos = 200000
 		opt.DCSEvals = 60000

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/figures"
 )
 
@@ -23,7 +24,9 @@ func main() {
 	log.SetPrefix("oocfigs: ")
 	fig := flag.Int("fig", 0, "figure number to print (0 = all)")
 	seed := flag.Int64("seed", 1, "DCS solver seed for figure 4")
+	showVersion := cliutil.VersionFlag()
 	flag.Parse()
+	showVersion()
 
 	print := func(n int) {
 		switch n {

@@ -42,7 +42,18 @@ func main() {
 		savePlan = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
 		planFile = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
 	)
+	obsFlags := cliutil.RegisterObs()
+	showVersion := cliutil.VersionFlag()
 	flag.Parse()
+	showVersion()
+	if err := obsFlags.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := machine.OSCItanium2()
 	limit, err := cliutil.ParseBytes(*mem)
@@ -73,8 +84,12 @@ func main() {
 			log.Fatal(err)
 		}
 		rec := trace.NewWithDisk(fs, cfg.Disk)
+		if reg := obsFlags.Registry(); reg != nil {
+			disk.AttachMetrics(rec, reg)
+		}
 		res, err := exec.Run(plan, rec, nil, exec.Options{
 			OpenInputs: true, NoFetch: true, Workers: *workers, Pipeline: *pipeline,
+			Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -99,6 +114,8 @@ func main() {
 		Workers:  *workers,
 		MaxEvals: 0,
 		Pipeline: *pipeline,
+		Metrics:  obsFlags.Registry(),
+		Tracer:   obsFlags.Tracer(),
 	})
 	if err != nil {
 		log.Fatal(err)

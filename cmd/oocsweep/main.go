@@ -29,9 +29,20 @@ func main() {
 		v     = flag.Int64("v", 120, "V for the four-index workload")
 		list  = flag.String("points", "", "comma-separated sweep points (GB for memory, counts for procs, N for size)")
 	)
+	obsFlags := cliutil.RegisterObs()
+	showVersion := cliutil.VersionFlag()
 	flag.Parse()
+	showVersion()
+	if err := obsFlags.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			log.Print(err)
+		}
+	}()
 
-	opt := sweep.Options{Seed: *seed, Evals: *evals}
+	opt := sweep.Options{Seed: *seed, Evals: *evals, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer()}
 	var s sweep.Series
 	var err error
 	switch *kind {

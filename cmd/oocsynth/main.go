@@ -55,7 +55,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print the synthesis result as JSON and exit")
 		cache      = flag.Bool("cache", false, "also optimize memory→cache tiling of each compute block (Itanium-2 L3 model)")
 	)
+	showVersion := cliutil.VersionFlag()
 	flag.Parse()
+	showVersion()
 
 	prog, err := buildProgramExt(*workload, *spec, *specFile, *ranges, *n, *v)
 	if err != nil {

@@ -1,9 +1,14 @@
 package cliutil
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 func TestParseBytes(t *testing.T) {
@@ -43,4 +48,82 @@ func TestParseInts(t *testing.T) {
 			t.Errorf("ParseInts(%q) should fail", bad)
 		}
 	}
+}
+
+func TestObsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := RegisterObsOn(fs)
+	if err := fs.Parse([]string{
+		"-trace-out", filepath.Join(dir, "t.json"),
+		"-metrics-out", filepath.Join(dir, "m.json"),
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-memprofile", filepath.Join(dir, "mem.pprof"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer() == nil || o.Registry() == nil {
+		t.Fatal("sinks not allocated")
+	}
+	o.Tracer().Span(obs.Span{Track: obs.TrackDisk, Name: "R A", Start: 0, Dur: 1})
+	o.Registry().Counter("disk.read.ops").Inc()
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "t.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace output holds no events")
+	}
+	raw, err = os.ReadFile(filepath.Join(dir, "m.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics output is not valid JSON: %v", err)
+	}
+	if snap.Counters["disk.read.ops"] != 1 {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+	for _, p := range []string{"cpu.pprof", "mem.pprof"} {
+		st, err := os.Stat(filepath.Join(dir, p))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+}
+
+func TestObsFinishWithoutStart(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := RegisterObsOn(fs)
+	if err := o.Finish(); err != nil {
+		t.Fatalf("Finish without Start: %v", err)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if VersionString() == "" {
+		t.Fatal("empty version string")
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	show := VersionFlagOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	show() // flag unset: must not exit
 }

@@ -1,0 +1,181 @@
+package cliutil
+
+// Shared observability surface of the command-line tools: Chrome-trace
+// and metrics-snapshot export, CPU/heap profiles, a live net/http/pprof
+// server, and the -version flag. Each binary registers the flags it
+// wants, calls Start after flag.Parse, and defers Finish.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+// Obs bundles the observability flags and their lifecycle.
+type Obs struct {
+	TraceOut   string
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+
+	registry *obs.Registry
+	tracer   *obs.Tracer
+	cpuOut   *os.File
+}
+
+// RegisterObs registers -trace-out, -metrics-out, -cpuprofile,
+// -memprofile, and -pprof on the default FlagSet.
+func RegisterObs() *Obs { return RegisterObsOn(flag.CommandLine) }
+
+// RegisterObsOn is RegisterObs on an explicit FlagSet.
+func RegisterObsOn(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write the run's timeline as Chrome Trace Event JSON to this file")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write a metrics snapshot as JSON to this file")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return o
+}
+
+// Registry returns the metrics registry to thread through the run (nil
+// unless -metrics-out was given and Start ran), so callers can skip the
+// wiring when nothing will be exported.
+func (o *Obs) Registry() *obs.Registry { return o.registry }
+
+// Tracer returns the span tracer to thread through the run (nil unless
+// -trace-out was given and Start ran).
+func (o *Obs) Tracer() *obs.Tracer { return o.tracer }
+
+// Start allocates the requested sinks, begins CPU profiling, and starts
+// the pprof server. Call it after flag.Parse.
+func (o *Obs) Start() error {
+	if o.TraceOut != "" {
+		o.tracer = obs.NewTracer()
+	}
+	if o.MetricsOut != "" {
+		o.registry = obs.NewRegistry()
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		o.cpuOut = f
+	}
+	if o.PprofAddr != "" {
+		ln, err := net.Listen("tcp", o.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof server: %w", err)
+		}
+		go http.Serve(ln, nil) // DefaultServeMux carries the pprof handlers
+	}
+	return nil
+}
+
+// Finish stops profiling and writes every requested artifact, returning
+// the first error. Safe to call when Start was never reached.
+func (o *Obs) Finish() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if o.cpuOut != nil {
+		pprof.StopCPUProfile()
+		keep(o.cpuOut.Close())
+		o.cpuOut = nil
+	}
+	if o.MemProfile != "" {
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // up-to-date allocation statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if o.tracer != nil {
+		f, err := os.Create(o.TraceOut)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(o.tracer.WriteChromeTrace(f))
+			keep(f.Close())
+		}
+	}
+	if o.registry != nil {
+		f, err := os.Create(o.MetricsOut)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(o.registry.WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	return first
+}
+
+// VersionFlag registers -version on the default FlagSet and returns a
+// function to call after flag.Parse: when the flag was given it prints
+// the binary name and version, then exits.
+func VersionFlag() func() { return VersionFlagOn(flag.CommandLine) }
+
+// VersionFlagOn is VersionFlag on an explicit FlagSet.
+func VersionFlagOn(fs *flag.FlagSet) func() {
+	v := fs.Bool("version", false, "print version information and exit")
+	return func() {
+		if !*v {
+			return
+		}
+		fmt.Printf("%s %s\n", filepath.Base(os.Args[0]), VersionString())
+		os.Exit(0)
+	}
+}
+
+// VersionString reports the module version and, when the binary was built
+// from a version-controlled tree, the embedded VCS revision.
+func VersionString() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	rev, dirty := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return ver + " (" + rev + dirty + ")"
+	}
+	return ver
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/nlp"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sampling"
 	"repro/internal/tensor"
@@ -103,6 +104,38 @@ type Synthesis struct {
 	// PipelineDepth bounds its in-flight disk operations.
 	Pipeline      bool
 	PipelineDepth int
+	// Metrics and Tracer, when non-nil (set via WithMetrics/WithTracer),
+	// are attached to the execution helpers: the disk backend publishes
+	// its I/O counters into Metrics, and the engine records its modelled
+	// timeline into Tracer for Chrome-trace export.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+}
+
+// synthExtras carries the observability wiring of SynthesizeOpts that the
+// frozen Request struct cannot express.
+type synthExtras struct {
+	observer dcs.Observer
+	metrics  *obs.Registry
+	curve    *obs.Convergence
+}
+
+// solverObserver composes the user observer and the convergence curve
+// into the single callback the solver accepts (nil when neither is set).
+func (x synthExtras) solverObserver() dcs.Observer {
+	if x.observer == nil && x.curve == nil {
+		return nil
+	}
+	return func(e dcs.Event) {
+		x.curve.Record(obs.SolveEvent{
+			Kind: e.Kind, Restart: e.Restart, Evals: e.Evals,
+			Best: e.Best, Feasible: e.Feasible,
+			MaxViolation: e.MaxViolation, MuNorm: e.MuNorm,
+		})
+		if x.observer != nil {
+			x.observer(e)
+		}
+	}
 }
 
 // Synthesize runs the full pipeline. It is the frozen Request-struct
@@ -117,6 +150,13 @@ func Synthesize(req Request) (*Synthesis, error) {
 // layered on the context as a deadline and still returns the best point
 // found).
 func SynthesizeContext(ctx context.Context, req Request) (*Synthesis, error) {
+	return synthesizeWith(ctx, req, synthExtras{})
+}
+
+// synthesizeWith is the shared implementation behind SynthesizeContext
+// and SynthesizeOpts: the Request carries the frozen surface, extras the
+// observability wiring only the options API exposes.
+func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synthesis, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -156,6 +196,8 @@ func SynthesizeContext(ctx context.Context, req Request) (*Synthesis, error) {
 			Seed:     req.Seed,
 			MaxEvals: req.MaxEvals,
 			MaxTime:  req.MaxTime,
+			Observer: extras.solverObserver(),
+			Metrics:  extras.metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -221,11 +263,22 @@ func (s *Synthesis) AMPL() string {
 func (s *Synthesis) Predicted() float64 { return s.Plan.Predicted }
 
 // execOptions returns the execution options the synthesis selects
-// (pipelined or serial), with extra fields merged in.
+// (pipelined or serial, plus observability sinks), with extra fields
+// merged in.
 func (s *Synthesis) execOptions(opt exec.Options) exec.Options {
 	opt.Pipeline = s.Pipeline
 	opt.PipelineDepth = s.PipelineDepth
+	opt.Metrics = s.Metrics
+	opt.Tracer = s.Tracer
 	return opt
+}
+
+// attachObs connects the synthesis's metrics registry to a backend the
+// execution helpers create.
+func (s *Synthesis) attachObs(be disk.Backend) {
+	if s.Metrics != nil {
+		disk.AttachMetrics(be, s.Metrics)
+	}
 }
 
 // MeasureSim executes the plan's I/O structure against the simulated disk
@@ -245,6 +298,7 @@ func (s *Synthesis) MeasureSim() (disk.Stats, error) {
 func (s *Synthesis) MeasureSimFull() (*exec.Result, error) {
 	be := disk.NewSim(s.Request.Machine.Disk, false)
 	defer be.Close()
+	s.attachObs(be)
 	return exec.Run(s.Plan, be, nil, s.execOptions(exec.Options{DryRun: true}))
 }
 
@@ -254,6 +308,7 @@ func (s *Synthesis) MeasureSimFull() (*exec.Result, error) {
 func (s *Synthesis) RunSim(inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, disk.Stats, error) {
 	be := disk.NewSim(s.Request.Machine.Disk, true)
 	defer be.Close()
+	s.attachObs(be)
 	res, err := exec.Run(s.Plan, be, inputs, s.execOptions(exec.Options{}))
 	if err != nil {
 		return nil, disk.Stats{}, err
@@ -268,6 +323,7 @@ func (s *Synthesis) RunFiles(dir string, inputs map[string]*tensor.Tensor) (map[
 		return nil, disk.Stats{}, err
 	}
 	defer be.Close()
+	s.attachObs(be)
 	res, err := exec.Run(s.Plan, be, inputs, s.execOptions(exec.Options{}))
 	if err != nil {
 		return nil, disk.Stats{}, err

@@ -11,8 +11,10 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/dcs"
 	"repro/internal/loops"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sampling"
 )
@@ -22,6 +24,8 @@ type config struct {
 	req           Request
 	pipeline      bool
 	pipelineDepth int
+	extras        synthExtras
+	tracer        *obs.Tracer
 }
 
 // Option configures SynthesizeOpts.
@@ -89,20 +93,60 @@ func WithPipeline(depth int) Option {
 	}
 }
 
+// WithObserver streams solver convergence events (per-restart and
+// per-improvement telemetry) to the callback during solver-based
+// synthesis. The observer is invoked synchronously from the solver loop.
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.extras.observer = o }
+}
+
+// WithMetrics publishes solver counters (dcs.evals, dcs.restarts,
+// dcs.improvements) into the registry during synthesis and attaches the
+// registry to the execution helpers' disk backends and engine, so
+// MeasureSim/RunSim/RunFiles report I/O and pipeline instrumentation into
+// the same snapshot.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.extras.metrics = reg }
+}
+
+// WithTracer records the execution helpers' modelled timelines
+// (MeasureSim/RunSim/RunFiles) as obs spans for Chrome-trace export.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
+// WithConvergence records the solver's convergence curve (restart,
+// improvement, and final events) into curve for later export. It composes
+// with WithObserver: both receive every event.
+func WithConvergence(curve *obs.Convergence) Option {
+	return func(c *config) { c.extras.curve = curve }
+}
+
 // SynthesizeOpts runs the full synthesis pipeline for a program under a
 // context, configured by functional options. It is equivalent to building
 // a Request by hand and calling SynthesizeContext, plus the
-// execution-engine selection Request cannot express.
+// execution-engine selection and observability wiring Request cannot
+// express.
 func SynthesizeOpts(ctx context.Context, prog *loops.Program, opts ...Option) (*Synthesis, error) {
 	c := config{req: Request{Program: prog, Machine: machine.OSCItanium2()}}
 	for _, o := range opts {
 		o(&c)
 	}
-	s, err := SynthesizeContext(ctx, c.req)
+	s, err := synthesizeWith(ctx, c.req, c.extras)
 	if err != nil {
 		return nil, err
 	}
 	s.Pipeline = c.pipeline
 	s.PipelineDepth = c.pipelineDepth
+	s.Metrics = c.extras.metrics
+	s.Tracer = c.tracer
 	return s, nil
 }
+
+// Observer receives solver convergence events during synthesis (the
+// solver package's event stream, re-exported so call sites need only
+// core).
+type Observer = dcs.Observer
+
+// SolverEvent is the solver's convergence event type, re-exported.
+type SolverEvent = dcs.Event

@@ -19,7 +19,35 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Event describes one solver progress event delivered to an Observer.
+type Event struct {
+	// Kind is "restart" (a new start point begins), "improvement" (a new
+	// best feasible point was recorded), or "final" (the search ended).
+	Kind string
+	// Restart is the 1-based restart the event occurred in.
+	Restart int
+	// Evals is the evaluation count at the event.
+	Evals int
+	// Best is the best feasible objective so far (+Inf while none exists).
+	// For "final" it equals Result.Objective.
+	Best float64
+	// Feasible reports whether a feasible point exists at the event.
+	Feasible bool
+	// MaxViolation is the largest single constraint violation at the
+	// event's reference point (0 when it is feasible).
+	MaxViolation float64
+	// MuNorm is the L2 norm of the current run's Lagrange multipliers
+	// (0 for strategies without multipliers, e.g. random search).
+	MuNorm float64
+}
+
+// Observer receives solver progress events. Callbacks run synchronously
+// on the solver goroutine, in event order; keep them cheap.
+type Observer func(Event)
 
 // Problem is a discrete constrained minimization problem. Variables are
 // integers within per-variable inclusive bounds.
@@ -101,6 +129,12 @@ type Options struct {
 	MuGrowth float64
 	// Start, if non-nil, seeds the first restart.
 	Start []int64
+	// Observer, if non-nil, receives per-restart, per-improvement, and
+	// final events — the data behind a convergence curve.
+	Observer Observer
+	// Metrics, if non-nil, receives dcs.evals / dcs.restarts /
+	// dcs.improvements counters.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +196,12 @@ func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 	if gp, ok := p.(GroupedProblem); ok {
 		s.groups = gp.Groups()
 	}
+	if opt.Metrics != nil {
+		// Cache the instrument pointers: eval() is the solver's hot path.
+		s.mEvals = opt.Metrics.Counter("dcs.evals")
+		s.mRestarts = opt.Metrics.Counter("dcs.restarts")
+		s.mImprovements = opt.Metrics.Counter("dcs.improvements")
+	}
 	switch opt.Strategy {
 	case DLM:
 		s.run(s.dlmOnce)
@@ -178,21 +218,36 @@ func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 	}
 	if s.best == nil {
 		// No feasible point found anywhere: report the least-infeasible.
-		return Result{
+		res := Result{
 			X:         s.leastBadX,
 			Objective: s.p.Objective(s.leastBadX),
 			Feasible:  false,
 			Evals:     s.evals,
 			Restarts:  s.restarts,
-		}, nil
+		}
+		s.emit("final", res.Objective, false, maxOf(s.p.Violations(s.leastBadX)))
+		return res, nil
 	}
-	return Result{
+	res := Result{
 		X:         s.best,
 		Objective: s.bestF,
 		Feasible:  true,
 		Evals:     s.evals,
 		Restarts:  s.restarts,
-	}, nil
+	}
+	s.emit("final", res.Objective, true, 0)
+	return res, nil
+}
+
+// maxOf returns the largest element (0 for an empty slice).
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 type solver struct {
@@ -210,11 +265,50 @@ type solver struct {
 
 	leastBadX []int64 // fallback when nothing is feasible
 	leastBad  float64 // total violation at leastBadX
+
+	// curMu aliases the multipliers of the strategy run in progress, so
+	// observer events can report their norm; nil outside multiplier
+	// strategies.
+	curMu []float64
+
+	mEvals, mRestarts, mImprovements *obs.Counter
+}
+
+// emit delivers an observer event, attaching the current restart, eval
+// count, and multiplier norm.
+func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64) {
+	if s.opt.Observer == nil {
+		return
+	}
+	muNorm := 0.0
+	for _, m := range s.curMu {
+		muNorm += m * m
+	}
+	s.opt.Observer(Event{
+		Kind:         kind,
+		Restart:      s.restarts,
+		Evals:        s.evals,
+		Best:         best,
+		Feasible:     feasible,
+		MaxViolation: maxViol,
+		MuNorm:       math.Sqrt(muNorm),
+	})
+}
+
+// bestSoFar returns the best feasible objective (+Inf when none exists).
+func (s *solver) bestSoFar() (float64, bool) {
+	if s.best == nil {
+		return math.Inf(1), false
+	}
+	return s.bestF, true
 }
 
 // eval computes f and g, charging the evaluation budget.
 func (s *solver) eval(x []int64) (float64, []float64) {
 	s.evals++
+	if s.mEvals != nil {
+		s.mEvals.Inc()
+	}
 	f := s.p.Objective(x)
 	g := s.p.Violations(x)
 	total := 0.0
@@ -225,6 +319,10 @@ func (s *solver) eval(x []int64) (float64, []float64) {
 		if s.best == nil || f < s.bestF {
 			s.best = append([]int64(nil), x...)
 			s.bestF = f
+			if s.mImprovements != nil {
+				s.mImprovements.Inc()
+			}
+			s.emit("improvement", f, true, 0)
 		}
 	} else if s.leastBadX == nil || total < s.leastBad {
 		s.leastBadX = append([]int64(nil), x...)
@@ -249,8 +347,23 @@ func (s *solver) budgetLeft() bool {
 func (s *solver) run(once func(start []int64)) {
 	for r := 0; r < s.opt.Restarts && s.budgetLeft(); r++ {
 		s.restarts++
+		if s.mRestarts != nil {
+			s.mRestarts.Inc()
+		}
+		s.curMu = nil
+		best, feasible := s.bestSoFar()
+		s.emit("restart", best, feasible, maxViolOf(s))
 		once(s.startPoint(r))
 	}
+}
+
+// maxViolOf reports the least-bad point's violation scale while no
+// feasible point exists (for restart events), 0 once one does.
+func maxViolOf(s *solver) float64 {
+	if s.best != nil || s.leastBadX == nil {
+		return 0
+	}
+	return maxOf(s.p.Violations(s.leastBadX))
 }
 
 // startPoint produces a diverse deterministic sequence of starts: the

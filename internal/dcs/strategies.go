@@ -12,6 +12,7 @@ func (s *solver) dlmOnce(start []int64) {
 	x := append([]int64(nil), start...)
 	f, g := s.eval(x)
 	mu := make([]float64, len(g))
+	s.curMu = mu
 	// Initialize multipliers on the objective's scale so that a unit
 	// relative violation outweighs typical objective differences.
 	muBase := math.Max(1, math.Abs(f))
@@ -117,6 +118,7 @@ func (s *solver) csaOnce(start []int64) {
 	x := append([]int64(nil), start...)
 	f, g := s.eval(x)
 	mu := make([]float64, len(g))
+	s.curMu = mu
 	muBase := math.Max(1, math.Abs(f))
 	for i := range mu {
 		mu[i] = muBase
@@ -181,6 +183,11 @@ func (s *solver) csaOnce(start []int64) {
 // randomSearch samples random points, keeping the best feasible one (the
 // eval bookkeeping in eval() records it).
 func (s *solver) randomSearch() {
+	s.restarts = 1
+	if s.mRestarts != nil {
+		s.mRestarts.Inc()
+	}
+	s.emit("restart", math.Inf(1), false, 0)
 	n := s.p.Dim()
 	x := make([]int64, n)
 	for s.budgetLeft() {
@@ -189,5 +196,4 @@ func (s *solver) randomSearch() {
 		}
 		s.eval(x)
 	}
-	s.restarts = 1
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Stats accumulates I/O activity and modelled time.
@@ -92,26 +93,94 @@ func checkSection(dims, lo, shape []int64) (int64, error) {
 	return n, nil
 }
 
-// statsLocked wraps Stats with a mutex shared by a backend's arrays.
-type statsLocked struct {
-	mu sync.Mutex
-	s  Stats
-	d  machine.Disk
+// MetricsSetter is implemented by backends that can publish their I/O
+// accounting into an obs.Registry alongside the Stats struct.
+type MetricsSetter interface {
+	// SetMetrics attaches the registry. Pass nil to detach.
+	SetMetrics(*obs.Registry)
 }
 
-func (sl *statsLocked) chargeRead(bytes int64) {
+// AttachMetrics attaches reg to the backend if it supports metrics
+// publishing, reporting whether it did. Wrapping backends (e.g.
+// trace.Recorder) implement MetricsSetter by forwarding to their inner
+// backend.
+func AttachMetrics(be Backend, reg *obs.Registry) bool {
+	if ms, ok := be.(MetricsSetter); ok {
+		ms.SetMetrics(reg)
+		return true
+	}
+	return false
+}
+
+// Metric names published by the backends. Per-array variants append
+// "/<array name>".
+const (
+	MetricReadOps    = "disk.read.ops"
+	MetricReadBytes  = "disk.read.bytes"
+	MetricWriteOps   = "disk.write.ops"
+	MetricWriteBytes = "disk.write.bytes"
+)
+
+// statsLocked wraps Stats with a mutex shared by a backend's arrays, and
+// optionally mirrors every charge into an attached metrics registry. The
+// backend owns the instruments it created: reset() zeroes only those, so
+// a shared registry's other producers (solver, engine) are untouched by a
+// backend's ResetStats.
+type statsLocked struct {
+	mu    sync.Mutex
+	s     Stats
+	d     machine.Disk
+	reg   *obs.Registry
+	owned map[string]*obs.Counter
+}
+
+// setMetrics attaches (or, with nil, detaches) a registry.
+func (sl *statsLocked) setMetrics(reg *obs.Registry) {
+	sl.mu.Lock()
+	sl.reg = reg
+	sl.owned = nil
+	if reg != nil {
+		sl.owned = map[string]*obs.Counter{}
+	}
+	sl.mu.Unlock()
+}
+
+// counterLocked returns the named counter, remembering it as owned by
+// this backend. Callers hold sl.mu.
+func (sl *statsLocked) counterLocked(name string) *obs.Counter {
+	c := sl.owned[name]
+	if c == nil {
+		c = sl.reg.Counter(name)
+		sl.owned[name] = c
+	}
+	return c
+}
+
+func (sl *statsLocked) chargeRead(array string, bytes int64) {
 	sl.mu.Lock()
 	sl.s.ReadOps++
 	sl.s.BytesRead += bytes
 	sl.s.ReadTime += sl.d.ReadTime(bytes, 1)
+	if sl.reg != nil {
+		sl.counterLocked(MetricReadOps).Inc()
+		sl.counterLocked(MetricReadBytes).Add(bytes)
+		sl.counterLocked(MetricReadOps + "/" + array).Inc()
+		sl.counterLocked(MetricReadBytes + "/" + array).Add(bytes)
+	}
 	sl.mu.Unlock()
 }
 
-func (sl *statsLocked) chargeWrite(bytes int64) {
+func (sl *statsLocked) chargeWrite(array string, bytes int64) {
 	sl.mu.Lock()
 	sl.s.WriteOps++
 	sl.s.BytesWritten += bytes
 	sl.s.WriteTime += sl.d.WriteTime(bytes, 1)
+	if sl.reg != nil {
+		sl.counterLocked(MetricWriteOps).Inc()
+		sl.counterLocked(MetricWriteBytes).Add(bytes)
+		sl.counterLocked(MetricWriteOps + "/" + array).Inc()
+		sl.counterLocked(MetricWriteBytes + "/" + array).Add(bytes)
+	}
 	sl.mu.Unlock()
 }
 
@@ -121,8 +190,13 @@ func (sl *statsLocked) snapshot() Stats {
 	return sl.s
 }
 
+// reset zeroes the Stats and this backend's own registry instruments —
+// mirroring ResetStats semantics into the metrics view.
 func (sl *statsLocked) reset() {
 	sl.mu.Lock()
 	sl.s = Stats{}
+	for _, c := range sl.owned {
+		c.Reset()
+	}
 	sl.mu.Unlock()
 }

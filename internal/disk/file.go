@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // draMagic identifies a disk-resident array file; the header is the magic
@@ -163,6 +164,9 @@ func (fs *FileStore) path(name string) string {
 // Stats returns the accumulated (modelled) I/O statistics.
 func (fs *FileStore) Stats() Stats { return fs.sl.snapshot() }
 
+// SetMetrics mirrors every subsequent I/O charge into reg (nil detaches).
+func (fs *FileStore) SetMetrics(reg *obs.Registry) { fs.sl.setMetrics(reg) }
+
 // ResetStats zeroes the counters.
 func (fs *FileStore) ResetStats() { fs.sl.reset() }
 
@@ -201,7 +205,7 @@ func (a *fileArray) ReadSection(lo, shape []int64, buf []float64) error {
 	if int64(len(buf)) != n {
 		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
 	}
-	a.fs.sl.chargeRead(n * 8)
+	a.fs.sl.chargeRead(a.name, n*8)
 	return a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
 		raw := make([]byte, run*8)
 		if _, err := a.f.ReadAt(raw, a.header+fileOff*8); err != nil {
@@ -222,7 +226,7 @@ func (a *fileArray) WriteSection(lo, shape []int64, buf []float64) error {
 	if int64(len(buf)) != n {
 		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
 	}
-	a.fs.sl.chargeWrite(n * 8)
+	a.fs.sl.chargeWrite(a.name, n*8)
 	return a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
 		raw := make([]byte, run*8)
 		for i := int64(0); i < run; i++ {

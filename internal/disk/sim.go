@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Sim is the simulated disk backend. In data mode it stores array contents
@@ -106,6 +107,9 @@ func (s *Sim) Open(name string) (Array, error) {
 
 // Stats returns the accumulated I/O statistics.
 func (s *Sim) Stats() Stats { return s.sl.snapshot() }
+
+// SetMetrics mirrors every subsequent I/O charge into reg (nil detaches).
+func (s *Sim) SetMetrics(reg *obs.Registry) { s.sl.setMetrics(reg) }
 
 // ResetStats zeroes the counters (channel statistics included).
 func (s *Sim) ResetStats() {
@@ -232,7 +236,7 @@ func (a *simArray) ReadSection(lo, shape []int64, buf []float64) error {
 	if err != nil {
 		return err
 	}
-	a.sim.sl.chargeRead(n * 8)
+	a.sim.sl.chargeRead(a.name, n*8)
 	if a.data == nil || buf == nil {
 		return nil
 	}
@@ -248,7 +252,7 @@ func (a *simArray) WriteSection(lo, shape []int64, buf []float64) error {
 	if err != nil {
 		return err
 	}
-	a.sim.sl.chargeWrite(n * 8)
+	a.sim.sl.chargeWrite(a.name, n*8)
 	if a.data == nil || buf == nil {
 		return nil
 	}

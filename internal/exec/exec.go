@@ -16,6 +16,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/disk"
 	"repro/internal/loops"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/tensor"
 )
@@ -60,6 +61,20 @@ type Options struct {
 	// PipelineDepth bounds in-flight asynchronous disk operations
 	// (default 4).
 	PipelineDepth int
+	// Metrics, if non-nil, receives engine instrumentation: prefetch and
+	// write-behind counters, in-flight depth, barrier stalls, and buffer
+	// memory watermarks. Attach the same registry to the disk backend
+	// (disk.AttachMetrics) for a combined snapshot.
+	Metrics *obs.Registry
+	// Tracer, if non-nil, receives the run's modelled timeline as spans:
+	// disk operations on the obs "disk" track and compute blocks on the
+	// "compute" track, with instant events marking barriers and hazard
+	// waits. Serial runs place both tracks on one serial clock; pipelined
+	// runs use the two-clock overlapped timeline, so the exported Chrome
+	// trace shows prefetch and write-behind riding alongside compute. The
+	// disk-track span total equals the backend's modelled disk.Stats.Time()
+	// up to floating-point association.
+	Tracer *obs.Tracer
 }
 
 // Checkpoint identifies a safe resumption boundary: top-level body item
@@ -138,6 +153,9 @@ func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs ma
 		arrs:  map[string]disk.Array{},
 		hasIO: map[*codegen.Loop]bool{},
 	}
+	if opt.Metrics != nil {
+		e.mBufBytes = opt.Metrics.Gauge("exec.buffer.bytes")
+	}
 	if opt.Pipeline {
 		e.pipe = newPipeline(e, opt.PipelineDepth)
 	}
@@ -149,6 +167,9 @@ func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs ma
 	stopped, err := e.execTop(p.Body)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Gauge("exec.buffer.peak_bytes").Set(float64(e.peakBytes))
 	}
 	res := &Result{Stats: be.Stats(), PeakBufferBytes: e.peakBytes, Stopped: stopped}
 	if e.pipe != nil {
@@ -203,6 +224,20 @@ type engine struct {
 	// curBytes/peakBytes track instantiated buffer memory.
 	curBytes  int64
 	peakBytes int64
+	// sClock is the serial engine's modelled clock, advanced by every disk
+	// and compute span it emits (pipelined runs use the pipeline's
+	// two-clock timeline instead).
+	sClock float64
+	// mBufBytes mirrors curBytes into the metrics registry (nil without
+	// Options.Metrics); its high-water mark is the peak watermark.
+	mBufBytes *obs.Gauge
+}
+
+// noteBufBytes publishes the current buffer memory level.
+func (e *engine) noteBufBytes() {
+	if e.mBufBytes != nil {
+		e.mBufBytes.Set(float64(e.curBytes))
+	}
 }
 
 // subtreeHasIO computes the dry-run pruning map.
@@ -414,12 +449,21 @@ func (e *engine) exec(ns []codegen.Node) error {
 			}
 			e.instantiate(n.Buffer).t.Zero()
 		case *codegen.InitPass:
+			if e.opt.Tracer != nil {
+				bytes, writes := e.initCost(n.Array)
+				e.spanSerial(obs.TrackDisk, "init "+n.Array,
+					e.plan.Cfg.Disk.WriteTime(bytes, writes),
+					map[string]any{"bytes": bytes, "writes": writes})
+			}
 			if err := e.initPass(n.Array); err != nil {
 				return fmt.Errorf("exec: init pass over %q: %w", n.Array, err)
 			}
 		case *codegen.Compute:
 			if e.opt.DryRun {
 				continue
+			}
+			if e.opt.Tracer != nil {
+				e.spanSerial(obs.TrackCompute, "compute "+n.Out.Name, e.computeSeconds(n, e.base, 1), nil)
 			}
 			if err := e.compute(n); err != nil {
 				return err
@@ -481,6 +525,7 @@ func (e *engine) instantiate(buf *codegen.Buffer) *bufInst {
 		if e.curBytes > e.peakBytes {
 			e.peakBytes = e.curBytes
 		}
+		e.noteBufBytes()
 		inst.t = tensor.New(dimsOrScalar(dims)...)
 	} else {
 		inst.t = inst.t.Reshape(dimsOrScalar(dims)...)
@@ -507,6 +552,7 @@ func (e *engine) doIO(n *codegen.IO) error {
 	arr := e.arrs[n.Array]
 	lo, shape := e.section(n.Buffer)
 	if e.opt.DryRun {
+		e.spanIO(n.Read, n.Array, shape)
 		if n.Read {
 			return arr.ReadSection(lo, shape, nil)
 		}
@@ -514,13 +560,74 @@ func (e *engine) doIO(n *codegen.IO) error {
 	}
 	if n.Read {
 		inst := e.instantiate(n.Buffer)
+		e.spanIO(true, n.Array, shape)
 		return arr.ReadSection(lo, shape, inst.t.Data())
 	}
 	inst := e.bufs[n.Buffer]
 	if inst == nil {
 		return fmt.Errorf("write of uninstantiated buffer %q", n.Buffer.Name)
 	}
-	return arr.WriteSection(inst.base, dimsToInt64(inst.t.Dims()), inst.t.Data())
+	wshape := dimsToInt64(inst.t.Dims())
+	e.spanIO(false, n.Array, wshape)
+	return arr.WriteSection(inst.base, wshape, inst.t.Data())
+}
+
+// spanIO emits a serial-clock disk span matching the backend's charge for
+// one section operation (the shape is the one actually passed to the
+// backend, so span durations sum to the backend's modelled time).
+func (e *engine) spanIO(read bool, array string, shape []int64) {
+	if e.opt.Tracer == nil {
+		return
+	}
+	bytes := size(shape) * 8
+	var dur float64
+	name := "W " + array
+	if read {
+		name = "R " + array
+		dur = e.plan.Cfg.Disk.ReadTime(bytes, 1)
+	} else {
+		dur = e.plan.Cfg.Disk.WriteTime(bytes, 1)
+	}
+	e.spanSerial(obs.TrackDisk, name, dur, map[string]any{"bytes": bytes})
+}
+
+// spanSerial records one span on the serial engine's single clock.
+func (e *engine) spanSerial(track, name string, dur float64, args map[string]any) {
+	e.opt.Tracer.Span(obs.Span{Track: track, Name: name, Start: e.sClock, Dur: dur, Args: args})
+	e.sClock += dur
+}
+
+// computeSeconds models a compute block's duration at the given bases
+// under the machine's flop rate (0 without one). mul folds in the trip
+// counts of pruned dry-run loops (pass 1 when not applicable).
+func (e *engine) computeSeconds(c *codegen.Compute, base map[string]int64, mul float64) float64 {
+	rate := e.plan.Cfg.FlopRate
+	if rate <= 0 {
+		return 0
+	}
+	flops := float64(e.computePoints(c, base)) * float64(2*len(c.Factors))
+	if mul > 0 {
+		flops *= mul
+	}
+	return flops / rate
+}
+
+// initCost returns the modelled bytes and operation count of an init pass
+// (the tile-by-tile zero-fill initPass performs).
+func (e *engine) initCost(name string) (bytes, writes int64) {
+	for _, da := range e.plan.DiskArrays {
+		if da.Name != name {
+			continue
+		}
+		bytes = size(da.Dims) * 8
+		writes = 1
+		for i, idx := range da.Indices {
+			t := e.plan.Tiles[idx]
+			writes *= (da.Dims[i] + t - 1) / t
+		}
+		return bytes, writes
+	}
+	return 0, 0
 }
 
 func dimsToInt64(dims []int) []int64 {

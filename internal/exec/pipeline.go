@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -236,17 +237,47 @@ type pipeline struct {
 
 	ioClock, compClock float64
 	stats              PipelineStats
+
+	// Cached metrics instruments (nil without Options.Metrics).
+	mShadow, mInplace, mWriteBehind, mBarriers, mHazards *obs.Counter
+	mDepth                                               *obs.Gauge
+	mStall                                               *obs.Histogram
 }
 
 func newPipeline(e *engine, depth int) *pipeline {
 	if depth <= 0 {
 		depth = defaultPipelineDepth
 	}
-	return &pipeline{
+	p := &pipeline{
 		e:     e,
 		sem:   make(chan struct{}, depth),
 		aarrs: map[string]disk.AsyncArray{},
 		bufs:  map[*codegen.Buffer]*pipeBuf{},
+	}
+	if reg := e.opt.Metrics; reg != nil {
+		p.mShadow = reg.Counter("exec.pipeline.prefetch.shadow")
+		p.mInplace = reg.Counter("exec.pipeline.prefetch.inplace")
+		p.mWriteBehind = reg.Counter("exec.pipeline.writebehind")
+		p.mBarriers = reg.Counter("exec.pipeline.barriers")
+		p.mHazards = reg.Counter("exec.pipeline.hazards")
+		p.mDepth = reg.Gauge("exec.pipeline.inflight.depth")
+		p.mStall = reg.Histogram("exec.pipeline.barrier.stall_seconds")
+	}
+	return p
+}
+
+// noteHazard marks a section-hazard wait (an operation blocked on n
+// earlier conflicting disk operations) at its start time ts.
+func (p *pipeline) noteHazard(array string, ts float64, n int) {
+	if n == 0 {
+		return
+	}
+	if p.mHazards != nil {
+		p.mHazards.Inc()
+	}
+	if tr := p.e.opt.Tracer; tr != nil {
+		tr.Instant(obs.Instant{Track: obs.TrackDisk, Name: "hazard " + array, TS: ts,
+			Args: map[string]any{"waits_on": n}})
 	}
 }
 
@@ -324,12 +355,25 @@ func (p *pipeline) runUnit(ns []codegen.Node) error {
 		<-op.done
 	}
 	// Barrier: both engines are idle; synchronize the timeline clocks.
+	// The stall is the idle time the faster engine spends waiting.
+	stall := p.ioClock - p.compClock
+	if stall < 0 {
+		stall = -stall
+	}
 	if p.compClock > p.ioClock {
 		p.ioClock = p.compClock
 	} else {
 		p.compClock = p.ioClock
 	}
 	p.stats.Barriers++
+	if p.mBarriers != nil {
+		p.mBarriers.Inc()
+		p.mStall.Observe(stall)
+	}
+	if tr := p.e.opt.Tracer; tr != nil {
+		tr.Instant(obs.Instant{Track: obs.TrackDisk, Name: "barrier", TS: p.ioClock,
+			Args: map[string]any{"stall_s": stall}})
+	}
 	for _, op := range ops {
 		if op.err != nil {
 			return op.err
@@ -418,6 +462,7 @@ func (p *pipeline) fillSlot(s *pstep) (slot *pslot, shadow bool) {
 			if p.e.curBytes > p.e.peakBytes {
 				p.e.peakBytes = p.e.curBytes
 			}
+			p.e.noteBufBytes()
 			slot.t = tensor.New(dimsOrScalar(dims)...)
 		} else {
 			slot.t = slot.t.Reshape(dimsOrScalar(dims)...)
@@ -478,8 +523,9 @@ func (p *pipeline) track(array string, op *pop) {
 	p.pending[array] = append(p.pending[array], op)
 }
 
-// ioTime places an operation on the I/O-channel timeline.
-func (p *pipeline) ioTime(op *pop, dur float64) {
+// ioTime places an operation on the I/O-channel timeline and, with a
+// tracer attached, emits it as a disk-track span.
+func (p *pipeline) ioTime(op *pop, dur float64, name string, args map[string]any) {
 	start := p.ioClock
 	for _, d := range op.deps {
 		if d.end > start {
@@ -490,10 +536,14 @@ func (p *pipeline) ioTime(op *pop, dur float64) {
 	p.ioClock = op.end
 	p.stats.IOSeconds += dur
 	p.stats.SerialSeconds += dur
+	if tr := p.e.opt.Tracer; tr != nil {
+		tr.Span(obs.Span{Track: obs.TrackDisk, Name: name, Start: start, Dur: dur, Args: args})
+	}
 }
 
-// compTime places an operation on the compute timeline.
-func (p *pipeline) compTime(op *pop, dur float64) {
+// compTime places an operation on the compute timeline and, with a
+// tracer attached, emits it as a compute-track span.
+func (p *pipeline) compTime(op *pop, dur float64, name string, args map[string]any) {
 	start := p.compClock
 	for _, d := range op.deps {
 		if d.end > start {
@@ -504,6 +554,9 @@ func (p *pipeline) compTime(op *pop, dur float64) {
 	p.compClock = op.end
 	p.stats.ComputeSeconds += dur
 	p.stats.SerialSeconds += dur
+	if tr := p.e.opt.Tracer; tr != nil {
+		tr.Span(obs.Span{Track: obs.TrackCompute, Name: name, Start: start, Dur: dur, Args: args})
+	}
 }
 
 // issue runs a disk operation asynchronously: wait for the hazards, then
@@ -511,8 +564,16 @@ func (p *pipeline) compTime(op *pop, dur float64) {
 // taken on the scheduling goroutine, bounding how far issue runs ahead.
 func (p *pipeline) issue(op *pop, read bool, array, pos string, run func() error) {
 	p.sem <- struct{}{}
+	if p.mDepth != nil {
+		p.mDepth.Add(1)
+	}
 	go func() {
-		defer func() { <-p.sem }()
+		defer func() {
+			<-p.sem
+			if p.mDepth != nil {
+				p.mDepth.Add(-1)
+			}
+		}()
 		for _, d := range op.deps {
 			<-d.done
 			if d.err != nil {
@@ -531,7 +592,8 @@ func (p *pipeline) issue(op *pop, read bool, array, pos string, run func() error
 func (p *pipeline) scheduleRead(s *pstep, op *pop) {
 	slot, shadow := p.fillSlot(s)
 	deps := slotDeps(slot)
-	deps = append(deps, p.conflicts(s.array, s.lo, s.shape, false)...)
+	hazards := p.conflicts(s.array, s.lo, s.shape, false)
+	deps = append(deps, hazards...)
 	op.deps = deps
 	op.lo, op.shape = s.lo, s.shape
 	slot.filler = op
@@ -542,9 +604,20 @@ func (p *pipeline) scheduleRead(s *pstep, op *pop) {
 	for _, x := range s.shape {
 		n *= x
 	}
-	p.ioTime(op, p.e.plan.Cfg.Disk.ReadTime(n*8, 1))
+	dur := p.e.plan.Cfg.Disk.ReadTime(n*8, 1)
+	var args map[string]any
+	if p.e.opt.Tracer != nil {
+		args = map[string]any{"bytes": n * 8, "shadow": shadow}
+	}
+	p.ioTime(op, dur, "R "+s.array, args)
+	p.noteHazard(s.array, op.end-dur, len(hazards))
 	if shadow {
 		p.stats.PrefetchedReads++
+		if p.mShadow != nil {
+			p.mShadow.Inc()
+		}
+	} else if p.mInplace != nil {
+		p.mInplace.Inc()
 	}
 	var data []float64
 	if slot.t != nil {
@@ -580,7 +653,8 @@ func (p *pipeline) scheduleWrite(s *pstep, op *pop) error {
 		op.deps = slotDeps(slot)
 		slot.users = append(slot.users, op)
 	}
-	op.deps = append(op.deps, p.conflicts(s.array, lo, shape, true)...)
+	hazards := p.conflicts(s.array, lo, shape, true)
+	op.deps = append(op.deps, hazards...)
 	op.lo, op.shape = lo, shape
 	op.write = true
 	p.track(s.array, op)
@@ -588,8 +662,17 @@ func (p *pipeline) scheduleWrite(s *pstep, op *pop) error {
 	for _, x := range shape {
 		n *= x
 	}
-	p.ioTime(op, p.e.plan.Cfg.Disk.WriteTime(n*8, 1))
+	dur := p.e.plan.Cfg.Disk.WriteTime(n*8, 1)
+	var args map[string]any
+	if p.e.opt.Tracer != nil {
+		args = map[string]any{"bytes": n * 8}
+	}
+	p.ioTime(op, dur, "W "+s.array, args)
+	p.noteHazard(s.array, op.end-dur, len(hazards))
 	p.stats.WriteBehindWrites++
+	if p.mWriteBehind != nil {
+		p.mWriteBehind.Inc()
+	}
 	aa := p.arr(s.array)
 	p.issue(op, false, s.array, s.pos, func() error {
 		return aa.WriteAsync(lo, shape, data).Await()
@@ -610,7 +693,7 @@ func (p *pipeline) scheduleZero(s *pstep, op *pop) {
 		}
 		return nil
 	}
-	p.compTime(op, 0)
+	p.compTime(op, 0, "zero "+s.buf.Name, nil)
 }
 
 func (p *pipeline) scheduleInit(s *pstep, op *pop) {
@@ -624,26 +707,12 @@ func (p *pipeline) scheduleInit(s *pstep, op *pop) {
 		}
 		return nil
 	}
-	bytes, writes := p.initCost(name)
-	p.ioTime(op, p.e.plan.Cfg.Disk.WriteTime(bytes, writes))
-}
-
-// initCost returns the modelled bytes and operation count of an init pass
-// (the tile-by-tile zero-fill initPass performs).
-func (p *pipeline) initCost(name string) (bytes, writes int64) {
-	for _, da := range p.e.plan.DiskArrays {
-		if da.Name != name {
-			continue
-		}
-		bytes = size(da.Dims) * 8
-		writes = 1
-		for i, idx := range da.Indices {
-			t := p.e.plan.Tiles[idx]
-			writes *= (da.Dims[i] + t - 1) / t
-		}
-		return bytes, writes
+	bytes, writes := p.e.initCost(name)
+	var args map[string]any
+	if p.e.opt.Tracer != nil {
+		args = map[string]any{"bytes": bytes, "writes": writes}
 	}
-	return 0, 0
+	p.ioTime(op, p.e.plan.Cfg.Disk.WriteTime(bytes, writes), "init "+name, args)
 }
 
 // scheduleCompute binds the compute block to the current buffer instances
@@ -701,14 +770,10 @@ func (p *pipeline) scheduleCompute(s *pstep, op *pop) error {
 		e.computeWith(c, base, outInst, facInsts)
 		return nil
 	}
-	var dur float64
-	if rate := p.e.plan.Cfg.FlopRate; rate > 0 {
-		flops := float64(p.e.computePoints(c, base)) * float64(2*len(c.Factors))
-		if s.mul > 0 {
-			flops *= s.mul
-		}
-		dur = flops / rate
+	mul := s.mul
+	if mul <= 0 {
+		mul = 1
 	}
-	p.compTime(op, dur)
+	p.compTime(op, p.e.computeSeconds(c, base, mul), "compute "+c.Out.Name, nil)
 	return nil
 }

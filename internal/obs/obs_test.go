@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("disk.read.bytes")
+	c.Add(100)
+	c.Inc()
+	if got := r.Counter("disk.read.bytes").Value(); got != 101 {
+		t.Fatalf("counter = %d, want 101", got)
+	}
+
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-2)
+	if g.Value() != 1 || g.Max() != 3 {
+		t.Fatalf("gauge value/max = %v/%v, want 1/3", g.Value(), g.Max())
+	}
+	g.Reset()
+	g.Set(-5)
+	if g.Max() != -5 {
+		t.Fatalf("gauge max after reset+Set(-5) = %v, want -5", g.Max())
+	}
+
+	h := r.Histogram("seconds")
+	for _, v := range []float64{0.5, 1.5, 2.0} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 4.0 {
+		t.Fatalf("histogram count/sum = %d/%v, want 3/4", h.Count(), h.Sum())
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["disk.read.bytes"] != 101 {
+		t.Fatalf("snapshot counter = %d", snap.Counters["disk.read.bytes"])
+	}
+	hv := snap.Histograms["seconds"]
+	if hv.Min != 0.5 || hv.Max != 2.0 {
+		t.Fatalf("histogram min/max = %v/%v", hv.Min, hv.Max)
+	}
+	if hv.Buckets["1e-01"] != 1 || hv.Buckets["1e+00"] != 2 {
+		t.Fatalf("histogram buckets = %v", hv.Buckets)
+	}
+}
+
+func TestRegistryJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(4)
+	var buf1, buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("JSON export is not deterministic")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &snap); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if snap.Counters["a"] != 1 || snap.Counters["b"] != 2 {
+		t.Fatalf("round-tripped counters = %v", snap.Counters)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Fatalf("concurrent gauge = %v, want 8000", got)
+	}
+}
+
+func TestTracerChromeExport(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(Span{Track: TrackDisk, Name: "R A", Start: 0, Dur: 1.5, Args: map[string]any{"bytes": 800}})
+	tr.Span(Span{Track: TrackCompute, Name: "compute B", Start: 0.5, Dur: 2.0})
+	tr.Span(Span{Track: TrackDisk, Name: "W B", Start: 1.5, Dur: 0.5})
+	tr.Instant(Instant{Track: TrackDisk, Name: "barrier", TS: 2.0})
+
+	if got := tr.TrackSeconds(TrackDisk); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("disk track seconds = %v, want 2", got)
+	}
+
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// Track ids: disk=1, compute=2, named via metadata events.
+	diskDur := 0.0
+	var sawDiskName, sawInstant bool
+	for _, e := range parsed.TraceEvents {
+		switch e.Phase {
+		case "M":
+			if e.TID == 1 && e.Args["name"] == "disk" {
+				sawDiskName = true
+			}
+		case "X":
+			if e.TID == 1 {
+				diskDur += e.Dur
+			}
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawDiskName {
+		t.Fatal("missing thread_name metadata for the disk track")
+	}
+	if !sawInstant {
+		t.Fatal("missing instant event")
+	}
+	if math.Abs(diskDur-2.0e6) > 1e-6 {
+		t.Fatalf("disk track duration = %v µs, want 2e6", diskDur)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span(Span{Track: "x", Name: "y"})
+	tr.Instant(Instant{Track: "x", Name: "y"})
+	if tr.Spans() != nil || tr.TrackSeconds("x") != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+	tr.Reset()
+}
+
+func TestConvergenceCurve(t *testing.T) {
+	var c Convergence
+	c.Record(SolveEvent{Kind: "restart", Restart: 1, Best: math.Inf(1)})
+	c.Record(SolveEvent{Kind: "improvement", Restart: 1, Evals: 10, Best: 5, Feasible: true})
+	c.Record(SolveEvent{Kind: "improvement", Restart: 1, Evals: 20, Best: 3, Feasible: true})
+	c.Record(SolveEvent{Kind: "final", Restart: 1, Evals: 30, Best: 3, Feasible: true})
+
+	if got := len(c.Improvements()); got != 2 {
+		t.Fatalf("improvements = %d, want 2", got)
+	}
+	fin, ok := c.Final()
+	if !ok || fin.Kind != "final" || fin.Best != 3 {
+		t.Fatalf("final = %+v, ok=%v", fin, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatalf("curve with +Inf must export: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("curve export is not valid JSON: %v", err)
+	}
+	if events[0]["best"] != nil {
+		t.Fatalf("infinite best must encode as null, got %v", events[0]["best"])
+	}
+	if events[1]["best"].(float64) != 5 {
+		t.Fatalf("finite best lost: %v", events[1]["best"])
+	}
+
+	var nilCurve *Convergence
+	nilCurve.Record(SolveEvent{})
+	if _, ok := nilCurve.Final(); ok {
+		t.Fatal("nil curve must be empty")
+	}
+}

@@ -8,6 +8,7 @@
 package ooc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/loops"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Options tune a contraction run.
@@ -36,6 +38,17 @@ type Options struct {
 	// bounds in-flight disk operations (0: engine default).
 	Pipeline      bool
 	PipelineDepth int
+	// Metrics, if non-nil, receives the run's instrumentation: solver
+	// counters from the synthesis and I/O + pipeline counters from the
+	// execution (the backend is attached via disk.AttachMetrics when it
+	// supports publishing).
+	Metrics *obs.Registry
+	// Tracer, if non-nil, records the execution's modelled timeline as
+	// obs spans for Chrome-trace export.
+	Tracer *obs.Tracer
+	// Observer, if non-nil, streams solver convergence events during the
+	// synthesis step.
+	Observer core.Observer
 }
 
 // Result reports a contraction run.
@@ -77,15 +90,24 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	if !opt.KeepUnfused {
 		prog = loops.FuseGreedy(prog)
 	}
-	s, err := core.Synthesize(core.Request{
-		Program:  prog,
-		Machine:  opt.Machine,
-		Strategy: core.DCS,
-		Seed:     opt.Seed,
-		MaxEvals: opt.MaxEvals,
-	})
+	copts := []core.Option{
+		core.WithMachine(opt.Machine),
+		core.WithStrategy(core.DCS),
+		core.WithSeed(opt.Seed),
+		core.WithMaxEvals(opt.MaxEvals),
+	}
+	if opt.Metrics != nil {
+		copts = append(copts, core.WithMetrics(opt.Metrics))
+	}
+	if opt.Observer != nil {
+		copts = append(copts, core.WithObserver(opt.Observer))
+	}
+	s, err := core.SynthesizeOpts(context.Background(), prog, copts...)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Metrics != nil {
+		disk.AttachMetrics(be, opt.Metrics)
 	}
 	res, err := exec.Run(s.Plan, be, nil, exec.Options{
 		OpenInputs:    true,
@@ -93,6 +115,8 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 		Workers:       opt.Workers,
 		Pipeline:      opt.Pipeline,
 		PipelineDepth: opt.PipelineDepth,
+		Metrics:       opt.Metrics,
+		Tracer:        opt.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/loops"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Point is one sweep sample: an x value and named y values.
@@ -58,6 +60,12 @@ type Options struct {
 	Machine machine.Config // per-node; zero value = OSCItanium2
 	Seed    int64
 	Evals   int
+	// Metrics, if non-nil, accumulates the solver and disk counters of
+	// every synthesis and measurement in the sweep.
+	Metrics *obs.Registry
+	// Tracer, if non-nil, records the measurement runs' modelled
+	// timelines (successive sweep points append to one timeline).
+	Tracer *obs.Tracer
 }
 
 func (o Options) machine() machine.Config {
@@ -65,6 +73,24 @@ func (o Options) machine() machine.Config {
 		return machine.OSCItanium2()
 	}
 	return o.Machine
+}
+
+// synthesize runs one DCS synthesis with the sweep's observability sinks
+// attached.
+func (o Options) synthesize(prog *loops.Program, cfg machine.Config) (*core.Synthesis, error) {
+	opts := []core.Option{
+		core.WithMachine(cfg),
+		core.WithStrategy(core.DCS),
+		core.WithSeed(o.Seed),
+		core.WithMaxEvals(o.Evals),
+	}
+	if o.Metrics != nil {
+		opts = append(opts, core.WithMetrics(o.Metrics))
+	}
+	if o.Tracer != nil {
+		opts = append(opts, core.WithTracer(o.Tracer))
+	}
+	return core.SynthesizeOpts(context.Background(), prog, opts...)
 }
 
 // MemoryLimit sweeps the memory limit for a fixed program, reporting the
@@ -76,13 +102,7 @@ func MemoryLimit(build func() *loops.Program, limits []int64, opt Options) (Seri
 	for _, limit := range limits {
 		cfg := opt.machine()
 		cfg.MemoryLimit = limit
-		syn, err := core.Synthesize(core.Request{
-			Program:  build(),
-			Machine:  cfg,
-			Strategy: core.DCS,
-			Seed:     opt.Seed,
-			MaxEvals: opt.Evals,
-		})
+		syn, err := opt.synthesize(build(), cfg)
 		if err != nil {
 			return s, fmt.Errorf("sweep: limit %d: %w", limit, err)
 		}
@@ -110,13 +130,7 @@ func Processors(n, v int64, procCounts []int, opt Options) (Series, error) {
 	for _, p := range procCounts {
 		cfg := perNode
 		cfg.MemoryLimit = perNode.MemoryLimit * int64(p)
-		syn, err := core.Synthesize(core.Request{
-			Program:  loops.FourIndexAbstract(n, v),
-			Machine:  cfg,
-			Strategy: core.DCS,
-			Seed:     opt.Seed,
-			MaxEvals: opt.Evals,
-		})
+		syn, err := opt.synthesize(loops.FourIndexAbstract(n, v), cfg)
 		if err != nil {
 			return s, err
 		}
@@ -151,13 +165,7 @@ func ProblemSize(ns []int64, vScale float64, opt Options) (Series, error) {
 		if v < 2 {
 			v = 2
 		}
-		syn, err := core.Synthesize(core.Request{
-			Program:  loops.FourIndexAbstract(n, v),
-			Machine:  opt.machine(),
-			Strategy: core.DCS,
-			Seed:     opt.Seed,
-			MaxEvals: opt.Evals,
-		})
+		syn, err := opt.synthesize(loops.FourIndexAbstract(n, v), opt.machine())
 		if err != nil {
 			return s, err
 		}

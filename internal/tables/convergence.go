@@ -1,0 +1,95 @@
+package tables
+
+// Convergence study: record the solver's convergence curve (best feasible
+// objective vs. cost-model evaluations) for each solver-based strategy on
+// one problem size — the telemetry counterpart of Table 2, showing how the
+// approaches approach their final objective rather than only how long they
+// take.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/obs"
+)
+
+// ConvergenceRow is one strategy's recorded solver telemetry.
+type ConvergenceRow struct {
+	Strategy core.Strategy
+	Size     Size
+	// Events is the full event stream (restart, improvement, final).
+	Events []obs.SolveEvent
+	// Final is the solver's terminal event: best objective, feasibility,
+	// and total evaluation count.
+	Final   obs.SolveEvent
+	GenTime time.Duration
+	// Predicted is the cost model's disk I/O seconds for the synthesized
+	// plan (the objective the curve converges to).
+	Predicted float64
+}
+
+// ConvergenceStudy synthesizes the four-index transform at size with each
+// strategy, recording the solver's convergence curve. Strategies that do
+// not go through the solver (UniformSampling) are rejected.
+func ConvergenceStudy(strategies []core.Strategy, size Size, opt Options) ([]ConvergenceRow, error) {
+	opt = opt.withDefaults()
+	var rows []ConvergenceRow
+	for _, st := range strategies {
+		if st == core.UniformSampling {
+			return nil, fmt.Errorf("tables: %v emits no solver convergence events", st)
+		}
+		curve := &obs.Convergence{}
+		s, err := core.SynthesizeOpts(nil, loops.FourIndexAbstract(size.N, size.V),
+			append(opt.coreOptions(),
+				core.WithMachine(opt.Machine),
+				core.WithStrategy(st),
+				core.WithConvergence(curve))...)
+		if err != nil {
+			return nil, fmt.Errorf("tables: %v at %v: %w", st, size, err)
+		}
+		final, ok := curve.Final()
+		if !ok {
+			return nil, fmt.Errorf("tables: %v at %v recorded no final event", st, size)
+		}
+		rows = append(rows, ConvergenceRow{
+			Strategy:  st,
+			Size:      size,
+			Events:    curve.Events(),
+			Final:     final,
+			GenTime:   s.GenTime,
+			Predicted: s.Predicted(),
+		})
+	}
+	return rows, nil
+}
+
+// Improvements returns the row's improvement events in order (the
+// monotone non-increasing best-objective trajectory).
+func (r ConvergenceRow) Improvements() []obs.SolveEvent {
+	var out []obs.SolveEvent
+	for _, e := range r.Events {
+		if e.Kind == "improvement" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FormatConvergence renders the study: one section per strategy with the
+// best-objective trajectory against evaluation count.
+func FormatConvergence(rows []ConvergenceRow) string {
+	var b strings.Builder
+	b.WriteString("Solver convergence: best feasible objective vs. evaluations\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%v at N=%d V=%d: %d evals, %d restarts, final %.3f s (gen %.2f s)\n",
+			r.Strategy, r.Size.N, r.Size.V, r.Final.Evals, r.Final.Restart,
+			r.Final.Best, r.GenTime.Seconds())
+		for _, e := range r.Improvements() {
+			fmt.Fprintf(&b, "  eval %7d  best %12.3f s\n", e.Evals, e.Best)
+		}
+	}
+	return b.String()
+}

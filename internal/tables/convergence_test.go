@@ -1,0 +1,46 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestConvergenceStudy(t *testing.T) {
+	rows, err := ConvergenceStudy([]core.Strategy{core.DCS, core.DCSConstrainedAnnealing},
+		Size{140, 120}, capped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Final.Feasible {
+			t.Errorf("%v: final event infeasible", r.Strategy)
+		}
+		if r.Final.Best != r.Predicted {
+			t.Errorf("%v: final best %g != predicted %g", r.Strategy, r.Final.Best, r.Predicted)
+		}
+		imps := r.Improvements()
+		if len(imps) == 0 {
+			t.Errorf("%v: no improvement events", r.Strategy)
+		}
+		for i := 1; i < len(imps); i++ {
+			if imps[i].Best > imps[i-1].Best {
+				t.Errorf("%v: improvement %d regressed: %g > %g", r.Strategy, i, imps[i].Best, imps[i-1].Best)
+			}
+		}
+	}
+	out := FormatConvergence(rows)
+	if !strings.Contains(out, "DCS") || !strings.Contains(out, "best") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}
+
+func TestConvergenceStudyRejectsSampling(t *testing.T) {
+	if _, err := ConvergenceStudy([]core.Strategy{core.UniformSampling}, Size{140, 120}, capped()); err == nil {
+		t.Fatal("expected an error for the sampling strategy")
+	}
+}

@@ -6,6 +6,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/nlp"
 	"repro/internal/placement"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/tiling"
 )
@@ -42,6 +44,12 @@ type Options struct {
 	// the paper; the full grid over 8 loops is what makes the baseline
 	// take hours there and minutes here).
 	SamplingCombos int64
+	// Metrics, if non-nil, receives the solver and disk counters of every
+	// synthesis and measurement run of the experiment.
+	Metrics *obs.Registry
+	// Tracer, if non-nil, records the measurement runs' modelled
+	// timelines as obs spans (successive runs append to one timeline).
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -57,14 +65,24 @@ func synthesize(strategy core.Strategy, size Size, opt Options, memLimit int64) 
 	if memLimit > 0 {
 		cfg.MemoryLimit = memLimit
 	}
-	return core.Synthesize(core.Request{
-		Program:  loops.FourIndexAbstract(size.N, size.V),
-		Machine:  cfg,
-		Strategy: strategy,
-		Seed:     opt.Seed,
-		MaxEvals: opt.DCSEvals,
-		Sampling: sampling.Options{MaxCombos: opt.SamplingCombos},
-	})
+	return core.SynthesizeOpts(context.Background(), loops.FourIndexAbstract(size.N, size.V),
+		append(opt.coreOptions(),
+			core.WithMachine(cfg),
+			core.WithStrategy(strategy),
+			core.WithSampling(sampling.Options{MaxCombos: opt.SamplingCombos}))...)
+}
+
+// coreOptions maps the experiment options onto the synthesis options
+// every run shares (machine and strategy are per-call).
+func (o Options) coreOptions() []core.Option {
+	opts := []core.Option{core.WithSeed(o.Seed), core.WithMaxEvals(o.DCSEvals)}
+	if o.Metrics != nil {
+		opts = append(opts, core.WithMetrics(o.Metrics))
+	}
+	if o.Tracer != nil {
+		opts = append(opts, core.WithTracer(o.Tracer))
+	}
+	return opts
 }
 
 // Table2Row is one row of Table 2: code generation time per approach.

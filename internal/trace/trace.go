@@ -4,6 +4,11 @@
 // text timeline — the tooling used to understand where a synthesized
 // program's I/O time goes and to cross-check the cost model's per-array
 // predictions.
+//
+// The recorder is a thin adapter over the obs span tracer: every
+// operation becomes one span on the obs "disk" track, so a recorded run
+// exports directly as a Chrome Trace (Recorder.Tracer) while the Op view
+// remains available for the aggregation helpers in this package.
 package trace
 
 import (
@@ -11,14 +16,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Op is one recorded I/O operation.
 type Op struct {
-	// Seq is the operation's global sequence number (0-based).
+	// Seq is the operation's recording sequence number (0-based).
 	Seq int64
 	// Array is the disk array touched.
 	Array string
@@ -29,8 +36,20 @@ type Op struct {
 	// Bytes moved.
 	Bytes int64
 	// Start and Duration are modelled seconds on this backend's disk,
-	// assuming serial execution in sequence order.
+	// accumulated in recording order. Synchronous operations are recorded
+	// as they execute, so under the serial engine Start is the serial
+	// I/O clock. Asynchronous operations (the pipelined engine) are
+	// recorded when their completion is awaited: Start is then a
+	// completion-ordered serial clock that preserves per-op durations and
+	// totals but does not express overlap — use Issued/Completed for
+	// real ordering, or the engine's own tracer for the overlapped
+	// timeline.
 	Start, Duration float64
+	// Issued and Completed are wall-clock seconds since the recorder's
+	// creation (or last Reset) at which the operation was issued and at
+	// which it finished. They are meaningful under both engines: an
+	// overlapped run shows Issued order differing from Completed order.
+	Issued, Completed float64
 }
 
 // Recorder wraps a disk backend and records every section operation.
@@ -49,38 +68,84 @@ type Recorder struct {
 	model    machine.Disk
 	hasModel bool
 
+	// tr holds the op log: one "disk"-track span per operation, the Op
+	// in the span's Args. It is private to the recorder — the execution
+	// engines keep their own tracer, so attaching both to a run never
+	// double-counts disk spans.
+	tr *obs.Tracer
+
 	mu    sync.Mutex
-	ops   []Op
 	clock float64
+	seq   int64
+	epoch time.Time
 }
 
 // New wraps a backend. Asynchronous operations traced through a Recorder
 // built this way carry zero Duration (the recorder has no disk model to
 // charge); use NewWithDisk when tracing pipelined executions.
 func New(inner disk.Backend) *Recorder {
-	return &Recorder{inner: inner}
+	return &Recorder{inner: inner, tr: obs.NewTracer(), epoch: time.Now()}
 }
 
 // NewWithDisk wraps a backend and charges asynchronous operations the
 // given disk model's per-section time (seek + transfer), matching the
 // simulator's synchronous accounting.
 func NewWithDisk(inner disk.Backend, d machine.Disk) *Recorder {
-	return &Recorder{inner: inner, model: d, hasModel: true}
+	return &Recorder{inner: inner, model: d, hasModel: true, tr: obs.NewTracer(), epoch: time.Now()}
 }
 
-// Ops returns a copy of the recorded operations.
+// opArgKey carries the Op inside its span's Args.
+const opArgKey = "op"
+
+// add appends one op to the log as a disk-track span.
+func (r *Recorder) add(op Op) {
+	name := "W " + op.Array
+	if op.Read {
+		name = "R " + op.Array
+	}
+	r.tr.Span(obs.Span{
+		Track: obs.TrackDisk,
+		Name:  name,
+		Start: op.Start,
+		Dur:   op.Duration,
+		Args:  map[string]any{opArgKey: op},
+	})
+}
+
+// Ops returns a copy of the recorded operations in recording order.
 func (r *Recorder) Ops() []Op {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]Op(nil), r.ops...)
+	spans := r.tr.Spans()
+	ops := make([]Op, 0, len(spans))
+	for _, s := range spans {
+		if op, ok := s.Args[opArgKey].(Op); ok {
+			ops = append(ops, op)
+		}
+	}
+	return ops
 }
 
-// Reset clears the recording.
+// Tracer exposes the recorder's span log, one "disk"-track span per
+// operation, for Chrome Trace export. The spans sit on the recording-order
+// serial clock (see Op.Start); an overlapped timeline comes from the
+// execution engine's own tracer, not this one.
+func (r *Recorder) Tracer() *obs.Tracer { return r.tr }
+
+// Reset clears the recording and restarts the wall clock.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
-	r.ops = nil
 	r.clock = 0
+	r.seq = 0
+	r.epoch = time.Now()
 	r.mu.Unlock()
+	r.tr.Reset()
+}
+
+// wall returns wall-clock seconds since the recorder's epoch.
+func (r *Recorder) wall() float64 {
+	r.mu.Lock()
+	e := r.epoch
+	r.mu.Unlock()
+	return time.Since(e).Seconds()
 }
 
 // Create implements disk.Backend.
@@ -103,6 +168,15 @@ func (r *Recorder) Open(name string) (disk.Array, error) {
 
 // Stats implements disk.Backend.
 func (r *Recorder) Stats() disk.Stats { return r.inner.Stats() }
+
+// SetMetrics implements disk.MetricsSetter by forwarding to the inner
+// backend when it publishes metrics (a no-op otherwise), so
+// disk.AttachMetrics works through a recorder-wrapped backend.
+func (r *Recorder) SetMetrics(reg *obs.Registry) {
+	if ms, ok := r.inner.(disk.MetricsSetter); ok {
+		ms.SetMetrics(reg)
+	}
+}
 
 // AsyncCapable implements disk.AsyncBackend: traced arrays always carry
 // the asynchronous contract (adapting the inner array when it lacks one).
@@ -135,19 +209,22 @@ func (a *tracedArray) WriteSection(lo, shape []int64, buf []float64) error {
 }
 
 // ReadAsync implements disk.AsyncArray: the inner operation (native or
-// adapted) proceeds concurrently; the op is recorded when awaited.
+// adapted) proceeds concurrently; the op is recorded when awaited, with
+// its issue time captured here.
 func (a *tracedArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion {
+	issued := a.rec.wall()
 	return &tracedCompletion{
 		inner: disk.AsAsync(a.inner).ReadAsync(lo, shape, buf),
-		rec:   func() { a.rec.addAsync(a.inner.Name(), lo, shape, true) },
+		rec:   func() { a.rec.addAsync(a.inner.Name(), lo, shape, true, issued) },
 	}
 }
 
 // WriteAsync implements disk.AsyncArray.
 func (a *tracedArray) WriteAsync(lo, shape []int64, buf []float64) disk.Completion {
+	issued := a.rec.wall()
 	return &tracedCompletion{
 		inner: disk.AsAsync(a.inner).WriteAsync(lo, shape, buf),
-		rec:   func() { a.rec.addAsync(a.inner.Name(), lo, shape, false) },
+		rec:   func() { a.rec.addAsync(a.inner.Name(), lo, shape, false, issued) },
 	}
 }
 
@@ -169,7 +246,7 @@ func (c *tracedCompletion) Await() error {
 // from the section shape and duration from the disk model: concurrent
 // completions make the synchronous path's stats-delta attribution
 // unsound.
-func (r *Recorder) addAsync(array string, lo, shape []int64, read bool) {
+func (r *Recorder) addAsync(array string, lo, shape []int64, read bool, issued float64) {
 	bytes := int64(8)
 	for _, s := range shape {
 		bytes *= s
@@ -182,22 +259,29 @@ func (r *Recorder) addAsync(array string, lo, shape []int64, read bool) {
 			dur = r.model.WriteTime(bytes, 1)
 		}
 	}
+	completed := r.wall()
 	r.mu.Lock()
-	r.ops = append(r.ops, Op{
-		Seq:      int64(len(r.ops)),
-		Array:    array,
-		Read:     read,
-		Lo:       append([]int64(nil), lo...),
-		Shape:    append([]int64(nil), shape...),
-		Bytes:    bytes,
-		Start:    r.clock,
-		Duration: dur,
-	})
+	op := Op{
+		Seq:       r.seq,
+		Array:     array,
+		Read:      read,
+		Lo:        append([]int64(nil), lo...),
+		Shape:     append([]int64(nil), shape...),
+		Bytes:     bytes,
+		Start:     r.clock,
+		Duration:  dur,
+		Issued:    issued,
+		Completed: completed,
+	}
+	r.seq++
 	r.clock += dur
+	// Record under the mutex so span order always matches Seq order.
+	r.add(op)
 	r.mu.Unlock()
 }
 
 func (a *tracedArray) record(lo, shape []int64, buf []float64, read bool) error {
+	issued := a.rec.wall()
 	before := a.rec.inner.Stats()
 	var err error
 	if read {
@@ -211,19 +295,24 @@ func (a *tracedArray) record(lo, shape []int64, buf []float64, read bool) error 
 	after := a.rec.inner.Stats()
 	bytes := (after.BytesRead - before.BytesRead) + (after.BytesWritten - before.BytesWritten)
 	dur := after.Time() - before.Time()
+	completed := a.rec.wall()
 
 	a.rec.mu.Lock()
-	a.rec.ops = append(a.rec.ops, Op{
-		Seq:      int64(len(a.rec.ops)),
-		Array:    a.inner.Name(),
-		Read:     read,
-		Lo:       append([]int64(nil), lo...),
-		Shape:    append([]int64(nil), shape...),
-		Bytes:    bytes,
-		Start:    a.rec.clock,
-		Duration: dur,
-	})
+	op := Op{
+		Seq:       a.rec.seq,
+		Array:     a.inner.Name(),
+		Read:      read,
+		Lo:        append([]int64(nil), lo...),
+		Shape:     append([]int64(nil), shape...),
+		Bytes:     bytes,
+		Start:     a.rec.clock,
+		Duration:  dur,
+		Issued:    issued,
+		Completed: completed,
+	}
+	a.rec.seq++
 	a.rec.clock += dur
+	a.rec.add(op)
 	a.rec.mu.Unlock()
 	return nil
 }
