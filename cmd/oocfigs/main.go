@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/figures"
 )
 
@@ -24,9 +25,28 @@ func main() {
 	log.SetPrefix("oocfigs: ")
 	fig := flag.Int("fig", 0, "figure number to print (0 = all)")
 	seed := flag.Int64("seed", 1, "DCS solver seed for figure 4")
+	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
 	flag.Parse()
 	showVersion()
+	if err := obsFlags.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	// Figure 4 is the only figure that runs the solver; the shared obs
+	// flags (-metrics-out, -trace-out, pprof) observe that synthesis.
+	var copts []core.Option
+	if reg := obsFlags.Registry(); reg != nil {
+		copts = append(copts, core.WithMetrics(reg))
+	}
+	if tr := obsFlags.Tracer(); tr != nil {
+		copts = append(copts, core.WithTracer(tr))
+	}
 
 	print := func(n int) {
 		switch n {
@@ -41,7 +61,7 @@ func main() {
 			}
 			fmt.Println(s)
 		case 4:
-			s, err := figures.Figure4(*seed)
+			s, err := figures.Figure4(*seed, copts...)
 			if err != nil {
 				log.Fatal(err)
 			}

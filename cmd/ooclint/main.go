@@ -1,0 +1,145 @@
+// Command ooclint runs the repo's own static analyzers (internal/lint)
+// over the source tree. It speaks two protocols:
+//
+//	ooclint ./...            standalone: walk the module tree, print
+//	                         findings, exit 1 if any
+//	go vet -vettool=ooclint  plugin: the go command drives it once per
+//	                         package with a JSON .cfg file; findings go
+//	                         to stderr and the exit status is 2
+//
+// The vettool protocol is the subset of golang.org/x/tools'
+// unitchecker wire format the go command actually requires (-V=full for
+// the tool build ID, -flags for flag discovery, then one .cfg per
+// package); it is implemented here directly so the repo keeps its
+// zero-dependency build.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// selfID hashes the running executable for the -V=full build ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func main() {
+	args := os.Args[1:]
+	// Protocol handshakes from the go command.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The go command derives the tool's cache key from the
+			// buildID field; hashing the executable invalidates vet's
+			// cache whenever ooclint itself changes.
+			fmt.Printf("ooclint version devel buildID=%s\n", selfID())
+			return
+		case "-flags", "--flags":
+			// No analyzer flags; an empty JSON list tells `go vet` so.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// vetConfig is the slice of the go command's vet .cfg file ooclint needs.
+type vetConfig struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// vettool runs one package handed over by `go vet -vettool`.
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ooclint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ooclint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist for caching even
+	// though these analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ooclint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := lint.CheckPaths(pkgPath(cfg.ImportPath), cfg.GoFiles, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ooclint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// pkgPath strips the module prefix so path-scoped analyzers see the same
+// "internal/..." paths in both modes.
+func pkgPath(importPath string) string {
+	return strings.TrimPrefix(importPath, "repro/")
+}
+
+// standalone walks the tree rooted at the argument (default ".",
+// "./..." accepted) and prints findings.
+func standalone(args []string) int {
+	root := "."
+	if len(args) > 0 {
+		root = strings.TrimSuffix(args[0], "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+	}
+	diags, err := lint.CheckTree(root, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ooclint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/ooc"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "solver / data seed")
 		workers  = flag.Int("workers", 1, "parallel compute workers")
 		pipeline = flag.Bool("pipeline", false, "execute through the asynchronous double-buffered engine (prefetch + write-behind)")
+		verifyP  = flag.Bool("verify", false, "run the static plan verifier before executing; a finding aborts the run")
 		quiet    = flag.Bool("quiet", false, "suppress the synthesized code listing")
 		savePlan = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
 		planFile = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
@@ -83,6 +85,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *verifyP {
+			rep := verify.Check(plan)
+			if !rep.OK() {
+				log.Fatalf("saved plan %q failed verification:\n%s", *planFile, rep)
+			}
+			fmt.Println(rep)
+		}
 		rec := trace.NewWithDisk(fs, cfg.Disk)
 		if reg := obsFlags.Registry(); reg != nil {
 			disk.AttachMetrics(rec, reg)
@@ -116,9 +125,13 @@ func main() {
 		Pipeline: *pipeline,
 		Metrics:  obsFlags.Registry(),
 		Tracer:   obsFlags.Tracer(),
+		Verify:   *verifyP,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *verifyP {
+		fmt.Println(res.Synthesis.Verify)
 	}
 	if !*quiet {
 		fmt.Println("== synthesized concrete code ==")
@@ -158,7 +171,7 @@ func printPipeline(ps *exec.PipelineStats) {
 // arbitrarily large arrays never fully materialize in memory.
 func stageRandom(be disk.Backend, spec string, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	for _, part := range strings.Split(spec, ",") {
+	for _, part := range splitTop(spec) {
 		part = strings.TrimSpace(part)
 		eq := strings.SplitN(part, "=", 2)
 		if len(eq) != 2 {
@@ -185,6 +198,27 @@ func stageRandom(be disk.Backend, spec string, seed int64) error {
 		}
 	}
 	return nil
+}
+
+// splitTop splits a staging spec on commas outside index brackets, so
+// "A[i,j]=200x300,B[j,k]=300x150" yields two entries.
+func splitTop(spec string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range spec {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, spec[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, spec[start:])
 }
 
 // fillRandom writes random contents in row-panels.

@@ -25,7 +25,7 @@ func ParseBytes(s string) (int64, error) {
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil || v <= 0 {
-		return 0, fmt.Errorf("bad size %q", s)
+		return 0, fmt.Errorf("cliutil: bad size %q", s)
 	}
 	return int64(v * float64(mult)), nil
 }
@@ -36,7 +36,7 @@ func ParseInts(s string) ([]int64, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad integer %q", part)
+			return nil, fmt.Errorf("cliutil: bad integer %q", part)
 		}
 		out = append(out, v)
 	}

@@ -80,7 +80,7 @@ func (o *Obs) Start() error {
 	if o.PprofAddr != "" {
 		ln, err := net.Listen("tcp", o.PprofAddr)
 		if err != nil {
-			return fmt.Errorf("pprof server: %w", err)
+			return fmt.Errorf("cliutil: pprof server: %w", err)
 		}
 		go http.Serve(ln, nil) // DefaultServeMux carries the pprof handlers
 	}

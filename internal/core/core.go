@@ -24,6 +24,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/tensor"
 	"repro/internal/tiling"
+	"repro/internal/verify"
 )
 
 // Strategy selects the synthesis search algorithm.
@@ -110,6 +111,10 @@ type Synthesis struct {
 	// timeline into Tracer for Chrome-trace export.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Verify is the static plan verifier's report (set via WithVerify; nil
+	// otherwise). A synthesis only returns with a clean report — a finding
+	// fails the run — so it carries the verified schedule-walk statistics.
+	Verify *verify.Report
 }
 
 // synthExtras carries the observability wiring of SynthesizeOpts that the
@@ -118,6 +123,7 @@ type synthExtras struct {
 	observer dcs.Observer
 	metrics  *obs.Registry
 	curve    *obs.Convergence
+	verify   bool
 }
 
 // solverObserver composes the user observer and the convergence curve
@@ -235,6 +241,13 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 	if err != nil {
 		return nil, err
 	}
+	var rep *verify.Report
+	if extras.verify {
+		rep = verify.Check(plan)
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("core: synthesized plan failed verification: %w", err)
+		}
+	}
 	return &Synthesis{
 		Request:     req,
 		Tree:        tree,
@@ -245,6 +258,7 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 		Plan:        plan,
 		GenTime:     genTime,
 		SolverEvals: evals,
+		Verify:      rep,
 	}, nil
 }
 

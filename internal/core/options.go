@@ -115,6 +115,16 @@ func WithTracer(tr *obs.Tracer) Option {
 	return func(c *config) { c.tracer = tr }
 }
 
+// WithVerify runs the static plan verifier (internal/verify) over the
+// generated plan before returning: dataflow, resource, and schedule
+// legality are re-derived from the plan itself, independently of the
+// placement enumerator and the NLP constraints that produced it. A
+// finding fails the synthesis; a clean report is attached as
+// Synthesis.Verify.
+func WithVerify() Option {
+	return func(c *config) { c.extras.verify = true }
+}
+
 // WithConvergence records the solver's convergence curve (restart,
 // improvement, and final events) into curve for later export. It composes
 // with WithObserver: both receive every event.

@@ -1,12 +1,45 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/loops"
 	"repro/internal/machine"
 )
+
+// TestMemoryBoundHoldsAcrossSeeds is the solver-to-plan contract on the
+// paper's Table 3 configuration (AO-to-MO transform, N=140, V=120): for
+// every feasible DCS result, the generated plan's static buffer memory
+// must fit the machine limit the NLP constrained it by, and the
+// independently re-derived verifier report (WithVerify, rule R2 among
+// others) must come back clean.
+func TestMemoryBoundHoldsAcrossSeeds(t *testing.T) {
+	cfg := machine.OSCItanium2()
+	prog := loops.FourIndexAbstract(140, 120)
+	for _, seed := range []int64{1, 7, 42} {
+		s, err := SynthesizeOpts(context.Background(), prog,
+			WithMachine(cfg),
+			WithStrategy(DCS),
+			WithSeed(seed),
+			WithMaxEvals(20000),
+			WithVerify(),
+		)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !s.Problem.Feasible(s.X) {
+			t.Fatalf("seed %d: solver returned infeasible assignment", seed)
+		}
+		if got, limit := s.Plan.MemoryBytes(), cfg.MemoryLimit; got > limit {
+			t.Fatalf("seed %d: plan memory %d exceeds limit %d", seed, got, limit)
+		}
+		if s.Verify == nil || !s.Verify.OK() {
+			t.Fatalf("seed %d: verification report not clean: %v", seed, s.Verify)
+		}
+	}
+}
 
 // TestMoreMemoryNeverHurts checks the optimizer-level property behind
 // Table 4: as the memory limit grows, the best synthesizable disk I/O

@@ -251,8 +251,9 @@ func maxOf(vs []float64) float64 {
 }
 
 type solver struct {
-	p      Problem
-	opt    Options
+	p   Problem
+	opt Options
+	//lint:ignore ctxfield the solver struct is per-Solve scratch state, never retained past the call
 	ctx    context.Context
 	rng    *rand.Rand
 	groups []Group

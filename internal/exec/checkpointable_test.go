@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+)
+
+// TestCheckpointable pins the syntactic contract: the top level may hold
+// only loops, init passes, and reads. Anything that represents in-memory
+// state produced at the top level and consumed later — a write of a
+// buffer, a buffer zero-fill — breaks the unit model.
+func TestCheckpointable(t *testing.T) {
+	buf := &codegen.Buffer{Name: "T.b"}
+	cases := []struct {
+		name string
+		body []codegen.Node
+		want bool
+	}{
+		{"empty", nil, true},
+		{"loops only", []codegen.Node{
+			&codegen.Loop{Index: "a", Range: 4, Tile: 2},
+		}, true},
+		{"init pass", []codegen.Node{
+			&codegen.InitPass{Array: "C"},
+			&codegen.Loop{Index: "a", Range: 4, Tile: 2},
+		}, true},
+		{"top-level read", []codegen.Node{
+			&codegen.IO{Array: "A", Buffer: buf, Read: true},
+			&codegen.Loop{Index: "a", Range: 4, Tile: 2},
+		}, true},
+		{"top-level write", []codegen.Node{
+			&codegen.Loop{Index: "a", Range: 4, Tile: 2},
+			&codegen.IO{Array: "C", Buffer: buf, Read: false},
+		}, false},
+		{"top-level zero-fill", []codegen.Node{
+			&codegen.ZeroBuf{Buffer: buf},
+			&codegen.Loop{Index: "a", Range: 4, Tile: 2},
+		}, false},
+		{"nested write is fine", []codegen.Node{
+			&codegen.Loop{Index: "a", Range: 4, Tile: 2, Body: []codegen.Node{
+				&codegen.IO{Array: "C", Buffer: buf, Read: false},
+			}},
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &codegen.Plan{Body: tc.body}
+			if got := Checkpointable(p); got != tc.want {
+				t.Fatalf("Checkpointable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -90,6 +90,15 @@ type Checkpoint struct {
 // top level may contain only loops, zero-init passes, and reads
 // (re-executable); a top-level write or buffer zero-fill would mean
 // in-memory accumulation lives across top-level iterations.
+//
+// The property is purely syntactic over Plan.Body and is the contract of
+// the engine's work-unit model: each iteration of a top-level loop is one
+// unit, every other top-level item its own unit, and a checkpointable
+// plan carries no live buffer state from one unit into the next — so a
+// run can stop at any unit boundary and a later run can skip completed
+// units. The static plan verifier (internal/verify) reuses exactly this
+// predicate for its Report.Checkpointable field and enforces the
+// underlying no-cross-unit-state property independently as its rule S1.
 func Checkpointable(p *codegen.Plan) bool {
 	for _, n := range p.Body {
 		switch n := n.(type) {
@@ -203,7 +212,8 @@ type engine struct {
 	plan *codegen.Plan
 	be   disk.Backend
 	opt  Options
-	ctx  context.Context
+	//lint:ignore ctxfield the engine struct is per-Run scratch state, never retained past the call
+	ctx context.Context
 	// pipe is non-nil in pipelined mode; top-level work units are then
 	// executed by the asynchronous engine (pipeline.go) instead of exec.
 	pipe *pipeline

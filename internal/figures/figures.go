@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -72,8 +73,9 @@ func Figure3() (string, error) {
 }
 
 // Figure4 enumerates the candidate placements and synthesizes the final
-// concrete code for the Fig. 4 configuration.
-func Figure4(seed int64) (string, error) {
+// concrete code for the Fig. 4 configuration. Extra core options (e.g.
+// WithMetrics, WithTracer, WithVerify) are appended to the synthesis.
+func Figure4(seed int64, opts ...core.Option) (string, error) {
 	prog, cfg := Fig4Config()
 	tree, err := tiling.Tile(prog)
 	if err != nil {
@@ -83,12 +85,12 @@ func Figure4(seed int64) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s, err := core.Synthesize(core.Request{
-		Program:  prog,
-		Machine:  cfg,
-		Strategy: core.DCS,
-		Seed:     seed,
-	})
+	copts := append([]core.Option{
+		core.WithMachine(cfg),
+		core.WithStrategy(core.DCS),
+		core.WithSeed(seed),
+	}, opts...)
+	s, err := core.SynthesizeOpts(context.Background(), prog, copts...)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,202 @@
+package lint
+
+// The repo's analyzers. Each enforces an invariant that is documented
+// prose elsewhere (DESIGN.md, package comments) but was previously
+// unchecked:
+//
+//   - diskstats: disk.Stats counters are owned by internal/disk; mutating
+//     the fields from outside (instead of going through the backend)
+//     silently double-counts or drops modelled I/O.
+//   - ctxfield: context.Context is passed down call chains, not stored in
+//     structs (Go API convention); the two sanctioned per-call engine
+//     structs carry //lint:ignore directives with their justification.
+//   - errprefix: exported error paths of internal packages carry the
+//     package attribution prefix ("exec: ...") established in PR 1, so a
+//     failure names the layer it escaped from.
+//   - obsnew: obs instruments (Counter, Gauge, Histogram) are only
+//     created by the registry's constructors, which deduplicate by name;
+//     a struct literal bypasses the registry and its snapshot.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzers lists every repo analyzer in the order they run.
+var Analyzers = []*Analyzer{DiskStats, CtxField, ErrPrefix, ObsNew}
+
+// statsFields are the exported counters of disk.Stats.
+var statsFields = map[string]bool{
+	"ReadOps": true, "WriteOps": true,
+	"BytesRead": true, "BytesWritten": true,
+	"ReadTime": true, "WriteTime": true,
+}
+
+// DiskStats flags direct mutation of disk.Stats fields outside
+// internal/disk.
+var DiskStats = &Analyzer{
+	Name: "diskstats",
+	Doc:  "disallow direct disk.Stats field mutation outside internal/disk",
+	Run: func(p *Pass) {
+		if p.PkgPath == "internal/disk" {
+			return
+		}
+		isStatsField := func(e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || !statsFields[sel.Sel.Name] {
+				return false
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			return ok && inner.Sel.Name == "Stats"
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if isStatsField(lhs) {
+							p.Reportf(f, lhs.Pos(), "direct mutation of disk.Stats field; route the update through internal/disk")
+						}
+					}
+				case *ast.IncDecStmt:
+					if isStatsField(n.X) {
+						p.Reportf(f, n.X.Pos(), "direct mutation of disk.Stats field; route the update through internal/disk")
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// CtxField flags context.Context stored as a struct field.
+var CtxField = &Analyzer{
+	Name: "ctxfield",
+	Doc:  "disallow context.Context struct fields; pass contexts down call chains",
+	Run: func(p *Pass) {
+		isCtxType := func(e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Context" {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && id.Name == "context"
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if isCtxType(field.Type) {
+						p.Reportf(f, field.Pos(), "context.Context stored in a struct; thread it through calls instead")
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// ErrPrefix flags exported error paths of internal packages whose error
+// text lacks the "<pkg>: " attribution prefix. Unexported helpers are
+// exempt: their errors are wrapped with attribution at the exported
+// boundary (the internal/tce parse helpers are the pattern). Test files
+// are exempt.
+var ErrPrefix = &Analyzer{
+	Name: "errprefix",
+	Doc:  "exported error paths in internal packages carry the package attribution prefix",
+	Run: func(p *Pass) {
+		if !strings.HasPrefix(p.PkgPath, "internal/") {
+			return
+		}
+		prefix := `"` + p.PkgName + `: `
+		for _, f := range p.Files {
+			if strings.HasSuffix(f.Fset.Position(f.AST.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					newErr := (id.Name == "fmt" && sel.Sel.Name == "Errorf") ||
+						(id.Name == "errors" && sel.Sel.Name == "New")
+					if !newErr {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					if !strings.HasPrefix(lit.Value, prefix) {
+						p.Reportf(f, lit.Pos(),
+							"error text in exported %s lacks the %q attribution prefix", fd.Name.Name, p.PkgName+": ")
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// obsInstruments are the registry-owned instrument types of internal/obs.
+var obsInstruments = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// ObsNew flags obs instrument values created outside the registry's
+// constructors.
+var ObsNew = &Analyzer{
+	Name: "obsnew",
+	Doc:  "obs instruments are created only via obs.Registry constructors",
+	Run: func(p *Pass) {
+		if p.PkgPath == "internal/obs" {
+			return
+		}
+		isInstrument := func(e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || !obsInstruments[sel.Sel.Name] {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && id.Name == "obs"
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					// A literal whose type is the instrument itself
+					// (&obs.Counter{...}); container literals like
+					// map[string]*obs.Counter{} are fine.
+					if isInstrument(n.Type) {
+						p.Reportf(f, n.Pos(), "obs instrument literal; use the Registry constructor (Counter/Gauge/Histogram)")
+					}
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 && isInstrument(n.Args[0]) {
+						p.Reportf(f, n.Pos(), "obs instrument allocated with new(); use the Registry constructor")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,204 @@
+// Package lint is a small, dependency-free static-analysis framework for
+// the repo's own invariants, mirroring the shape of the go/analysis API
+// (analyzers with a Run func reporting position-tagged diagnostics) on the
+// standard library's go/ast and go/token only — the environment this repo
+// builds in has no module network access, so golang.org/x/tools is
+// deliberately not depended on. cmd/ooclint drives these analyzers both
+// standalone and as a `go vet -vettool` plugin.
+//
+// Findings can be suppressed with a directive on the line of (or the line
+// before) the offending node:
+//
+//	//lint:ignore <analyzer> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// File is one parsed source file plus its suppression directives.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	// Ignores maps line number -> analyzer names suppressed there.
+	Ignores map[int]map[string]bool
+}
+
+// Pass is the per-package unit of work handed to each analyzer.
+type Pass struct {
+	// PkgName is the package's declared name ("exec").
+	PkgName string
+	// PkgPath is a slash path identifying the package ("internal/exec");
+	// derived from the directory, it is what path-scoped analyzers match.
+	PkgPath string
+	Files   []*File
+
+	analyzer string
+	out      *[]Diagnostic
+}
+
+// Reportf records a finding unless a matching //lint:ignore directive
+// covers its line (or the line above it).
+func (p *Pass) Reportf(f *File, pos token.Pos, format string, args ...interface{}) {
+	position := f.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if names := f.Ignores[line]; names[p.analyzer] || names["*"] {
+			return
+		}
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// ParseFile parses one source file and collects its ignore directives.
+func ParseFile(fset *token.FileSet, path string, src []byte) (*File, error) {
+	af, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Fset: fset, AST: af, Ignores: map[int]map[string]bool{}}
+	for _, cg := range af.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "lint:ignore") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if f.Ignores[line] == nil {
+				f.Ignores[line] = map[string]bool{}
+			}
+			f.Ignores[line][fields[0]] = true
+		}
+	}
+	return f, nil
+}
+
+// CheckFiles runs the analyzers over one package's parsed files.
+func CheckFiles(pkgName, pkgPath string, files []*File, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			PkgName:  pkgName,
+			PkgPath:  pkgPath,
+			Files:    files,
+			analyzer: a.Name,
+			out:      &out,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// CheckPaths parses the named Go files as one package (all files must
+// share a package clause) and runs the analyzers. pkgPath scopes
+// path-sensitive analyzers; pass the package directory relative to the
+// module root.
+func CheckPaths(pkgPath string, goFiles []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*File
+	pkgName := ""
+	for _, path := range goFiles {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := ParseFile(fset, path, src)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.AST.Name.Name
+		}
+		files = append(files, f)
+	}
+	return CheckFiles(pkgName, pkgPath, files, analyzers), nil
+}
+
+// CheckTree walks a module tree rooted at root, analyzing every directory
+// of Go files as a package (skipping testdata and hidden directories).
+// Test files are included.
+func CheckTree(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs := map[string][]string{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	dirs := make([]string, 0, len(pkgs))
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	var out []Diagnostic
+	for _, dir := range dirs {
+		sort.Strings(pkgs[dir])
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		diags, err := CheckPaths(filepath.ToSlash(rel), pkgs[dir], analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	return out, nil
+}

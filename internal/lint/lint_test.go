@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// check parses src as a single file of the package identified by pkgPath
+// and runs every analyzer over it.
+func check(t *testing.T, pkgPath, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := ParseFile(fset, "src.go", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckFiles(f.AST.Name.Name, pkgPath, []*File{f}, Analyzers)
+}
+
+func wantDiag(t *testing.T, diags []Diagnostic, analyzer, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s diagnostic containing %q in %v", analyzer, substr, diags)
+}
+
+func wantNone(t *testing.T, diags []Diagnostic, analyzer string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			t.Fatalf("unexpected %s diagnostic: %v", analyzer, d)
+		}
+	}
+}
+
+func TestDiskStats(t *testing.T) {
+	src := `package exec
+func bump(d *Disk) {
+	d.Stats.ReadOps++
+	d.Stats.BytesRead += 4096
+	d.Stats.WriteTime = 0
+}
+`
+	diags := check(t, "internal/exec", src)
+	if n := countBy(diags, "diskstats"); n != 3 {
+		t.Fatalf("want 3 diskstats diagnostics, got %d: %v", n, diags)
+	}
+	wantDiag(t, diags, "diskstats", "direct mutation")
+
+	// The same code inside internal/disk is the implementation, not a
+	// violation.
+	wantNone(t, check(t, "internal/disk", strings.Replace(src, "package exec", "package disk", 1)), "diskstats")
+
+	// Reads of the fields are fine anywhere.
+	wantNone(t, check(t, "internal/exec", `package exec
+func read(d *Disk) int64 { return d.Stats.BytesRead }
+`), "diskstats")
+
+	// := defines a new variable; not a Stats mutation.
+	wantNone(t, check(t, "internal/exec", `package exec
+func ok() { x := 1; _ = x }
+`), "diskstats")
+}
+
+func TestCtxField(t *testing.T) {
+	src := `package exec
+import "context"
+type engine struct {
+	ctx context.Context
+	n   int
+}
+`
+	wantDiag(t, check(t, "internal/exec", src), "ctxfield", "stored in a struct")
+
+	wantNone(t, check(t, "internal/exec", `package exec
+import "context"
+func run(ctx context.Context) error { return ctx.Err() }
+`), "ctxfield")
+}
+
+func TestCtxFieldIgnoreDirective(t *testing.T) {
+	src := `package exec
+import "context"
+type engine struct {
+	//lint:ignore ctxfield the engine is a per-call object, not a long-lived one
+	ctx context.Context
+}
+`
+	wantNone(t, check(t, "internal/exec", src), "ctxfield")
+
+	// A directive for a different analyzer does not suppress it.
+	src2 := strings.Replace(src, "lint:ignore ctxfield", "lint:ignore diskstats", 1)
+	wantDiag(t, check(t, "internal/exec", src2), "ctxfield", "stored in a struct")
+
+	// The wildcard suppresses everything on the line.
+	src3 := strings.Replace(src, "lint:ignore ctxfield", "lint:ignore *", 1)
+	wantNone(t, check(t, "internal/exec", src3), "ctxfield")
+}
+
+func TestErrPrefix(t *testing.T) {
+	bad := `package tce
+import "fmt"
+func Parse(s string) error {
+	return fmt.Errorf("bad input %q", s)
+}
+`
+	wantDiag(t, check(t, "internal/tce", bad), "errprefix", `"tce: "`)
+
+	good := strings.Replace(bad, `"bad input %q"`, `"tce: bad input %q"`, 1)
+	wantNone(t, check(t, "internal/tce", good), "errprefix")
+
+	// Unexported helpers are wrapped at the exported boundary; exempt.
+	wantNone(t, check(t, "internal/tce", `package tce
+import "fmt"
+func parse(s string) error { return fmt.Errorf("bad input %q", s) }
+`), "errprefix")
+
+	// Non-internal packages (cmd/*) are out of scope.
+	wantNone(t, check(t, "cmd/oocrun", strings.Replace(bad, "package tce", "package main", 1)), "errprefix")
+
+	// Non-literal formats can't be checked statically; skipped.
+	wantNone(t, check(t, "internal/tce", `package tce
+import "fmt"
+func Fail(msg string) error { return fmt.Errorf(msg) }
+`), "errprefix")
+
+	// errors.New is held to the same rule.
+	wantDiag(t, check(t, "internal/tce", `package tce
+import "errors"
+func Explode() error { return errors.New("boom") }
+`), "errprefix", `"tce: "`)
+}
+
+func TestObsNew(t *testing.T) {
+	wantDiag(t, check(t, "internal/exec", `package exec
+import "repro/internal/obs"
+var c = &obs.Counter{}
+`), "obsnew", "Registry constructor")
+
+	wantDiag(t, check(t, "internal/exec", `package exec
+import "repro/internal/obs"
+var c = new(obs.Counter)
+`), "obsnew", "Registry constructor")
+
+	// Container literals of instrument pointers are fine.
+	wantNone(t, check(t, "internal/exec", `package exec
+import "repro/internal/obs"
+var m = map[string]*obs.Counter{}
+`), "obsnew")
+
+	// The obs package itself constructs its own instruments.
+	wantNone(t, check(t, "internal/obs", `package obs
+type Counter struct{}
+func x() *Counter { return &Counter{} }
+`), "obsnew")
+}
+
+func TestCheckTreeOnRepo(t *testing.T) {
+	// The repo itself must lint clean; this is the same invariant CI's
+	// vettool job enforces, kept here so `go test ./...` catches drift
+	// without the ooclint binary.
+	diags, err := CheckTree("../..", Analyzers)
+	if err != nil {
+		t.Fatalf("CheckTree: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func countBy(diags []Diagnostic, analyzer string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			n++
+		}
+	}
+	return n
+}

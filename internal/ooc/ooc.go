@@ -49,6 +49,10 @@ type Options struct {
 	// Observer, if non-nil, streams solver convergence events during the
 	// synthesis step.
 	Observer core.Observer
+	// Verify runs the static plan verifier over the synthesized plan
+	// before execution; a verification finding fails the contraction. The
+	// report is available as Result.Synthesis.Verify.
+	Verify bool
 }
 
 // Result reports a contraction run.
@@ -101,6 +105,9 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	}
 	if opt.Observer != nil {
 		copts = append(copts, core.WithObserver(opt.Observer))
+	}
+	if opt.Verify {
+		copts = append(copts, core.WithVerify())
 	}
 	s, err := core.SynthesizeOpts(context.Background(), prog, copts...)
 	if err != nil {

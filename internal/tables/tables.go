@@ -17,8 +17,8 @@ import (
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/nlp"
-	"repro/internal/placement"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/sampling"
 	"repro/internal/tiling"
 )

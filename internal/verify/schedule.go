@@ -1,0 +1,357 @@
+package verify
+
+// Schedule legality: the plan is flattened into its concrete operation
+// order — every tiling loop iterated, every I/O section resolved to a
+// rectangular box of its disk array — and the disk-level hazards are
+// re-derived from scratch: S2 requires every read section to be covered by
+// earlier writes (or the input staging / a zero-init pass), S3 requires
+// overlapping writes to be separated by a read-back into the writing
+// buffer (otherwise the later write clobbers accumulated data). Nothing
+// here consults the execution engine's own hazard tracking; the walk is an
+// independent model of the same program order the serial engine executes
+// and the pipelined engine must preserve across its barriers.
+//
+// The walk is bounded by Options.MaxSteps / MaxEvents: a plan whose tiling
+// implies astronomical trip counts marks the report Truncated instead of
+// iterating forever, and the caller can tell a partially-checked schedule
+// from a verified one.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/loops"
+	"repro/internal/placement"
+)
+
+// sbox is a half-open rectangular section [lo, hi) of a disk array.
+type sbox struct {
+	lo, hi []int64
+}
+
+func boxOf(lo, shape []int64) sbox {
+	hi := make([]int64, len(lo))
+	for i := range lo {
+		hi[i] = lo[i] + shape[i]
+	}
+	return sbox{lo: append([]int64(nil), lo...), hi: hi}
+}
+
+func wholeBox(dims []int64) sbox {
+	return boxOf(make([]int64, len(dims)), dims)
+}
+
+func (b sbox) String() string {
+	parts := make([]string, len(b.lo))
+	for i := range b.lo {
+		parts[i] = fmt.Sprintf("%d:%d", b.lo[i], b.hi[i])
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// intersect returns the overlap of a and b and whether it is non-empty.
+func intersect(a, b sbox) (sbox, bool) {
+	lo := make([]int64, len(a.lo))
+	hi := make([]int64, len(a.lo))
+	for i := range a.lo {
+		lo[i] = max64(a.lo[i], b.lo[i])
+		hi[i] = min64(a.hi[i], b.hi[i])
+		if lo[i] >= hi[i] {
+			return sbox{}, false
+		}
+	}
+	return sbox{lo: lo, hi: hi}, true
+}
+
+// contains reports whether outer fully contains inner.
+func contains(outer, inner sbox) bool {
+	for i := range inner.lo {
+		if inner.lo[i] < outer.lo[i] || inner.hi[i] > outer.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subtractBox returns b \ c as up to 2·rank disjoint boxes (slab
+// decomposition, one dimension at a time).
+func subtractBox(b, c sbox) []sbox {
+	ov, ok := intersect(b, c)
+	if !ok {
+		return []sbox{b}
+	}
+	var out []sbox
+	cur := b
+	for i := range b.lo {
+		if cur.lo[i] < ov.lo[i] {
+			below := sbox{lo: append([]int64(nil), cur.lo...), hi: append([]int64(nil), cur.hi...)}
+			below.hi[i] = ov.lo[i]
+			out = append(out, below)
+		}
+		if ov.hi[i] < cur.hi[i] {
+			above := sbox{lo: append([]int64(nil), cur.lo...), hi: append([]int64(nil), cur.hi...)}
+			above.lo[i] = ov.hi[i]
+			out = append(out, above)
+		}
+		cur.lo[i] = ov.lo[i]
+		cur.hi[i] = ov.hi[i]
+	}
+	return out
+}
+
+// region is a union of disjoint boxes.
+type region struct {
+	boxes []sbox
+	// full short-circuits coverage once the whole array is covered.
+	full bool
+}
+
+// add merges a box into the region, keeping the box list disjoint. It
+// reports false when the fragment count would exceed cap.
+func (r *region) add(b sbox, cap int) bool {
+	if r.full {
+		return true
+	}
+	frontier := []sbox{b}
+	for _, c := range r.boxes {
+		var next []sbox
+		for _, f := range frontier {
+			next = append(next, subtractBox(f, c)...)
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return true
+		}
+	}
+	r.boxes = append(r.boxes, frontier...)
+	return len(r.boxes) <= cap
+}
+
+// covers reports whether the region fully contains b.
+func (r *region) covers(b sbox) bool {
+	if r.full {
+		return true
+	}
+	frontier := []sbox{b}
+	for _, c := range r.boxes {
+		var next []sbox
+		for _, f := range frontier {
+			next = append(next, subtractBox(f, c)...)
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ioEvent is one concrete disk operation of the flattened schedule.
+type ioEvent struct {
+	box  sbox
+	step int
+	buf  *codegen.Buffer // nil for init passes
+}
+
+// arraySched is the per-array hazard state of the schedule walk.
+type arraySched struct {
+	da      codegen.DiskArray
+	covered region // sections with defined contents (staging, init, writes)
+	writes  []ioEvent
+	reads   []ioEvent
+	skip    bool // event cap hit: rules S2/S3 suspended for this array
+}
+
+type scheduler struct {
+	c     *checker
+	base  map[string]int64
+	stack []string // open loop indices, for concrete positions
+	state map[string]*arraySched
+	steps int
+	done  bool // step cap hit
+}
+
+// pos renders the concrete loop position ("a=2,q=0").
+func (s *scheduler) pos() string {
+	if len(s.stack) == 0 {
+		return "top"
+	}
+	parts := make([]string, len(s.stack))
+	for i, idx := range s.stack {
+		parts[i] = fmt.Sprintf("%s=%d", idx, s.base[idx])
+	}
+	return strings.Join(parts, ",")
+}
+
+// section resolves a buffer to the concrete disk box it moves at the
+// current loop bases, re-deriving the extent per dimension class (tile
+// dims move one tile clipped at the boundary, full dims the whole range,
+// unit dims the single current element).
+func (s *scheduler) section(b *codegen.Buffer) sbox {
+	lo := make([]int64, len(b.Dims))
+	shape := make([]int64, len(b.Dims))
+	for i, d := range b.Dims {
+		n := s.c.p.Prog.Ranges[d.Index]
+		switch d.Class {
+		case placement.ExtTile:
+			base := s.base[d.Index]
+			lo[i] = base
+			shape[i] = min64(s.c.p.Tiles[d.Index], n-base)
+		case placement.ExtFull:
+			lo[i] = 0
+			shape[i] = n
+		default: // ExtOne
+			lo[i] = s.base[d.Index]
+			shape[i] = 1
+		}
+	}
+	return boxOf(lo, shape)
+}
+
+// schedule runs the flattened walk (S2/S3).
+func (c *checker) schedule() {
+	s := &scheduler{
+		c:     c,
+		base:  map[string]int64{},
+		state: map[string]*arraySched{},
+	}
+	// Deterministic array order for initialization (map ranges are not).
+	names := make([]string, 0, len(c.arrays))
+	for name := range c.arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		da := c.arrays[name]
+		as := &arraySched{da: da}
+		if da.Kind == loops.Input {
+			// Inputs are staged onto disk before the run: fully covered.
+			as.covered.full = true
+		}
+		s.state[name] = as
+	}
+	s.walk(c.p.Body)
+	c.rep.Steps = s.steps
+	if s.done {
+		c.rep.Truncated = true
+	}
+}
+
+func (s *scheduler) tick() bool {
+	s.steps++
+	if s.steps > s.c.opt.MaxSteps {
+		s.done = true
+	}
+	return !s.done
+}
+
+func (s *scheduler) walk(ns []codegen.Node) {
+	for _, n := range ns {
+		if s.done {
+			return
+		}
+		switch n := n.(type) {
+		case *codegen.Loop:
+			if n.Tile < 1 {
+				continue // R4 already reported; avoid an infinite loop here
+			}
+			s.stack = append(s.stack, n.Index)
+			for b := int64(0); b < n.Range; b += n.Tile {
+				if !s.tick() {
+					break
+				}
+				s.base[n.Index] = b
+				s.walk(n.Body)
+			}
+			s.stack = s.stack[:len(s.stack)-1]
+			delete(s.base, n.Index)
+		case *codegen.IO:
+			if !s.tick() {
+				return
+			}
+			as, ok := s.state[n.Array]
+			if !ok || as.skip {
+				continue
+			}
+			box := s.section(n.Buffer)
+			if n.Read {
+				s.read(as, n, box)
+			} else {
+				s.write(as, n, box)
+			}
+		case *codegen.InitPass:
+			if !s.tick() {
+				return
+			}
+			as, ok := s.state[n.Array]
+			if !ok || as.skip {
+				continue
+			}
+			// A zero-init pass defines the whole array's contents.
+			whole := wholeBox(as.da.Dims)
+			as.covered.full = true
+			as.writes = append(as.writes, ioEvent{box: whole, step: s.steps})
+		}
+	}
+}
+
+// read checks S2 (the section's contents must be defined by staging, an
+// init pass, or earlier writes) and records the event for S3's read-back
+// rule.
+func (s *scheduler) read(as *arraySched, n *codegen.IO, box sbox) {
+	if !as.covered.covers(box) {
+		s.c.diag("S2", n.Array, s.pos(),
+			"read of %s from %q is not covered by any earlier write or init", box, n.Array)
+	}
+	as.reads = append(as.reads, ioEvent{box: box, step: s.steps, buf: n.Buffer})
+	if len(as.reads) > s.c.opt.MaxEvents {
+		as.skip = true
+		s.c.rep.Truncated = true
+	}
+}
+
+// write checks S3 — a write overlapping an earlier write (or the init
+// pass) must be preceded by a read-back of the overlap into the writing
+// buffer after that earlier write, otherwise it clobbers accumulated data
+// — and extends the array's coverage.
+func (s *scheduler) write(as *arraySched, n *codegen.IO, box sbox) {
+	for _, w := range as.writes {
+		ov, ok := intersect(box, w.box)
+		if !ok {
+			continue
+		}
+		readBack := false
+		for _, r := range as.reads {
+			if r.buf == n.Buffer && r.step > w.step && contains(r.box, ov) {
+				readBack = true
+				break
+			}
+		}
+		if !readBack {
+			s.c.diag("S3", n.Array, s.pos(),
+				"write of %s to %q overlaps an earlier write of %s with no read-back in between", box, n.Array, w.box)
+			break
+		}
+	}
+	as.writes = append(as.writes, ioEvent{box: box, step: s.steps, buf: n.Buffer})
+	if !as.covered.add(box, s.c.opt.MaxEvents) || len(as.writes) > s.c.opt.MaxEvents {
+		as.skip = true
+		s.c.rep.Truncated = true
+	}
+}
