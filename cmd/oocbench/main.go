@@ -4,6 +4,8 @@
 //	oocbench -table 2   # one table
 //	oocbench -quick     # capped search budgets (seconds instead of minutes)
 //	oocbench -pipeline  # add the pipelined-engine study (serial vs overlapped)
+//	oocbench -faults 'seed=9,rate=0.02' -faults-out BENCH_recovery.json
+//	                    # add the fault-recovery study and save it as JSON
 //
 // Table 2 compares code generation time between the uniform-sampling
 // baseline (full logarithmic grid, brute force) and the DCS approach;
@@ -13,9 +15,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/machine"
@@ -26,12 +30,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oocbench: ")
 	var (
-		table    = flag.Int("table", 0, "table to reproduce (1, 2, 3, 4; 0 = all)")
-		quick    = flag.Bool("quick", false, "cap search budgets for a fast run")
-		seed     = flag.Int64("seed", 1, "DCS solver seed")
-		small    = flag.Bool("small", false, "only the (140,120) size")
-		scaling  = flag.Bool("scaling", false, "also run the higher-order coupled-cluster scaling study")
-		pipeline = flag.Bool("pipeline", false, "also measure the pipelined engine: serial vs overlapped I/O critical path")
+		table     = flag.Int("table", 0, "table to reproduce (1, 2, 3, 4; 0 = all)")
+		quick     = flag.Bool("quick", false, "cap search budgets for a fast run")
+		seed      = flag.Int64("seed", 1, "DCS solver seed")
+		small     = flag.Bool("small", false, "only the (140,120) size")
+		scaling   = flag.Bool("scaling", false, "also run the higher-order coupled-cluster scaling study")
+		pipeline  = flag.Bool("pipeline", false, "also measure the pipelined engine: serial vs overlapped I/O critical path")
+		faults    = flag.String("faults", "", "also run the fault-recovery study under this schedule, e.g. 'seed=9,rate=0.02,persistent=50'")
+		faultsOut = flag.String("faults-out", "", "write the fault-recovery study rows as JSON to this file")
 	)
 	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
@@ -108,6 +114,28 @@ func main() {
 		fmt.Println()
 	}
 
+	runRecovery := func() {
+		fcfg, err := cliutil.ParseFaultSpec(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := tables.RecoveryStudy(sizes, fcfg, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatRecovery(rows, fcfg))
+		if *faultsOut != "" {
+			raw, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*faultsOut, raw, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("recovery study saved to %s\n", *faultsOut)
+		}
+	}
+
 	runScaling := func() {
 		workloads, err := tables.ScalingWorkloads()
 		if err != nil {
@@ -142,5 +170,8 @@ func main() {
 	}
 	if *scaling {
 		runScaling()
+	}
+	if *faults != "" {
+		runRecovery()
 	}
 }

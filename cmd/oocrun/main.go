@@ -22,6 +22,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/disk"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/ooc"
 	"repro/internal/trace"
@@ -43,6 +44,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the synthesized code listing")
 		savePlan = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
 		planFile = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
+		faults   = flag.String("faults", "", "inject a seeded fault schedule, e.g. 'seed=7,rate=0.05,torn=0.02,persistent=200,persistentops=2'")
+		// recover is a Go builtin; the flag variable takes a suffix.
+		recoverFlag = flag.Bool("recover", false, "retry transient disk faults with backoff and restart from the last checkpoint on persistent ones")
 	)
 	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
@@ -70,6 +74,38 @@ func main() {
 	}
 	defer fs.Close()
 
+	// Backend chain: FileStore -> fault injector (optional) -> trace
+	// recorder, so injected faults exercise the same path real device
+	// errors take and retried attempts appear in the trace.
+	var store disk.Backend = fs
+	var inj *fault.Injector
+	if *faults != "" {
+		fcfg, err := cliutil.ParseFaultSpec(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj = fault.Wrap(fs, fcfg)
+		store = inj
+		fmt.Printf("fault injection: %s\n", fcfg)
+	}
+	var retry *disk.RetryPolicy
+	var recovery *exec.RecoveryOptions
+	if *recoverFlag {
+		retry = disk.DefaultRetryPolicy()
+		recovery = &exec.RecoveryOptions{}
+	}
+	printResilience := func(rt exec.RetryStats, rep *exec.RecoveryReport) {
+		if inj != nil {
+			fmt.Printf("injected: %s\n", inj.Counts())
+		}
+		if rep != nil {
+			fmt.Printf("recovery: %s\n", rep)
+		} else if rt.FaultsSeen > 0 {
+			fmt.Printf("retries: %d fault(s) absorbed by %d retry attempt(s), %.3f s\n",
+				rt.FaultsSeen, rt.Retries, rt.RetrySeconds)
+		}
+	}
+
 	if *random != "" {
 		if err := stageRandom(fs, *random, *seed); err != nil {
 			log.Fatal(err)
@@ -92,20 +128,27 @@ func main() {
 			}
 			fmt.Println(rep)
 		}
-		rec := trace.NewWithDisk(fs, cfg.Disk)
+		rec := trace.NewWithDisk(store, cfg.Disk)
 		if reg := obsFlags.Registry(); reg != nil {
 			disk.AttachMetrics(rec, reg)
 		}
-		res, err := exec.Run(plan, rec, nil, exec.Options{
+		xopt := exec.Options{
 			OpenInputs: true, NoFetch: true, Workers: *workers, Pipeline: *pipeline,
-			Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
-		})
+			Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(), Retry: retry,
+		}
+		var res *exec.Result
+		if recovery != nil {
+			res, _, err = exec.RunResilient(nil, plan, rec, nil, xopt, *recovery)
+		} else {
+			res, err = exec.Run(plan, rec, nil, xopt)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("executed saved plan %q\n%s\npredicted %.2f s, measured (modelled) %.2f s\n",
 			*planFile, res.Stats, plan.Predicted, res.Stats.Time())
 		printPipeline(res.Pipeline)
+		printResilience(res.Retry, res.Recovery)
 		fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
 		return
 	}
@@ -116,7 +159,7 @@ func main() {
 		return
 	}
 
-	rec := trace.NewWithDisk(fs, cfg.Disk)
+	rec := trace.NewWithDisk(store, cfg.Disk)
 	res, err := ooc.Contract(rec, *spec, ooc.Options{
 		Machine:  cfg,
 		Seed:     *seed,
@@ -126,6 +169,8 @@ func main() {
 		Metrics:  obsFlags.Registry(),
 		Tracer:   obsFlags.Tracer(),
 		Verify:   *verifyP,
+		Retry:    retry,
+		Recovery: recovery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -152,6 +197,7 @@ func main() {
 	fmt.Printf("predicted %.2f s, measured (modelled) %.2f s\n",
 		res.Synthesis.Predicted(), res.Stats.Time())
 	printPipeline(res.Pipeline)
+	printResilience(res.Retry, res.Recovery)
 	fmt.Println("\n== per-array I/O ==")
 	fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
 }

@@ -5,8 +5,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
@@ -126,4 +128,37 @@ func TestVersionString(t *testing.T) {
 		t.Fatal(err)
 	}
 	show() // flag unset: must not exit
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cfg, err := ParseFaultSpec("seed=7, rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fault.Config{
+		Seed: 7, Rate: 0.05, TornRate: 0.02,
+		LatencyRate: 0.01, LatencySeconds: 0.005,
+		MaxConsecutive: 4, PersistentAfter: 200, PersistentOps: 3,
+	}
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+	// fault.Config.String round-trips through the parser.
+	back, err := ParseFaultSpec(cfg.String())
+	if err != nil || back != cfg {
+		t.Fatalf("round trip: %+v, %v", back, err)
+	}
+	if _, err := ParseFaultSpec("seed=1"); err != nil {
+		t.Fatalf("single key: %v", err)
+	}
+	for _, bad := range []string{
+		"", "rate", "rate=1.5", "rate=-0.1", "torn=2", "latency=x",
+		"latsec=-1", "bogus=1", "seed=-3",
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q did not fail", bad)
+		} else if !strings.HasPrefix(err.Error(), "cliutil: ") {
+			t.Fatalf("spec %q error lacks attribution: %v", bad, err)
+		}
+	}
 }

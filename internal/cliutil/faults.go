@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// ParseFaultSpec parses the -faults flag syntax into a fault schedule:
+// comma-separated key=value pairs, e.g.
+//
+//	seed=7,rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=2
+//
+// Keys mirror fault.Config (fault.Config.String round-trips through this
+// parser); every key is optional, but the spec must not be empty.
+func ParseFaultSpec(spec string) (fault.Config, error) {
+	var cfg fault.Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, fmt.Errorf("cliutil: empty fault spec")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("cliutil: fault spec entry %q is not key=value", part)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "rate":
+			cfg.Rate, err = parseRate(k, v)
+		case "torn":
+			cfg.TornRate, err = parseRate(k, v)
+		case "latency":
+			cfg.LatencyRate, err = parseRate(k, v)
+		case "latsec":
+			cfg.LatencySeconds, err = strconv.ParseFloat(v, 64)
+			if err == nil && cfg.LatencySeconds < 0 {
+				err = fmt.Errorf("cliutil: latsec must be >= 0")
+			}
+		case "maxconsec":
+			cfg.MaxConsecutive, err = strconv.Atoi(v)
+		case "persistent":
+			cfg.PersistentAfter, err = strconv.ParseInt(v, 10, 64)
+		case "persistentops":
+			cfg.PersistentOps, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return cfg, fmt.Errorf("cliutil: unknown fault spec key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("cliutil: fault spec %s=%q: %w", k, v, err)
+		}
+	}
+	return cfg, nil
+}
+
+// parseRate parses a probability in [0, 1].
+func parseRate(key, v string) (float64, error) {
+	r, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("cliutil: %s %g outside [0,1]", key, r)
+	}
+	return r, nil
+}

@@ -200,13 +200,14 @@ func (a *fileArray) WriteAsync(lo, shape []int64, buf []float64) Completion {
 func (a *fileArray) ReadSection(lo, shape []int64, buf []float64) error {
 	n, err := checkSection(a.dims, lo, shape)
 	if err != nil {
-		return err
+		return wrapIO("read", a.name, lo, shape, false, err)
 	}
 	if int64(len(buf)) != n {
-		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+		return NewIOError("read", a.name, lo, shape, false,
+			fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n))
 	}
 	a.fs.sl.chargeRead(a.name, n*8)
-	return a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
+	err = a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
 		raw := make([]byte, run*8)
 		if _, err := a.f.ReadAt(raw, a.header+fileOff*8); err != nil {
 			return err
@@ -216,18 +217,23 @@ func (a *fileArray) ReadSection(lo, shape []int64, buf []float64) error {
 		}
 		return nil
 	})
+	if err != nil {
+		return wrapIO("read", a.name, lo, shape, transientOS(err), err)
+	}
+	return nil
 }
 
 func (a *fileArray) WriteSection(lo, shape []int64, buf []float64) error {
 	n, err := checkSection(a.dims, lo, shape)
 	if err != nil {
-		return err
+		return wrapIO("write", a.name, lo, shape, false, err)
 	}
 	if int64(len(buf)) != n {
-		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+		return NewIOError("write", a.name, lo, shape, false,
+			fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n))
 	}
 	a.fs.sl.chargeWrite(a.name, n*8)
-	return a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
+	err = a.eachRun(lo, shape, func(fileOff, bufOff, run int64) error {
 		raw := make([]byte, run*8)
 		for i := int64(0); i < run; i++ {
 			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(buf[bufOff+i]))
@@ -235,6 +241,10 @@ func (a *fileArray) WriteSection(lo, shape []int64, buf []float64) error {
 		_, err := a.f.WriteAt(raw, a.header+fileOff*8)
 		return err
 	})
+	if err != nil {
+		return wrapIO("write", a.name, lo, shape, transientOS(err), err)
+	}
+	return nil
 }
 
 // eachRun visits the contiguous runs (along the last dimension) of a

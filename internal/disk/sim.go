@@ -234,14 +234,15 @@ func (a *simArray) WriteAsync(lo, shape []int64, buf []float64) Completion {
 func (a *simArray) ReadSection(lo, shape []int64, buf []float64) error {
 	n, err := checkSection(a.dims, lo, shape)
 	if err != nil {
-		return err
+		return wrapIO("read", a.name, lo, shape, false, err)
 	}
 	a.sim.sl.chargeRead(a.name, n*8)
 	if a.data == nil || buf == nil {
 		return nil
 	}
 	if int64(len(buf)) != n {
-		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+		return NewIOError("read", a.name, lo, shape, false,
+			fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n))
 	}
 	copySection(a.data, a.dims, lo, shape, buf, false)
 	return nil
@@ -250,14 +251,15 @@ func (a *simArray) ReadSection(lo, shape []int64, buf []float64) error {
 func (a *simArray) WriteSection(lo, shape []int64, buf []float64) error {
 	n, err := checkSection(a.dims, lo, shape)
 	if err != nil {
-		return err
+		return wrapIO("write", a.name, lo, shape, false, err)
 	}
 	a.sim.sl.chargeWrite(a.name, n*8)
 	if a.data == nil || buf == nil {
 		return nil
 	}
 	if int64(len(buf)) != n {
-		return fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n)
+		return NewIOError("write", a.name, lo, shape, false,
+			fmt.Errorf("disk: buffer length %d does not match section size %d", len(buf), n))
 	}
 	copySection(a.data, a.dims, lo, shape, buf, true)
 	return nil

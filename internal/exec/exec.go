@@ -9,6 +9,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -66,6 +67,14 @@ type Options struct {
 	// memory watermarks. Attach the same registry to the disk backend
 	// (disk.AttachMetrics) for a combined snapshot.
 	Metrics *obs.Registry
+	// Retry, if non-nil, retries transient section-I/O faults (typed
+	// *disk.IOError values with Transient() true) with capped exponential
+	// backoff in both engines. Backoff delays and extra attempts are
+	// charged to the modelled timeline, so a retried run's trace still
+	// reconciles with the backend's Stats.Time(). Persistent faults are
+	// never retried; they abort the run with a *RunError carrying the
+	// last completed checkpoint (see RunResilient).
+	Retry *disk.RetryPolicy
 	// Tracer, if non-nil, receives the run's modelled timeline as spans:
 	// disk operations on the obs "disk" track and compute blocks on the
 	// "compute" track, with instant events marking barriers and hazard
@@ -134,7 +143,53 @@ type Result struct {
 	// Pipeline reports the pipelined engine's modelled timeline (nil unless
 	// Options.Pipeline).
 	Pipeline *PipelineStats
+	// Retry tallies the run's transient-fault handling (all zero unless
+	// Options.Retry saw faults).
+	Retry RetryStats
+	// Recovery reports checkpoint-based restarts (nil unless the run went
+	// through RunResilient).
+	Recovery *RecoveryReport
 }
+
+// RetryStats tallies transient-fault handling during one run.
+type RetryStats struct {
+	// FaultsSeen counts typed I/O errors observed (including ones that
+	// were eventually retried successfully).
+	FaultsSeen int64
+	// Retries counts retry attempts issued.
+	Retries int64
+	// RetrySeconds is the extra modelled time spent on retries: backoff
+	// delays plus the repeated attempts' I/O time.
+	RetrySeconds float64
+}
+
+// RunError is the typed failure of a run: it wraps the underlying cause
+// (errors.Is/As reach through it, so a *disk.IOError stays visible) and
+// carries the state RunResilient needs to restart — the last completed
+// checkpoint, I/O statistics and retry tallies up to the failure, and
+// the modelled seconds wasted since the last checkpoint boundary.
+type RunError struct {
+	// Err is the attributed cause.
+	Err error
+	// Checkpoint is the last completed unit boundary (nil when the plan
+	// is not checkpointable).
+	Checkpoint *Checkpoint
+	// Staged reports whether input staging completed; a restart is only
+	// meaningful when it did (the arrays exist on the backend).
+	Staged bool
+	// WastedSeconds is the modelled I/O time spent past the last
+	// checkpoint boundary — work a restart repeats.
+	WastedSeconds float64
+	// Stats is the backend's modelled I/O accounting up to the failure.
+	Stats disk.Stats
+	// Retry tallies fault handling up to the failure.
+	Retry RetryStats
+}
+
+func (e *RunError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
 
 // Run executes the plan. In data mode, inputs must hold a tensor for
 // every input array; outputs are read back from disk afterwards.
@@ -164,23 +219,30 @@ func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs ma
 	}
 	if opt.Metrics != nil {
 		e.mBufBytes = opt.Metrics.Gauge("exec.buffer.bytes")
+		e.mFaults = opt.Metrics.Counter("exec.io.faults")
+		e.mRetries = opt.Metrics.Counter("exec.io.retries")
 	}
 	if opt.Pipeline {
 		e.pipe = newPipeline(e, opt.PipelineDepth)
 	}
+	if opt.Resume != nil {
+		// Completed units never regress below the resume point.
+		e.lastCP = *opt.Resume
+	}
 	e.subtreeHasIO(p.Body)
 	if err := e.stage(inputs); err != nil {
-		return nil, err
+		return nil, e.failure(err)
 	}
+	e.staged = true
 	be.ResetStats()
 	stopped, err := e.execTop(p.Body)
 	if err != nil {
-		return nil, err
+		return nil, e.failure(err)
 	}
 	if opt.Metrics != nil {
 		opt.Metrics.Gauge("exec.buffer.peak_bytes").Set(float64(e.peakBytes))
 	}
-	res := &Result{Stats: be.Stats(), PeakBufferBytes: e.peakBytes, Stopped: stopped}
+	res := &Result{Stats: be.Stats(), PeakBufferBytes: e.peakBytes, Stopped: stopped, Retry: e.retrySnapshot()}
 	if e.pipe != nil {
 		res.Pipeline = e.pipe.snapshot()
 	}
@@ -195,9 +257,14 @@ func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs ma
 			}
 			t, err := e.fetch(da)
 			if err != nil {
-				return nil, fmt.Errorf("exec: fetch output %q: %w", da.Name, err)
+				return nil, e.failure(fmt.Errorf("exec: fetch output %q: %w", da.Name, err))
 			}
 			res.Outputs[da.Name] = t
+		}
+		res.Retry = e.retrySnapshot()
+		if e.pipe != nil {
+			// Fetch reads may have retried; re-fold them into the timeline.
+			res.Pipeline = e.pipe.snapshot()
 		}
 	}
 	return res, nil
@@ -241,6 +308,120 @@ type engine struct {
 	// mBufBytes mirrors curBytes into the metrics registry (nil without
 	// Options.Metrics); its high-water mark is the peak watermark.
 	mBufBytes *obs.Gauge
+	// Retry/recovery bookkeeping. retryMu guards the tallies and the
+	// jitter key: the pipelined engine retries on its issue goroutines.
+	retryMu    sync.Mutex
+	retryStats RetryStats
+	retryKey   uint64
+	// staged flips once input staging completes — the point after which
+	// all plan arrays exist on the backend and a restart can Open them.
+	staged bool
+	// lastCP is the latest completed unit boundary (monotonic); cpTime
+	// is the backend's modelled time when it was reached.
+	lastCP Checkpoint
+	cpTime float64
+	// mFaults/mRetries mirror the retry tallies into the metrics
+	// registry (nil without Options.Metrics).
+	mFaults, mRetries *obs.Counter
+}
+
+// retrySnapshot copies the retry tallies.
+func (e *engine) retrySnapshot() RetryStats {
+	e.retryMu.Lock()
+	defer e.retryMu.Unlock()
+	return e.retryStats
+}
+
+// noteUnit records a completed unit boundary, keeping lastCP monotonic
+// (resumed runs re-execute top-level reads of earlier items, which must
+// not roll the checkpoint back).
+func (e *engine) noteUnit(cp Checkpoint) {
+	if cp.Item < e.lastCP.Item || (cp.Item == e.lastCP.Item && cp.Iter <= e.lastCP.Iter) {
+		return
+	}
+	e.lastCP = cp
+	e.cpTime = e.be.Stats().Time()
+}
+
+// failure wraps a run error in a *RunError carrying restart state.
+func (e *engine) failure(err error) error {
+	re := &RunError{
+		Err:    err,
+		Staged: e.staged,
+		Stats:  e.be.Stats(),
+		Retry:  e.retrySnapshot(),
+	}
+	if Checkpointable(e.plan) {
+		cp := e.lastCP
+		re.Checkpoint = &cp
+	}
+	if w := re.Stats.Time() - e.cpTime; w > 0 {
+		re.WastedSeconds = w
+	}
+	return re
+}
+
+// retryOp runs one section-I/O operation under the run's retry policy:
+// transient typed faults are retried with capped exponential backoff.
+// attemptDur is the modelled duration of one attempt; each retry charges
+// attemptDur plus its backoff delay to the engine's timeline (the serial
+// clock, or the pipeline's barrier-folded retry account) so the run
+// still reconciles with the backend's Stats.Time(). Persistent faults
+// and retry-budget exhaustion return the last error unchanged.
+func (e *engine) retryOp(array string, attemptDur float64, fn func() error) error {
+	pol := e.opt.Retry.ForArray(array)
+	attempts := pol.Attempts()
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var ioe *disk.IOError
+		if errors.As(err, &ioe) {
+			e.noteFault()
+		}
+		if pol == nil || !disk.IsTransient(err) || attempt+1 >= attempts || e.ctx.Err() != nil {
+			return err
+		}
+		delay := pol.Delay(attempt, e.nextRetryKey())
+		e.noteRetry(delay + attemptDur)
+		if e.pipe != nil {
+			e.pipe.addRetryExtra(delay + attemptDur)
+		} else {
+			e.sClock += delay + attemptDur
+		}
+		if pol.WallClock {
+			if serr := pol.Sleep(e.ctx, delay); serr != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (e *engine) noteFault() {
+	e.retryMu.Lock()
+	e.retryStats.FaultsSeen++
+	e.retryMu.Unlock()
+	if e.mFaults != nil {
+		e.mFaults.Inc()
+	}
+}
+
+func (e *engine) noteRetry(seconds float64) {
+	e.retryMu.Lock()
+	e.retryStats.Retries++
+	e.retryStats.RetrySeconds += seconds
+	e.retryMu.Unlock()
+	if e.mRetries != nil {
+		e.mRetries.Inc()
+	}
+}
+
+func (e *engine) nextRetryKey() uint64 {
+	e.retryMu.Lock()
+	defer e.retryMu.Unlock()
+	e.retryKey++
+	return e.retryKey
 }
 
 // noteBufBytes publishes the current buffer memory level.
@@ -313,7 +494,11 @@ func (e *engine) stage(inputs map[string]*tensor.Tensor) error {
 			return fmt.Errorf("exec: input %q has %d elements, want %d", da.Name, in.Size(), size(da.Dims))
 		}
 		lo := make([]int64, len(da.Dims))
-		if err := a.WriteSection(lo, da.Dims, in.Data()); err != nil {
+		data := in.Data()
+		err = e.retryOp(da.Name, 0, func() error {
+			return a.WriteSection(lo, da.Dims, data)
+		})
+		if err != nil {
 			return fmt.Errorf("exec: stage input %q: %w", da.Name, err)
 		}
 	}
@@ -336,7 +521,10 @@ func (e *engine) fetch(da codegen.DiskArray) (*tensor.Tensor, error) {
 	}
 	t := tensor.New(dims...)
 	lo := make([]int64, len(da.Dims))
-	if err := e.arrs[da.Name].ReadSection(lo, da.Dims, t.Data()); err != nil {
+	err := e.retryOp(da.Name, 0, func() error {
+		return e.arrs[da.Name].ReadSection(lo, da.Dims, t.Data())
+	})
+	if err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -372,12 +560,14 @@ func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
 				delete(e.base, l.Index)
 				it++
 				units++
+				e.noteUnit(Checkpoint{Item: item, Iter: it})
 				if e.opt.StopAfter > 0 && units >= e.opt.StopAfter && b+l.Tile < l.Range {
 					e.loopStack = e.loopStack[:len(e.loopStack)-1]
 					return &Checkpoint{Item: item, Iter: it}, nil
 				}
 			}
 			e.loopStack = e.loopStack[:len(e.loopStack)-1]
+			e.noteUnit(Checkpoint{Item: item + 1})
 			continue
 		}
 		// Non-loop top-level item. On resume: re-execute reads (restores
@@ -390,6 +580,7 @@ func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
 		if err := e.execUnit([]codegen.Node{n}); err != nil {
 			return nil, err
 		}
+		e.noteUnit(Checkpoint{Item: item + 1})
 	}
 	return nil, nil
 }
@@ -563,15 +754,19 @@ func (e *engine) doIO(n *codegen.IO) error {
 	lo, shape := e.section(n.Buffer)
 	if e.opt.DryRun {
 		e.spanIO(n.Read, n.Array, shape)
-		if n.Read {
-			return arr.ReadSection(lo, shape, nil)
-		}
-		return arr.WriteSection(lo, shape, nil)
+		return e.retryOp(n.Array, e.ioDur(n.Read, shape), func() error {
+			if n.Read {
+				return arr.ReadSection(lo, shape, nil)
+			}
+			return arr.WriteSection(lo, shape, nil)
+		})
 	}
 	if n.Read {
 		inst := e.instantiate(n.Buffer)
 		e.spanIO(true, n.Array, shape)
-		return arr.ReadSection(lo, shape, inst.t.Data())
+		return e.retryOp(n.Array, e.ioDur(true, shape), func() error {
+			return arr.ReadSection(lo, shape, inst.t.Data())
+		})
 	}
 	inst := e.bufs[n.Buffer]
 	if inst == nil {
@@ -579,26 +774,36 @@ func (e *engine) doIO(n *codegen.IO) error {
 	}
 	wshape := dimsToInt64(inst.t.Dims())
 	e.spanIO(false, n.Array, wshape)
-	return arr.WriteSection(inst.base, wshape, inst.t.Data())
+	return e.retryOp(n.Array, e.ioDur(false, wshape), func() error {
+		return arr.WriteSection(inst.base, wshape, inst.t.Data())
+	})
+}
+
+// ioDur is the modelled duration of one section operation of the given
+// shape — the same figure the backend charges to Stats.
+func (e *engine) ioDur(read bool, shape []int64) float64 {
+	bytes := size(shape) * 8
+	if read {
+		return e.plan.Cfg.Disk.ReadTime(bytes, 1)
+	}
+	return e.plan.Cfg.Disk.WriteTime(bytes, 1)
 }
 
 // spanIO emits a serial-clock disk span matching the backend's charge for
 // one section operation (the shape is the one actually passed to the
-// backend, so span durations sum to the backend's modelled time).
+// backend, so span durations sum to the backend's modelled time). Under
+// retries, the span covers the first attempt; retried attempts advance
+// the clock without spans of their own (retryOp), appearing as gaps.
 func (e *engine) spanIO(read bool, array string, shape []int64) {
 	if e.opt.Tracer == nil {
 		return
 	}
 	bytes := size(shape) * 8
-	var dur float64
 	name := "W " + array
 	if read {
 		name = "R " + array
-		dur = e.plan.Cfg.Disk.ReadTime(bytes, 1)
-	} else {
-		dur = e.plan.Cfg.Disk.WriteTime(bytes, 1)
 	}
-	e.spanSerial(obs.TrackDisk, name, dur, map[string]any{"bytes": bytes})
+	e.spanSerial(obs.TrackDisk, name, e.ioDur(read, shape), map[string]any{"bytes": bytes})
 }
 
 // spanSerial records one span on the serial engine's single clock.
@@ -678,7 +883,15 @@ func (e *engine) initPass(name string) error {
 				}
 				buf = zero[:n]
 			}
-			return arr.WriteSection(lo, shape, buf)
+			// lo/shape are mutated by the walk, but a retry fires
+			// before the walk advances, so the closure sees the
+			// tile it failed on.
+			if err := e.retryOp(name, e.ioDur(false, shape), func() error {
+				return arr.WriteSection(lo, shape, buf)
+			}); err != nil {
+				return fmt.Errorf("tile at lo=%v: %w", lo, err)
+			}
+			return nil
 		}
 		for b := int64(0); b < da.Dims[d]; b += tiles[d] {
 			lo[d] = b

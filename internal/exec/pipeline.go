@@ -30,6 +30,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/codegen"
 	"repro/internal/disk"
@@ -238,6 +239,14 @@ type pipeline struct {
 	ioClock, compClock float64
 	stats              PipelineStats
 
+	// retryMu/retryExtra accumulate the modelled seconds of retried
+	// disk attempts and their backoff delays (charged by the issue
+	// goroutines' retryOp); the unit barrier folds them into the I/O
+	// clock, keeping the overlapped timeline consistent with the
+	// backend's per-attempt Stats charges.
+	retryMu    sync.Mutex
+	retryExtra float64
+
 	// Cached metrics instruments (nil without Options.Metrics).
 	mShadow, mInplace, mWriteBehind, mBarriers, mHazards *obs.Counter
 	mDepth                                               *obs.Gauge
@@ -284,6 +293,16 @@ func (p *pipeline) noteHazard(array string, ts float64, n int) {
 // snapshot finalizes the stats (the overlapped critical path is the later
 // of the two clocks).
 func (p *pipeline) snapshot() *PipelineStats {
+	// Retries charged after the last unit barrier (output fetch, staging
+	// of a unit-less plan) have no barrier left to fold them; reconcile
+	// the residue here so the timeline never undercounts retry time.
+	p.retryMu.Lock()
+	extra := p.retryExtra
+	p.retryExtra = 0
+	p.retryMu.Unlock()
+	p.ioClock += extra
+	p.stats.IOSeconds += extra
+	p.stats.SerialSeconds += extra
 	st := p.stats
 	st.OverlappedSeconds = p.ioClock
 	if p.compClock > st.OverlappedSeconds {
@@ -353,6 +372,18 @@ func (p *pipeline) runUnit(ns []codegen.Node) error {
 	<-schedDone
 	for _, op := range ops {
 		<-op.done
+	}
+	// Fold retried attempts into the I/O clock before the barrier: the
+	// schedule charged each operation once, retries charged the backend
+	// again, and the difference lives in retryExtra.
+	p.retryMu.Lock()
+	extra := p.retryExtra
+	p.retryExtra = 0
+	p.retryMu.Unlock()
+	if extra > 0 {
+		p.ioClock += extra
+		p.stats.IOSeconds += extra
+		p.stats.SerialSeconds += extra
 	}
 	// Barrier: both engines are idle; synchronize the timeline clocks.
 	// The stall is the idle time the faster engine spends waiting.
@@ -560,9 +591,13 @@ func (p *pipeline) compTime(op *pop, dur float64, name string, args map[string]a
 }
 
 // issue runs a disk operation asynchronously: wait for the hazards, then
-// perform the backend call and resolve the completion. The semaphore is
-// taken on the scheduling goroutine, bounding how far issue runs ahead.
-func (p *pipeline) issue(op *pop, read bool, array, pos string, run func() error) {
+// perform the backend call — under the run's retry policy — and resolve
+// the completion. attemptDur is the operation's modelled duration, which
+// retried attempts charge through the pipeline's retry account. The
+// semaphore is taken on the scheduling goroutine, bounding how far issue
+// runs ahead. A failure is attributed (array + position) here, so it
+// surfaces typed and located at the unit barrier.
+func (p *pipeline) issue(op *pop, read bool, array, pos string, attemptDur float64, run func() error) {
 	p.sem <- struct{}{}
 	if p.mDepth != nil {
 		p.mDepth.Add(1)
@@ -582,11 +617,20 @@ func (p *pipeline) issue(op *pop, read bool, array, pos string, run func() error
 				return
 			}
 		}
-		if err := run(); err != nil {
+		if err := p.e.retryOp(array, attemptDur, run); err != nil {
 			op.err = ioErr(read, array, pos, err)
 		}
 		close(op.done)
 	}()
+}
+
+// addRetryExtra charges the modelled seconds of one retried attempt
+// (backoff delay + repeat I/O); the next unit barrier folds the total
+// into the I/O clock.
+func (p *pipeline) addRetryExtra(seconds float64) {
+	p.retryMu.Lock()
+	p.retryExtra += seconds
+	p.retryMu.Unlock()
 }
 
 func (p *pipeline) scheduleRead(s *pstep, op *pop) {
@@ -625,7 +669,7 @@ func (p *pipeline) scheduleRead(s *pstep, op *pop) {
 	}
 	aa := p.arr(s.array)
 	lo, shape := s.lo, s.shape
-	p.issue(op, true, s.array, s.pos, func() error {
+	p.issue(op, true, s.array, s.pos, dur, func() error {
 		return aa.ReadAsync(lo, shape, data).Await()
 	})
 }
@@ -674,7 +718,7 @@ func (p *pipeline) scheduleWrite(s *pstep, op *pop) error {
 		p.mWriteBehind.Inc()
 	}
 	aa := p.arr(s.array)
-	p.issue(op, false, s.array, s.pos, func() error {
+	p.issue(op, false, s.array, s.pos, dur, func() error {
 		return aa.WriteAsync(lo, shape, data).Await()
 	})
 	return nil

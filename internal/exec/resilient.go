@@ -1,0 +1,189 @@
+package exec
+
+// This file adds checkpoint-based crash recovery on top of the engine's
+// retry layer (exec.go). Retries absorb transient faults inside a run;
+// RunResilient handles what escapes them — persistent faults, exhausted
+// retry budgets — by rolling back to the last completed checkpoint
+// boundary and re-entering the engine through the existing Resume path,
+// under a bounded restart budget. The division of labour mirrors the
+// failure taxonomy: transient → retry, persistent → restart, budget
+// exhausted → typed, attributed error to the caller.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/tensor"
+)
+
+// RecoveryOptions bound RunResilient's restart behaviour.
+type RecoveryOptions struct {
+	// MaxRestarts is the restart budget; values < 1 mean the default
+	// of 3. When it is exhausted the last run's error is returned.
+	MaxRestarts int
+	// Reopen, if non-nil, is called before each restart to rebuild the
+	// backend (e.g. a fresh disk.FileStore over the same directory
+	// after a crashed process). The previous backend is abandoned, not
+	// closed — after a fault its state is suspect, and closing a
+	// simulator would destroy the arrays a resume needs. When nil, the
+	// restart reuses the same backend.
+	Reopen func() (disk.Backend, error)
+}
+
+// DefaultMaxRestarts is the restart budget when RecoveryOptions leaves
+// MaxRestarts unset.
+const DefaultMaxRestarts = 3
+
+// RecoveryReport is the structured account of a resilient run: what
+// faults were seen, how much work retries and restarts absorbed, and
+// what it cost in modelled time.
+type RecoveryReport struct {
+	// FaultsSeen counts typed I/O errors observed across all attempts.
+	FaultsSeen int64 `json:"faults_seen"`
+	// Retries counts section-level retry attempts across all runs.
+	Retries int64 `json:"retries"`
+	// RetrySeconds is the modelled time spent on backoff delays and
+	// repeated attempts.
+	RetrySeconds float64 `json:"retry_seconds"`
+	// Restarts counts checkpoint rollbacks (0 for a clean run).
+	Restarts int64 `json:"restarts"`
+	// ResumePoints lists the checkpoint each restart resumed from.
+	ResumePoints []Checkpoint `json:"resume_points,omitempty"`
+	// WastedSeconds is the modelled I/O time of work executed past a
+	// checkpoint and then repeated after a rollback.
+	WastedSeconds float64 `json:"wasted_seconds"`
+	// TotalStats accumulates the backend's modelled I/O statistics
+	// across every attempt, failed ones included.
+	TotalStats disk.Stats `json:"total_stats"`
+}
+
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults %d, retries %d (%.3f s), restarts %d, wasted %.3f s",
+		r.FaultsSeen, r.Retries, r.RetrySeconds, r.Restarts, r.WastedSeconds)
+	if len(r.ResumePoints) > 0 {
+		b.WriteString(", resumed at")
+		for _, cp := range r.ResumePoints {
+			fmt.Fprintf(&b, " {item %d, iter %d}", cp.Item, cp.Iter)
+		}
+	}
+	return b.String()
+}
+
+// accumulate folds one attempt's tallies into the report.
+func (r *RecoveryReport) accumulate(st disk.Stats, rt RetryStats, wasted float64) {
+	r.FaultsSeen += rt.FaultsSeen
+	r.Retries += rt.Retries
+	r.RetrySeconds += rt.RetrySeconds
+	r.WastedSeconds += wasted
+	r.TotalStats.Add(st)
+}
+
+// RecoverySafe reports whether a restart may resume from a mid-plan
+// checkpoint: the plan must be Checkpointable, and no top-level item may
+// both read and write the same disk array (an init pass counts as a
+// write). A partially executed unit of such a plan is harmless — its
+// re-execution reads only arrays the unit does not write, so it cannot
+// observe its own partial output. Read-modify-write accumulation fails
+// the test; those plans restart from the beginning (Checkpoint{0, 0}),
+// where the init passes re-zero the accumulators.
+func RecoverySafe(p *codegen.Plan) bool {
+	if !Checkpointable(p) {
+		return false
+	}
+	for _, n := range p.Body {
+		reads, writes := map[string]bool{}, map[string]bool{}
+		collectIO(n, reads, writes)
+		for a := range writes {
+			if reads[a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// collectIO gathers the disk arrays a subtree reads and writes.
+func collectIO(n codegen.Node, reads, writes map[string]bool) {
+	switch n := n.(type) {
+	case *codegen.Loop:
+		for _, c := range n.Body {
+			collectIO(c, reads, writes)
+		}
+	case *codegen.IO:
+		if n.Read {
+			reads[n.Array] = true
+		} else {
+			writes[n.Array] = true
+		}
+	case *codegen.InitPass:
+		writes[n.Array] = true
+	}
+}
+
+// RunResilient executes the plan with checkpoint-based crash recovery:
+// when a run fails on a typed I/O fault after staging completed, it
+// rolls back to the last completed checkpoint boundary (or the start,
+// for plans that are not RecoverySafe), optionally re-opens the backend,
+// and resumes via Options.Resume — up to rc.MaxRestarts times. The
+// returned report accounts for every attempt; on success it is also
+// attached to Result.Recovery.
+//
+// Requirements: the plan must be Checkpointable for mid-plan restarts
+// (otherwise only the retry layer applies and any persistent fault is
+// fatal), and opt.Resume/opt.StopAfter must be unset — RunResilient owns
+// the checkpoint machinery.
+func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, opt Options, rc RecoveryOptions) (*Result, *RecoveryReport, error) {
+	if opt.Resume != nil || opt.StopAfter > 0 {
+		return nil, nil, fmt.Errorf("exec: RunResilient owns Resume/StopAfter; leave them unset")
+	}
+	maxRestarts := rc.MaxRestarts
+	if maxRestarts < 1 {
+		maxRestarts = DefaultMaxRestarts
+	}
+	rep := &RecoveryReport{}
+	runOpt := opt
+	for {
+		res, err := RunContext(ctx, p, be, inputs, runOpt)
+		if err == nil {
+			rep.accumulate(res.Stats, res.Retry, 0)
+			res.Recovery = rep
+			return res, rep, nil
+		}
+		var re *RunError
+		if errors.As(err, &re) {
+			rep.accumulate(re.Stats, re.Retry, re.WastedSeconds)
+		}
+		var ioe *disk.IOError
+		restartable := errors.As(err, &ioe) &&
+			re != nil && re.Staged && re.Checkpoint != nil
+		if !restartable || rep.Restarts >= int64(maxRestarts) || ctx != nil && ctx.Err() != nil {
+			return nil, rep, err
+		}
+		cp := *re.Checkpoint
+		if !RecoverySafe(p) {
+			// A partially executed unit may have fed its own partial
+			// writes back through a read-modify-write; replay from the
+			// start, where init passes re-zero the accumulators.
+			cp = Checkpoint{}
+		}
+		if rc.Reopen != nil {
+			nbe, rerr := rc.Reopen()
+			if rerr != nil {
+				return nil, rep, fmt.Errorf("exec: recovery reopen: %w", rerr)
+			}
+			be = nbe
+		}
+		rep.Restarts++
+		rep.ResumePoints = append(rep.ResumePoints, cp)
+		runOpt = opt
+		runOpt.Resume = &cp
+		// The resume path opens every array the interrupted attempt
+		// created; staging (and OpenInputs) no longer applies.
+		runOpt.OpenInputs = false
+	}
+}

@@ -1,0 +1,445 @@
+// Package fault provides a deterministic, seeded fault-injecting wrapper
+// around any disk.Backend. It composes with both the cost-only/data
+// simulator (disk.Sim) and the real file store (disk.FileStore), and its
+// arrays implement disk.AsyncArray so the pipelined execution engine is
+// covered too.
+//
+// Faults follow a reproducible schedule derived from (seed, global
+// operation ordinal): the same configuration over the same operation
+// sequence injects exactly the same faults, which is what makes chaos
+// tests assertable. Injected errors are typed (*disk.IOError), so the
+// executor's retry/recovery machinery classifies them exactly like real
+// storage faults.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/obs"
+)
+
+// Sentinel causes carried by injected *disk.IOError values. Use
+// errors.Is against these to distinguish injected faults from real ones.
+var (
+	// ErrInjected is the cause of an injected transient fault.
+	ErrInjected = errors.New("fault: injected transient fault")
+	// ErrTorn is the cause of an injected torn (short) write: a
+	// prefix of the section reached the backend before the fault.
+	ErrTorn = errors.New("fault: injected torn write")
+	// ErrPersistent is the cause of an injected persistent fault.
+	ErrPersistent = errors.New("fault: injected persistent fault")
+)
+
+// Config is the fault schedule. All probabilities are evaluated
+// deterministically from Seed and the global operation ordinal.
+type Config struct {
+	// Seed selects the schedule; the same seed reproduces it.
+	Seed uint64
+	// Rate is the per-operation probability of a transient fault.
+	Rate float64
+	// TornRate is the per-write probability of a torn write: a
+	// prefix of the section is written, then a transient error is
+	// returned. Reads are unaffected.
+	TornRate float64
+	// LatencyRate is the per-operation probability of a latency
+	// spike of LatencySeconds (recorded, no error).
+	LatencyRate float64
+	// LatencySeconds is the modelled size of one latency spike.
+	LatencySeconds float64
+	// MaxConsecutive caps how many transient/torn faults may be
+	// injected back to back, so a bounded retry policy is always
+	// sufficient to make progress. 0 means the default of 2.
+	MaxConsecutive int
+	// PersistentAfter, when > 0, opens a persistent-fault window:
+	// operations with ordinal in [PersistentAfter,
+	// PersistentAfter+PersistentOps) fail with a non-retryable
+	// error and do not touch the backend. Each ordinal is consumed
+	// once, so a restart that replays past the window heals after
+	// PersistentOps failures.
+	PersistentAfter int64
+	// PersistentOps is the width of the persistent window; values
+	// < 1 mean 1.
+	PersistentOps int64
+}
+
+func (c Config) maxConsecutive() int {
+	if c.MaxConsecutive <= 0 {
+		return 2
+	}
+	return c.MaxConsecutive
+}
+
+func (c Config) persistentOps() int64 {
+	if c.PersistentOps < 1 {
+		return 1
+	}
+	return c.PersistentOps
+}
+
+// String renders the schedule in the -faults flag syntax.
+func (c Config) String() string {
+	s := fmt.Sprintf("seed=%d,rate=%g", c.Seed, c.Rate)
+	if c.TornRate > 0 {
+		s += fmt.Sprintf(",torn=%g", c.TornRate)
+	}
+	if c.LatencyRate > 0 {
+		s += fmt.Sprintf(",latency=%g,latsec=%g", c.LatencyRate, c.LatencySeconds)
+	}
+	if c.PersistentAfter > 0 {
+		s += fmt.Sprintf(",persistent=%d,persistentops=%d", c.PersistentAfter, c.persistentOps())
+	}
+	if c.MaxConsecutive > 0 {
+		s += fmt.Sprintf(",maxconsec=%d", c.MaxConsecutive)
+	}
+	return s
+}
+
+// Counts summarizes what the injector actually did.
+type Counts struct {
+	Ops            int64   // section operations seen
+	Transient      int64   // transient faults injected (excl. torn)
+	Persistent     int64   // persistent faults injected
+	Torn           int64   // torn writes injected
+	LatencySpikes  int64   // latency spikes injected
+	LatencySeconds float64 // total modelled spike seconds
+}
+
+// Faults is the total number of injected errors of any kind.
+func (c Counts) Faults() int64 { return c.Transient + c.Persistent + c.Torn }
+
+func (c Counts) String() string {
+	return fmt.Sprintf("ops=%d transient=%d torn=%d persistent=%d latency=%d (%.3fs)",
+		c.Ops, c.Transient, c.Torn, c.Persistent, c.LatencySpikes, c.LatencySeconds)
+}
+
+// Injector is a disk.Backend whose arrays inject faults per a Config
+// schedule. Wrap one around any backend with Wrap.
+type Injector struct {
+	inner disk.Backend
+	cfg   Config
+
+	mu     sync.Mutex
+	ord    int64 // global operation ordinal
+	streak int   // consecutive injected transient/torn faults
+	counts Counts
+
+	mInjected   *obs.Counter
+	mTransient  *obs.Counter
+	mPersistent *obs.Counter
+	mTorn       *obs.Counter
+	mSpikes     *obs.Counter
+	hLatency    *obs.Histogram
+}
+
+// Wrap returns a fault-injecting view of be following cfg's schedule.
+func Wrap(be disk.Backend, cfg Config) *Injector {
+	return &Injector{inner: be, cfg: cfg}
+}
+
+// Inner returns the wrapped backend.
+func (in *Injector) Inner() disk.Backend {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.inner
+}
+
+// Swap replaces the wrapped backend while keeping the fault schedule
+// (ordinal, streak, counts) running. The recovery path's Reopen hook
+// uses it so a rebuilt backend keeps consuming the same schedule.
+// Arrays obtained before the swap stay bound to the old backend.
+func (in *Injector) Swap(be disk.Backend) {
+	in.mu.Lock()
+	in.inner = be
+	in.mu.Unlock()
+}
+
+// Counts returns a snapshot of the injection tallies.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Create creates the array on the inner backend and returns a
+// fault-injecting view of it.
+func (in *Injector) Create(name string, dims []int64) (disk.Array, error) {
+	a, err := in.Inner().Create(name, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &faultArray{in: in, a: a, aa: disk.AsAsync(a)}, nil
+}
+
+// Open opens the array on the inner backend and returns a
+// fault-injecting view of it.
+func (in *Injector) Open(name string) (disk.Array, error) {
+	a, err := in.Inner().Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultArray{in: in, a: a, aa: disk.AsAsync(a)}, nil
+}
+
+// Stats delegates to the inner backend: modelled I/O accounting is not
+// perturbed by injection bookkeeping (retried operations are charged by
+// the backend like any other operation).
+func (in *Injector) Stats() disk.Stats { return in.Inner().Stats() }
+
+// ResetStats delegates to the inner backend.
+func (in *Injector) ResetStats() { in.Inner().ResetStats() }
+
+// Close closes the inner backend.
+func (in *Injector) Close() error { return in.Inner().Close() }
+
+// AsyncCapable reports true: fault arrays implement disk.AsyncArray,
+// upgrading the inner arrays via disk.AsAsync when needed.
+func (in *Injector) AsyncCapable() bool { return true }
+
+// SetMetrics mirrors injection tallies into the registry and forwards
+// the registry to the inner backend when it supports metrics.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	in.mu.Lock()
+	if reg == nil {
+		in.mInjected, in.mTransient, in.mPersistent = nil, nil, nil
+		in.mTorn, in.mSpikes, in.hLatency = nil, nil, nil
+	} else {
+		in.mInjected = reg.Counter("fault.injected")
+		in.mTransient = reg.Counter("fault.injected.transient")
+		in.mPersistent = reg.Counter("fault.injected.persistent")
+		in.mTorn = reg.Counter("fault.injected.torn")
+		in.mSpikes = reg.Counter("fault.latency.spikes")
+		in.hLatency = reg.Histogram("fault.latency.seconds")
+	}
+	in.mu.Unlock()
+	disk.AttachMetrics(in.Inner(), reg)
+}
+
+// fault kinds decided per operation.
+const (
+	fNone = iota
+	fTransient
+	fTorn
+	fPersistent
+)
+
+// decide advances the schedule by one operation and returns the fault
+// kind to inject. write selects whether torn writes are eligible.
+func (in *Injector) decide(write bool) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ord := in.ord
+	in.ord++
+	in.counts.Ops++
+
+	if in.cfg.PersistentAfter > 0 &&
+		ord >= in.cfg.PersistentAfter &&
+		ord < in.cfg.PersistentAfter+in.cfg.persistentOps() {
+		in.counts.Persistent++
+		in.inc(in.mInjected)
+		in.inc(in.mPersistent)
+		in.streak = 0
+		return fPersistent
+	}
+
+	if in.cfg.LatencyRate > 0 && in.frac(ord, 0x1a7e) < in.cfg.LatencyRate {
+		in.counts.LatencySpikes++
+		in.counts.LatencySeconds += in.cfg.LatencySeconds
+		in.inc(in.mSpikes)
+		if in.hLatency != nil {
+			in.hLatency.Observe(in.cfg.LatencySeconds)
+		}
+		// A spike delays the operation but does not fail it; fall
+		// through so the same ordinal can still fault.
+	}
+
+	if in.streak >= in.cfg.maxConsecutive() {
+		in.streak = 0
+		return fNone
+	}
+	if write && in.cfg.TornRate > 0 && in.frac(ord, 0x70f2) < in.cfg.TornRate {
+		in.counts.Torn++
+		in.inc(in.mInjected)
+		in.inc(in.mTorn)
+		in.streak++
+		return fTorn
+	}
+	if in.cfg.Rate > 0 && in.frac(ord, 0xfa17) < in.cfg.Rate {
+		in.counts.Transient++
+		in.inc(in.mInjected)
+		in.inc(in.mTransient)
+		in.streak++
+		return fTransient
+	}
+	in.streak = 0
+	return fNone
+}
+
+func (in *Injector) inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// frac maps (seed, ordinal, salt) to a uniform [0,1) via splitmix64.
+func (in *Injector) frac(ord int64, salt uint64) float64 {
+	x := in.cfg.Seed ^ uint64(ord)*0x9e3779b97f4a7c15 ^ salt
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(uint64(1)<<53)
+}
+
+// faultArray injects faults around one array's section I/O.
+type faultArray struct {
+	in *Injector
+	a  disk.Array
+	aa disk.AsyncArray
+}
+
+func (f *faultArray) Name() string  { return f.a.Name() }
+func (f *faultArray) Dims() []int64 { return f.a.Dims() }
+
+// tornPrefix returns the shape and element count of the prefix written
+// by a torn write: half the rows along the leading dimension.
+func tornPrefix(shape []int64) ([]int64, int64) {
+	if len(shape) == 0 || shape[0] < 2 {
+		return nil, 0
+	}
+	pre := append([]int64(nil), shape...)
+	pre[0] = shape[0] / 2
+	n := int64(1)
+	for _, d := range pre {
+		n *= d
+	}
+	return pre, n
+}
+
+func (f *faultArray) ReadSection(lo, shape []int64, buf []float64) error {
+	switch f.in.decide(false) {
+	case fPersistent:
+		return disk.NewIOError("read", f.a.Name(), lo, shape, false, ErrPersistent)
+	case fTransient:
+		// Perform-then-fail: the backend is charged and the buffer
+		// poisoned, modelling a completed transfer with corrupt
+		// payload whose checksum failed.
+		if err := f.a.ReadSection(lo, shape, buf); err != nil {
+			return err
+		}
+		if len(buf) > 0 {
+			buf[0] = math.NaN()
+		}
+		return disk.NewIOError("read", f.a.Name(), lo, shape, true, ErrInjected)
+	default:
+		return f.a.ReadSection(lo, shape, buf)
+	}
+}
+
+func (f *faultArray) WriteSection(lo, shape []int64, buf []float64) error {
+	switch f.in.decide(true) {
+	case fPersistent:
+		return disk.NewIOError("write", f.a.Name(), lo, shape, false, ErrPersistent)
+	case fTorn:
+		pre, n := tornPrefix(shape)
+		if n > 0 {
+			var preBuf []float64
+			if int64(len(buf)) >= n {
+				preBuf = buf[:n]
+			}
+			if err := f.a.WriteSection(lo, pre, preBuf); err != nil {
+				return err
+			}
+		}
+		return disk.NewIOError("write", f.a.Name(), lo, shape, true, ErrTorn)
+	case fTransient:
+		// Perform-then-fail: the data reached the disk but the
+		// acknowledgement was lost; a retry rewrites it.
+		if err := f.a.WriteSection(lo, shape, buf); err != nil {
+			return err
+		}
+		return disk.NewIOError("write", f.a.Name(), lo, shape, true, ErrInjected)
+	default:
+		return f.a.WriteSection(lo, shape, buf)
+	}
+}
+
+// faultCompletion defers the injected outcome to Await so asynchronous
+// errors surface exactly where real backend errors do.
+type faultCompletion struct {
+	inner disk.Completion   // nil when the inner op was suppressed
+	apply func(error) error // maps the inner error to the final one
+}
+
+func (c *faultCompletion) Await() error {
+	var err error
+	if c.inner != nil {
+		err = c.inner.Await()
+	}
+	return c.apply(err)
+}
+
+func (f *faultArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion {
+	switch f.in.decide(false) {
+	case fPersistent:
+		ioe := disk.NewIOError("read", f.a.Name(), lo, shape, false, ErrPersistent)
+		return &faultCompletion{apply: func(error) error { return ioe }}
+	case fTransient:
+		ioe := disk.NewIOError("read", f.a.Name(), lo, shape, true, ErrInjected)
+		return &faultCompletion{
+			inner: f.aa.ReadAsync(lo, shape, buf),
+			apply: func(err error) error {
+				if err != nil {
+					return err
+				}
+				if len(buf) > 0 {
+					buf[0] = math.NaN()
+				}
+				return ioe
+			},
+		}
+	default:
+		return f.aa.ReadAsync(lo, shape, buf)
+	}
+}
+
+func (f *faultArray) WriteAsync(lo, shape []int64, buf []float64) disk.Completion {
+	switch f.in.decide(true) {
+	case fPersistent:
+		ioe := disk.NewIOError("write", f.a.Name(), lo, shape, false, ErrPersistent)
+		return &faultCompletion{apply: func(error) error { return ioe }}
+	case fTorn:
+		ioe := disk.NewIOError("write", f.a.Name(), lo, shape, true, ErrTorn)
+		pre, n := tornPrefix(shape)
+		fc := &faultCompletion{apply: func(err error) error {
+			if err != nil {
+				return err
+			}
+			return ioe
+		}}
+		if n > 0 {
+			var preBuf []float64
+			if int64(len(buf)) >= n {
+				preBuf = buf[:n]
+			}
+			fc.inner = f.aa.WriteAsync(lo, pre, preBuf)
+		}
+		return fc
+	case fTransient:
+		ioe := disk.NewIOError("write", f.a.Name(), lo, shape, true, ErrInjected)
+		return &faultCompletion{
+			inner: f.aa.WriteAsync(lo, shape, buf),
+			apply: func(err error) error {
+				if err != nil {
+					return err
+				}
+				return ioe
+			},
+		}
+	default:
+		return f.aa.WriteAsync(lo, shape, buf)
+	}
+}

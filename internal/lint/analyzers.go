@@ -16,6 +16,10 @@ package lint
 //   - obsnew: obs instruments (Counter, Gauge, Histogram) are only
 //     created by the registry's constructors, which deduplicate by name;
 //     a struct literal bypasses the registry and its snapshot.
+//   - ioerr: errors are classified with errors.Is/errors.As (the typed
+//     disk.IOError taxonomy), never by == on error values or by string
+//     matching on Error() text — both break under wrapping, and the
+//     retry/recovery layers depend on classification surviving wraps.
 
 import (
 	"go/ast"
@@ -24,7 +28,7 @@ import (
 )
 
 // Analyzers lists every repo analyzer in the order they run.
-var Analyzers = []*Analyzer{DiskStats, CtxField, ErrPrefix, ObsNew}
+var Analyzers = []*Analyzer{DiskStats, CtxField, ErrPrefix, ObsNew, IOErr}
 
 // statsFields are the exported counters of disk.Stats.
 var statsFields = map[string]bool{
@@ -154,6 +158,86 @@ var ErrPrefix = &Analyzer{
 					return true
 				})
 			}
+		}
+	},
+}
+
+// stringMatchFns are the strings-package predicates whose use on Error()
+// text amounts to error classification by message.
+var stringMatchFns = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"Index": true, "EqualFold": true,
+}
+
+// IOErr flags error classification that bypasses errors.Is/errors.As:
+// equality comparisons between error-shaped values (except against nil),
+// and strings-package matching on Error() text. Both break as soon as an
+// error is wrapped with %w — which every layer boundary in this repo
+// does — so a retry or recovery decision made that way silently stops
+// firing. Test files are exempt: asserting on message text is how tests
+// pin attribution formats.
+var IOErr = &Analyzer{
+	Name: "ioerr",
+	Doc:  "classify errors with errors.Is/As, not == or Error() string matching",
+	Run: func(p *Pass) {
+		errish := func(e ast.Expr) bool {
+			var name string
+			switch e := e.(type) {
+			case *ast.Ident:
+				name = e.Name
+			case *ast.SelectorExpr:
+				name = e.Sel.Name
+			default:
+				return false
+			}
+			return name == "err" || strings.HasSuffix(name, "Err") ||
+				strings.HasSuffix(name, "Error") || strings.HasPrefix(name, "Err") ||
+				strings.HasPrefix(name, "err")
+		}
+		isNil := func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+		isErrorCall := func(e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return false
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			return ok && sel.Sel.Name == "Error"
+		}
+		for _, f := range p.Files {
+			if strings.HasSuffix(f.Fset.Position(f.AST.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if isNil(n.X) || isNil(n.Y) {
+						return true
+					}
+					if errish(n.X) || errish(n.Y) {
+						p.Reportf(f, n.Pos(), "error compared with %s; use errors.Is (or errors.As for typed inspection)", n.Op)
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok || !stringMatchFns[sel.Sel.Name] {
+						return true
+					}
+					if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "strings" {
+						return true
+					}
+					for _, arg := range n.Args {
+						if isErrorCall(arg) {
+							p.Reportf(f, arg.Pos(), "error classified by Error() string matching; use errors.Is/As on the typed error")
+						}
+					}
+				}
+				return true
+			})
 		}
 	},
 }

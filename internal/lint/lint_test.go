@@ -181,3 +181,53 @@ func countBy(diags []Diagnostic, analyzer string) int {
 	}
 	return n
 }
+
+func TestIOErr(t *testing.T) {
+	src := `package exec
+import "strings"
+func classify(err error, sentinel error) bool {
+	if err == sentinel {
+		return true
+	}
+	if strings.Contains(err.Error(), "transient") {
+		return true
+	}
+	return strings.HasPrefix(err.Error(), "disk: ")
+}
+`
+	diags := check(t, "internal/exec", src)
+	if n := countBy(diags, "ioerr"); n != 3 {
+		t.Fatalf("want 3 ioerr diagnostics, got %d: %v", n, diags)
+	}
+	wantDiag(t, diags, "ioerr", "errors.Is")
+	wantDiag(t, diags, "ioerr", "string matching")
+
+	// Sentinel comparisons against package-level Err values are the same
+	// antipattern, on either side and with !=.
+	wantDiag(t, check(t, "internal/fault", `package fault
+var ErrInjected error
+func bad(e error) bool { return ErrInjected != e }
+`), "ioerr", "errors.Is")
+
+	// Nil checks are the idiom, not classification.
+	wantNone(t, check(t, "internal/exec", `package exec
+func ok(err error) bool { return err != nil || nil == err }
+`), "ioerr")
+
+	// Error() used for display, and strings matching on non-error text,
+	// are both fine.
+	wantNone(t, check(t, "internal/exec", `package exec
+import ("fmt"; "strings")
+func show(err error, s string) string {
+	if strings.Contains(s, "x") {
+		return fmt.Sprintf("failed: %s", err.Error())
+	}
+	return err.Error()
+}
+`), "ioerr")
+
+	// Comparisons of non-error-shaped values are out of scope.
+	wantNone(t, check(t, "internal/exec", `package exec
+func cmp(a, b int) bool { return a == b }
+`), "ioerr")
+}

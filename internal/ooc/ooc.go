@@ -53,6 +53,15 @@ type Options struct {
 	// before execution; a verification finding fails the contraction. The
 	// report is available as Result.Synthesis.Verify.
 	Verify bool
+	// Retry, if non-nil, retries transient disk faults at the section-I/O
+	// layer with capped exponential backoff (disk.DefaultRetryPolicy is
+	// the usual choice).
+	Retry *disk.RetryPolicy
+	// Recovery, if non-nil, executes through exec.RunResilient: a
+	// persistent fault rolls the run back to its last checkpoint and
+	// resumes, within the configured restart budget. The account of what
+	// recovery did is Result.Recovery.
+	Recovery *exec.RecoveryOptions
 }
 
 // Result reports a contraction run.
@@ -64,6 +73,10 @@ type Result struct {
 	// Pipeline holds the pipelined engine's modelled serial-vs-overlapped
 	// timeline (nil unless Options.Pipeline).
 	Pipeline *exec.PipelineStats
+	// Retry tallies faults seen and retries spent during execution.
+	Retry exec.RetryStats
+	// Recovery reports checkpoint restarts (nil unless Options.Recovery).
+	Recovery *exec.RecoveryReport
 }
 
 // Contract evaluates an einsum-style contraction over arrays resident on
@@ -116,7 +129,7 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	if opt.Metrics != nil {
 		disk.AttachMetrics(be, opt.Metrics)
 	}
-	res, err := exec.Run(s.Plan, be, nil, exec.Options{
+	xopt := exec.Options{
 		OpenInputs:    true,
 		NoFetch:       true, // results stay disk-resident
 		Workers:       opt.Workers,
@@ -124,11 +137,19 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 		PipelineDepth: opt.PipelineDepth,
 		Metrics:       opt.Metrics,
 		Tracer:        opt.Tracer,
-	})
+		Retry:         opt.Retry,
+	}
+	var res *exec.Result
+	if opt.Recovery != nil {
+		res, _, err = exec.RunResilient(context.Background(), s.Plan, be, nil, xopt, *opt.Recovery)
+	} else {
+		res, err = exec.Run(s.Plan, be, nil, xopt)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline}, nil
+	return &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline,
+		Retry: res.Retry, Recovery: res.Recovery}, nil
 }
 
 // parseWithInferredRanges parses the spec and infers every index's extent

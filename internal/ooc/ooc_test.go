@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/disk"
+	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/tensor"
 )
@@ -251,5 +253,58 @@ func TestParseStructure(t *testing.T) {
 	}
 	if _, err := expr.ParseStructure("garbage"); err == nil {
 		t.Fatal("garbage must fail")
+	}
+}
+
+// TestContractWithFaultsAndRecovery drives the facade's resilience
+// options: a seeded fault schedule on the backend, retries absorbing the
+// transient portion, and (with Options.Recovery) restarts absorbing a
+// persistent window — all invisible in the contraction's result.
+func TestContractWithFaultsAndRecovery(t *testing.T) {
+	run := func(cfg fault.Config, rec *exec.RecoveryOptions) ([]float64, *Result) {
+		be := disk.NewSim(machine.Small(4<<10).Disk, true)
+		defer be.Close()
+		stage(t, be, "A", 36, 30)
+		stage(t, be, "B", 30, 33)
+		opt := smallOpt()
+		opt.Pipeline = true
+		// Depth 1: serialize the injector's op stream so MaxConsecutive
+		// caps the faults one op's retries can draw; the no-recovery leg
+		// must absorb its schedule deterministically.
+		opt.PipelineDepth = 1
+		opt.Retry = disk.DefaultRetryPolicy()
+		opt.Recovery = rec
+		inj := fault.Wrap(be, cfg)
+		res, err := Contract(inj, "C[i,j] = A[i,k] * B[k,j]", opt)
+		if err != nil {
+			t.Fatalf("contract under %s: %v", cfg, err)
+		}
+		out, err := be.DumpArray("C")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, res
+	}
+
+	clean, _ := run(fault.Config{}, nil)
+	faulty, res := run(fault.Config{Seed: 5, Rate: 0.15, TornRate: 0.1}, nil)
+	if res.Retry.Retries == 0 {
+		t.Fatal("fault schedule produced no retries")
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("faulted contraction diverges at %d", i)
+		}
+	}
+
+	recovered, rres := run(fault.Config{Seed: 5, Rate: 0.05, PersistentAfter: 20, PersistentOps: 1},
+		&exec.RecoveryOptions{MaxRestarts: 4})
+	if rres.Recovery == nil || rres.Recovery.Restarts == 0 {
+		t.Fatalf("persistent window did not force a restart: %+v", rres.Recovery)
+	}
+	for i := range clean {
+		if clean[i] != recovered[i] {
+			t.Fatalf("recovered contraction diverges at %d", i)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"repro/internal/fault"
 	"strings"
 	"testing"
 )
@@ -130,5 +131,27 @@ func TestTable4ScalingShapeHolds(t *testing.T) {
 	out := FormatTable4(rows)
 	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "Processors") {
 		t.Fatalf("bad format:\n%s", out)
+	}
+}
+
+func TestRecoveryStudyShapeHolds(t *testing.T) {
+	fcfg := fault.Config{Seed: 9, Rate: 0.02, TornRate: 0.01, PersistentAfter: 50, PersistentOps: 1}
+	rows, err := RecoveryStudy([]Size{{140, 120}}, fcfg, capped())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.FaultsInjected == 0 || r.Retries == 0 {
+		t.Fatalf("schedule injected nothing: %+v", r)
+	}
+	if r.FaultySeconds <= r.CleanSeconds || r.OverheadPct <= 0 {
+		t.Fatalf("surviving faults must cost modelled time: %+v", r)
+	}
+	out := FormatRecovery(rows, fcfg)
+	if !strings.Contains(out, "overhead") || !strings.Contains(out, "140") {
+		t.Fatalf("bad rendering:\n%s", out)
 	}
 }

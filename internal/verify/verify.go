@@ -18,11 +18,12 @@
 //     structure match the plan's declared footprint, the total fits the
 //     machine's memory, every disk transfer meets the minimum block size,
 //     and tile sizes are in range;
-//   - schedule legality (S1–S3): buffer state is closed under top-level
+//   - schedule legality (S1–S4): buffer state is closed under top-level
 //     work units (the barrier discipline the pipelined engine and
 //     exec.Checkpointable rely on), every disk read is covered by earlier
-//     writes (RAW), and overlapping writes are separated by a read-back
-//     (WAW).
+//     writes (RAW), overlapping writes are separated by a read-back (WAW),
+//     and a resume checkpoint (Options.Resume) names a real unit boundary
+//     of a checkpointable plan.
 //
 // Check returns a Report of structured Diagnostics rather than a bare
 // error so callers can assert on specific rule IDs.
@@ -61,6 +62,7 @@ var Rules = []Rule{
 	{"S1", "buffer state closed under top-level work units", "§3 ordering; DESIGN.md pipeline barriers"},
 	{"S2", "disk reads covered by prior writes (RAW)", "§3 (producer before consumer, at disk granularity)"},
 	{"S3", "overlapping writes separated by read-back (WAW)", "§3 (accumulation clobber)"},
+	{"S4", "resume checkpoint aligned to a unit boundary", "§3 ordering; DESIGN.md §8 (recovery restarts at unit granularity)"},
 }
 
 // RuleByID returns the rule with the given ID (zero Rule if unknown).
@@ -162,6 +164,10 @@ type Options struct {
 	// MaxEvents caps the per-array I/O event and coverage-fragment lists
 	// of the schedule walk. 0 means the default.
 	MaxEvents int
+	// Resume, when non-nil, is a checkpoint a caller intends to restart
+	// from (exec.Options.Resume, or a RecoveryReport resume point); S4
+	// checks it names a real unit boundary of a checkpointable plan.
+	Resume *exec.Checkpoint
 }
 
 const (
@@ -195,7 +201,51 @@ func CheckOpts(p *codegen.Plan, opt Options) *Report {
 	c.structural()
 	c.lca()
 	c.schedule()
+	c.resume()
 	return c.rep
+}
+
+// resume enforces S4: a checkpoint a caller plans to restart from must
+// name a boundary the engine's unit model can actually produce — on a
+// checkpointable plan, at an existing top-level item, with an iteration
+// inside the item's tile count (and zero for non-loop items). Anything
+// else would silently skip or repeat work on resume.
+func (c *checker) resume() {
+	cp := c.opt.Resume
+	if cp == nil {
+		return
+	}
+	pos := fmt.Sprintf("item=%d,iter=%d", cp.Item, cp.Iter)
+	if !c.rep.Checkpointable {
+		c.diag("S4", "", pos, "resume checkpoint on a plan that is not checkpointable")
+		return
+	}
+	if cp.Item < 0 || cp.Iter < 0 {
+		c.diag("S4", "", pos, "resume checkpoint has negative coordinates")
+		return
+	}
+	if cp.Item > int64(len(c.p.Body)) {
+		c.diag("S4", "", pos, "resume item %d beyond the plan's %d top-level items", cp.Item, len(c.p.Body))
+		return
+	}
+	if cp.Item == int64(len(c.p.Body)) {
+		if cp.Iter != 0 {
+			c.diag("S4", "", pos, "resume past the last item must have iter 0")
+		}
+		return
+	}
+	if l, ok := c.p.Body[cp.Item].(*codegen.Loop); ok {
+		units := (l.Range + l.Tile - 1) / l.Tile
+		if cp.Iter >= units {
+			c.diag("S4", "", pos,
+				"resume iter %d outside loop %s's %d unit(s); a completed loop checkpoints as item=%d,iter=0",
+				cp.Iter, l.Index, units, cp.Item+1)
+		}
+		return
+	}
+	if cp.Iter != 0 {
+		c.diag("S4", "", pos, "resume into non-loop item %d must have iter 0", cp.Item)
+	}
 }
 
 type checker struct {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/codegen"
+	"repro/internal/exec"
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/nlp"
@@ -482,5 +483,76 @@ func TestBoxAlgebra(t *testing.T) {
 	}
 	if !r.covers(boxOf([]int64{1, 1}, []int64{2, 2})) {
 		t.Fatal("interior box not covered by union")
+	}
+}
+
+// TestVerifyResumeCheckpoints exercises S4: a resume checkpoint must name
+// a boundary the engine's unit model can produce — valid ones verify
+// clean, while out-of-range items/iterations, misaligned non-loop
+// resumes, and resumes into non-checkpointable plans are all flagged.
+func TestVerifyResumeCheckpoints(t *testing.T) {
+	prog := loops.TwoIndexFused(6, 8)
+	cfg := machine.Small(1 << 20)
+	p := buildProblem(t, prog, cfg)
+	tiles := map[string]int64{"i": 3, "j": 4, "m": 3, "n": 3}
+
+	loopAt := -1
+	plan := planWith(t, p, tiles, func(plan *codegen.Plan) bool {
+		if !exec.Checkpointable(plan) {
+			return false
+		}
+		for i, n := range plan.Body {
+			if l, ok := n.(*codegen.Loop); ok && (l.Range+l.Tile-1)/l.Tile >= 2 {
+				loopAt = i
+				return true
+			}
+		}
+		return false
+	})
+	l := plan.Body[loopAt].(*codegen.Loop)
+	units := (l.Range + l.Tile - 1) / l.Tile
+
+	at := func(cp exec.Checkpoint) *Report {
+		return CheckOpts(plan, Options{Resume: &cp})
+	}
+	for _, cp := range []exec.Checkpoint{
+		{Item: int64(loopAt), Iter: 0},
+		{Item: int64(loopAt), Iter: units - 1},
+		{Item: int64(len(plan.Body)), Iter: 0}, // fully completed plan
+	} {
+		if rep := at(cp); !rep.OK() {
+			t.Fatalf("valid checkpoint %+v rejected:\n%s", cp, rep)
+		}
+	}
+	for _, cp := range []exec.Checkpoint{
+		{Item: int64(loopAt), Iter: units},         // past the loop's last unit
+		{Item: int64(len(plan.Body)) + 1, Iter: 0}, // past the plan
+		{Item: int64(len(plan.Body)), Iter: 1},     // completed plan, nonzero iter
+		{Item: -1, Iter: 0},                        // negative coordinates
+	} {
+		rep := at(cp)
+		if !rep.Has("S4") {
+			t.Fatalf("checkpoint %+v not flagged:\n%s", cp, rep)
+		}
+	}
+	// A non-loop top-level item (if the plan has one) only checkpoints at
+	// iter 0.
+	for i, n := range plan.Body {
+		if _, ok := n.(*codegen.Loop); ok {
+			continue
+		}
+		if rep := at(exec.Checkpoint{Item: int64(i), Iter: 1}); !rep.Has("S4") {
+			t.Fatalf("non-loop item %d with iter 1 not flagged:\n%s", i, rep)
+		}
+		break
+	}
+
+	// Any resume into a non-checkpointable plan is illegal.
+	bad := planWith(t, p, tiles, func(plan *codegen.Plan) bool {
+		return !exec.Checkpointable(plan)
+	})
+	rep := CheckOpts(bad, Options{Resume: &exec.Checkpoint{}})
+	if !rep.Has("S4") {
+		t.Fatalf("resume into non-checkpointable plan not flagged:\n%s", rep)
 	}
 }
