@@ -5,6 +5,10 @@
 //	oocrun -dir ./data -random 'A[i,j]=200x300,B[j,k]=300x150'
 //	oocrun -dir ./data -spec 'C[i,k] = A[i,j] * B[j,k]' -mem 64k
 //
+//	# verify (or repair) the store's block checksums:
+//	oocrun -dir ./data -scrub
+//	oocrun -dir ./data -scrub-repair
+//
 // Index ranges are inferred from the arrays on disk. The synthesized
 // code's I/O statistics and a per-array trace summary are printed.
 package main
@@ -47,6 +51,8 @@ func main() {
 		faults   = flag.String("faults", "", "inject a seeded fault schedule, e.g. 'seed=7,rate=0.05,torn=0.02,persistent=200,persistentops=2'")
 		// recover is a Go builtin; the flag variable takes a suffix.
 		recoverFlag = flag.Bool("recover", false, "retry transient disk faults with backoff and restart from the last checkpoint on persistent ones")
+		scrub       = flag.Bool("scrub", false, "verify every block checksum of every array against the stored data (after the run, or standalone without -spec/-plan); unrepaired defects exit 1")
+		scrubRepair = flag.Bool("scrub-repair", false, "like -scrub, but rebuild the checksum index of defective arrays to accept their current contents")
 	)
 	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
@@ -93,6 +99,19 @@ func main() {
 	if *recoverFlag {
 		retry = disk.DefaultRetryPolicy()
 		recovery = &exec.RecoveryOptions{}
+	}
+	// runScrub sweeps the store's checksum index, printing the report and
+	// each defective block. Unrepaired defects exit nonzero so scripted
+	// scrubs (CI, cron) can alarm on them.
+	runScrub := func(be disk.Backend) {
+		rep, err := disk.Scrub(be, disk.ScrubOptions{Repair: *scrubRepair, Metrics: obsFlags.Registry()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printScrub(rep)
+		if !rep.OK() && !*scrubRepair {
+			os.Exit(1)
+		}
 	}
 	printResilience := func(rt exec.RetryStats, rep *exec.RecoveryReport) {
 		if inj != nil {
@@ -150,11 +169,19 @@ func main() {
 		printPipeline(res.Pipeline)
 		printResilience(res.Retry, res.Recovery)
 		fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
+		if *scrub || *scrubRepair {
+			runScrub(store)
+		}
 		return
 	}
 	if *spec == "" {
+		if *scrub || *scrubRepair {
+			// Standalone maintenance scrub over the store directory.
+			runScrub(store)
+			return
+		}
 		if *random == "" {
-			log.Fatal("need -spec, -plan, and/or -random")
+			log.Fatal("need -spec, -plan, -scrub, and/or -random")
 		}
 		return
 	}
@@ -171,6 +198,7 @@ func main() {
 		Verify:   *verifyP,
 		Retry:    retry,
 		Recovery: recovery,
+		Scrub:    *scrub && !*scrubRepair,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -200,6 +228,23 @@ func main() {
 	printResilience(res.Retry, res.Recovery)
 	fmt.Println("\n== per-array I/O ==")
 	fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
+	if *scrubRepair {
+		runScrub(rec)
+	} else if res.Scrub != nil {
+		printScrub(res.Scrub)
+		if !res.Scrub.OK() {
+			os.Exit(1)
+		}
+	}
+}
+
+// printScrub reports a scrub sweep, one line per defective block.
+func printScrub(rep *disk.ScrubReport) {
+	fmt.Printf("%s\n", rep)
+	for _, d := range rep.Defects {
+		fmt.Printf("  defect: array %q block %d (stored %08x, computed %08x)\n",
+			d.Array, d.Block, d.Stored, d.Computed)
+	}
 }
 
 // printPipeline reports the pipelined engine's serial-vs-overlapped

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"encoding/json"
 	"flag"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -159,6 +160,69 @@ func TestParseFaultSpec(t *testing.T) {
 			t.Fatalf("spec %q did not fail", bad)
 		} else if !strings.HasPrefix(err.Error(), "cliutil: ") {
 			t.Fatalf("spec %q error lacks attribution: %v", bad, err)
+		}
+	}
+}
+
+func TestParseFaultSpecSilent(t *testing.T) {
+	cfg, err := ParseFaultSpec("seed=9,rate=0.01,bitflip=0.02,lost=0.03,silenttorn=0.04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fault.Config{Seed: 9, Rate: 0.01, BitFlipRate: 0.02, LostRate: 0.03, SilentTornRate: 0.04}
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+	for _, bad := range []string{"bitflip=1.5", "lost=-0.1", "silenttorn=x"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q did not fail", bad)
+		}
+	}
+}
+
+// TestParseFaultSpecFuzzRoundTrip drives randomized configs through
+// String -> ParseFaultSpec -> String and demands a fixed point: every
+// field combination the injector can express (silent-corruption rates
+// included) must survive the CLI syntax bit-exactly. %g prints the
+// shortest decimal that round-trips through ParseFloat, so equality is
+// exact, not approximate.
+func TestParseFaultSpecFuzzRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		cfg := fault.Config{Seed: rng.Uint64() % 10000, Rate: rng.Float64()}
+		if rng.Intn(2) == 1 {
+			cfg.TornRate = rng.Float64()
+		}
+		if rng.Intn(2) == 1 {
+			cfg.LatencyRate = rng.Float64()
+			cfg.LatencySeconds = rng.Float64() / 100
+		}
+		if rng.Intn(2) == 1 {
+			cfg.PersistentAfter = rng.Int63n(500) + 1
+			cfg.PersistentOps = rng.Int63n(8) + 1
+		}
+		if rng.Intn(2) == 1 {
+			cfg.MaxConsecutive = rng.Intn(6) + 1
+		}
+		if rng.Intn(2) == 1 {
+			cfg.BitFlipRate = rng.Float64()
+		}
+		if rng.Intn(2) == 1 {
+			cfg.LostRate = rng.Float64()
+		}
+		if rng.Intn(2) == 1 {
+			cfg.SilentTornRate = rng.Float64()
+		}
+		s := cfg.String()
+		back, err := ParseFaultSpec(s)
+		if err != nil {
+			t.Fatalf("config %d: parse %q: %v", i, s, err)
+		}
+		if back != cfg {
+			t.Fatalf("config %d: %q parsed to %+v, want %+v", i, s, back, cfg)
+		}
+		if got := back.String(); got != s {
+			t.Fatalf("config %d: re-stringed to %q, want %q", i, got, s)
 		}
 	}
 }

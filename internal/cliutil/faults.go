@@ -11,7 +11,7 @@ import (
 // ParseFaultSpec parses the -faults flag syntax into a fault schedule:
 // comma-separated key=value pairs, e.g.
 //
-//	seed=7,rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=2
+//	seed=7,rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=2,bitflip=0.01,lost=0.01,silenttorn=0.01
 //
 // Keys mirror fault.Config (fault.Config.String round-trips through this
 // parser); every key is optional, but the spec must not be empty.
@@ -44,6 +44,12 @@ func ParseFaultSpec(spec string) (fault.Config, error) {
 			}
 		case "maxconsec":
 			cfg.MaxConsecutive, err = strconv.Atoi(v)
+		case "bitflip":
+			cfg.BitFlipRate, err = parseRate(k, v)
+		case "lost":
+			cfg.LostRate, err = parseRate(k, v)
+		case "silenttorn":
+			cfg.SilentTornRate, err = parseRate(k, v)
 		case "persistent":
 			cfg.PersistentAfter, err = strconv.ParseInt(v, 10, 64)
 		case "persistentops":

@@ -130,6 +130,7 @@ type statsLocked struct {
 	mu    sync.Mutex
 	s     Stats
 	d     machine.Disk
+	integ IntegrityCounts
 	reg   *obs.Registry
 	owned map[string]*obs.Counter
 }
@@ -182,6 +183,48 @@ func (sl *statsLocked) chargeWrite(array string, bytes int64) {
 		sl.counterLocked(MetricWriteBytes + "/" + array).Add(bytes)
 	}
 	sl.mu.Unlock()
+}
+
+// chargeVerify accounts block checksum verifications on a section read.
+// Integrity tallies are lifetime counters: unlike the I/O charges they
+// survive reset(), because recovery restarts ResetStats per attempt but
+// corruption accounting must span the whole resilient run. For the same
+// reason the registry mirrors are not backend-owned instruments.
+func (sl *statsLocked) chargeVerify(array string, blocks int64) {
+	if blocks <= 0 {
+		return
+	}
+	sl.mu.Lock()
+	sl.integ.VerifiedBlocks += blocks
+	reg := sl.reg
+	sl.mu.Unlock()
+	if reg != nil {
+		reg.Counter(MetricIntegrityBlocks).Add(blocks)
+		reg.Counter(MetricIntegrityBlocks + "/" + array).Add(blocks)
+	}
+}
+
+// chargeDetect accounts blocks that failed checksum verification; like
+// chargeVerify it survives reset().
+func (sl *statsLocked) chargeDetect(array string, blocks int64) {
+	if blocks <= 0 {
+		return
+	}
+	sl.mu.Lock()
+	sl.integ.Detected += blocks
+	reg := sl.reg
+	sl.mu.Unlock()
+	if reg != nil {
+		reg.Counter(MetricIntegrityDetected).Add(blocks)
+		reg.Counter(MetricIntegrityDetected + "/" + array).Add(blocks)
+	}
+}
+
+// integSnapshot copies the integrity tallies.
+func (sl *statsLocked) integSnapshot() IntegrityCounts {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.integ
 }
 
 func (sl *statsLocked) snapshot() Stats {

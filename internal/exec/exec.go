@@ -75,6 +75,16 @@ type Options struct {
 	// never retried; they abort the run with a *RunError carrying the
 	// last completed checkpoint (see RunResilient).
 	Retry *disk.RetryPolicy
+	// SyncUnits, if true, syncs the backend's durable state (disk.Syncer,
+	// reached through wrapper chains via disk.SyncBackend) at every unit
+	// boundary BEFORE the checkpoint advances, and once after staging. The
+	// ordering is the crash-consistency invariant: a checkpoint is never
+	// recorded ahead of the bytes it promises, so a kill at any moment
+	// leaves the store recoverable from the last completed checkpoint.
+	// RunResilient and ooc set it whenever recovery is enabled; backends
+	// without a Sync hook (e.g. the in-memory simulator chain) make it a
+	// no-op.
+	SyncUnits bool
 	// Tracer, if non-nil, receives the run's modelled timeline as spans:
 	// disk operations on the obs "disk" track and compute blocks on the
 	// "compute" track, with instant events marking barriers and hazard
@@ -233,6 +243,13 @@ func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs ma
 	if err := e.stage(inputs); err != nil {
 		return nil, e.failure(err)
 	}
+	if opt.SyncUnits {
+		// Staged inputs are the baseline every restart re-opens; make them
+		// durable before the first unit can complete against them.
+		if err := disk.SyncBackend(be); err != nil {
+			return nil, e.failure(fmt.Errorf("exec: sync after staging: %w", err))
+		}
+	}
 	e.staged = true
 	be.ResetStats()
 	stopped, err := e.execTop(p.Body)
@@ -334,13 +351,22 @@ func (e *engine) retrySnapshot() RetryStats {
 
 // noteUnit records a completed unit boundary, keeping lastCP monotonic
 // (resumed runs re-execute top-level reads of earlier items, which must
-// not roll the checkpoint back).
-func (e *engine) noteUnit(cp Checkpoint) {
+// not roll the checkpoint back). Under Options.SyncUnits the backend is
+// synced first: the checkpoint only advances once the unit's bytes are
+// durable, so recovery never resumes past data that a crash could have
+// lost.
+func (e *engine) noteUnit(cp Checkpoint) error {
 	if cp.Item < e.lastCP.Item || (cp.Item == e.lastCP.Item && cp.Iter <= e.lastCP.Iter) {
-		return
+		return nil
+	}
+	if e.opt.SyncUnits {
+		if err := disk.SyncBackend(e.be); err != nil {
+			return fmt.Errorf("exec: sync at unit boundary {item %d, iter %d}: %w", cp.Item, cp.Iter, err)
+		}
 	}
 	e.lastCP = cp
 	e.cpTime = e.be.Stats().Time()
+	return nil
 }
 
 // failure wraps a run error in a *RunError carrying restart state.
@@ -560,14 +586,18 @@ func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
 				delete(e.base, l.Index)
 				it++
 				units++
-				e.noteUnit(Checkpoint{Item: item, Iter: it})
+				if err := e.noteUnit(Checkpoint{Item: item, Iter: it}); err != nil {
+					return nil, err
+				}
 				if e.opt.StopAfter > 0 && units >= e.opt.StopAfter && b+l.Tile < l.Range {
 					e.loopStack = e.loopStack[:len(e.loopStack)-1]
 					return &Checkpoint{Item: item, Iter: it}, nil
 				}
 			}
 			e.loopStack = e.loopStack[:len(e.loopStack)-1]
-			e.noteUnit(Checkpoint{Item: item + 1})
+			if err := e.noteUnit(Checkpoint{Item: item + 1}); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		// Non-loop top-level item. On resume: re-execute reads (restores
@@ -580,7 +610,9 @@ func (e *engine) execTop(body []codegen.Node) (*Checkpoint, error) {
 		if err := e.execUnit([]codegen.Node{n}); err != nil {
 			return nil, err
 		}
-		e.noteUnit(Checkpoint{Item: item + 1})
+		if err := e.noteUnit(Checkpoint{Item: item + 1}); err != nil {
+			return nil, err
+		}
 	}
 	return nil, nil
 }

@@ -1,0 +1,242 @@
+package exec
+
+// Integrity-recovery suite: a corrupted block discovered by a verified
+// read must escalate past the retry layer into RunResilient, which heals
+// it — re-staging an input from its source tensor, or rolling the resume
+// point back to the producer unit of a disk intermediate — and completes
+// bit-identically to the clean run. Unhealable corruption fails with a
+// structured attribution instead of looping.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/expr"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// corruptOnRead wraps a data-mode Sim and flips one bit of the target
+// array immediately before its nth read, beneath the checksum index — so
+// that very read detects the rot, exactly like hardware bit rot under a
+// scrubbing filesystem.
+type corruptOnRead struct {
+	disk.Backend
+	target string
+	nth    int
+	seen   int
+	done   bool
+}
+
+func (c *corruptOnRead) Inner() disk.Backend { return c.Backend }
+
+func (c *corruptOnRead) Create(name string, dims []int64) (disk.Array, error) {
+	a, err := c.Backend.Create(name, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &corruptArray{c: c, inner: a}, nil
+}
+
+func (c *corruptOnRead) Open(name string) (disk.Array, error) {
+	a, err := c.Backend.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &corruptArray{c: c, inner: a}, nil
+}
+
+type corruptArray struct {
+	c     *corruptOnRead
+	inner disk.Array
+}
+
+func (a *corruptArray) Name() string  { return a.inner.Name() }
+func (a *corruptArray) Dims() []int64 { return a.inner.Dims() }
+
+func (a *corruptArray) ReadSection(lo, shape []int64, buf []float64) error {
+	if a.inner.Name() == a.c.target && !a.c.done {
+		a.c.seen++
+		if a.c.seen == a.c.nth {
+			a.c.done = true
+			fl, ok := a.inner.(disk.BitFlipper)
+			if !ok {
+				panic("inner array is not a BitFlipper")
+			}
+			if err := fl.FlipBit(disk.FlatOffset(a.inner.Dims(), lo), 7); err != nil {
+				return err
+			}
+		}
+	}
+	return a.inner.ReadSection(lo, shape, buf)
+}
+
+func (a *corruptArray) WriteSection(lo, shape []int64, buf []float64) error {
+	return a.inner.WriteSection(lo, shape, buf)
+}
+
+func TestIntegrityHealRestageInput(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	plan := crashResumePlan(t, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+	ref, err := Run(plan, disk.NewSim(cfg.Disk, true), inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the input on a mid-run read: the only way to get the pristine
+	// data back is re-staging from the source tensor.
+	be := &corruptOnRead{Backend: disk.NewSim(cfg.Disk, true), target: "A", nth: 2}
+	reg := obs.NewRegistry()
+	res, rep, err := RunResilient(nil, plan, be, inputs, Options{
+		Retry:   disk.DefaultRetryPolicy(),
+		Metrics: reg,
+	}, RecoveryOptions{MaxRestarts: 3})
+	if err != nil {
+		t.Fatalf("heal failed: %v\nreport: %s", err, rep)
+	}
+	if rep.IntegrityDetected != 1 || rep.IntegrityHealed != 1 {
+		t.Fatalf("integrity tallies wrong: %s", rep)
+	}
+	if len(rep.Heals) != 1 || rep.Heals[0].Array != "A" || rep.Heals[0].Method != "restage" {
+		t.Fatalf("heal action wrong: %+v", rep.Heals)
+	}
+	if !strings.Contains(rep.String(), "integrity faults 1 (healed 1)") {
+		t.Fatalf("report omits integrity: %s", rep)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["exec.integrity.detected"] != 1 || snap.Counters["exec.integrity.healed"] != 1 {
+		t.Fatalf("obs counters wrong: %+v", snap.Counters)
+	}
+	for name, want := range ref.Outputs {
+		if d := tensor.MaxAbsDiff(res.Outputs[name], want); d != 0 {
+			t.Fatalf("healed output %q off by %g", name, d)
+		}
+	}
+}
+
+func TestIntegrityHealRecomputesFromProducer(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	plan := crashResumePlan(t, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+	ref, err := Run(plan, disk.NewSim(cfg.Disk, true), inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the output on its fetch read: a non-input heals by rolling the
+	// resume point back to its producer unit and recomputing.
+	be := &corruptOnRead{Backend: disk.NewSim(cfg.Disk, true), target: "B", nth: 1}
+	res, rep, err := RunResilient(nil, plan, be, inputs, Options{
+		Retry: disk.DefaultRetryPolicy(),
+	}, RecoveryOptions{MaxRestarts: 3})
+	if err != nil {
+		t.Fatalf("heal failed: %v\nreport: %s", err, rep)
+	}
+	if rep.IntegrityHealed != 1 || len(rep.Heals) != 1 {
+		t.Fatalf("integrity tallies wrong: %s", rep)
+	}
+	heal := rep.Heals[0]
+	if heal.Array != "B" || heal.Method != "recompute" {
+		t.Fatalf("heal action wrong: %+v", heal)
+	}
+	prod, ok := ProducerUnit(plan, "B")
+	if !ok {
+		t.Fatal("plan has no producer for B")
+	}
+	if heal.Resume.Item != prod || heal.Resume.Iter != 0 {
+		t.Fatalf("heal resumed at %+v, want producer unit {%d, 0}", heal.Resume, prod)
+	}
+	for name, want := range ref.Outputs {
+		if d := tensor.MaxAbsDiff(res.Outputs[name], want); d != 0 {
+			t.Fatalf("recomputed output %q off by %g", name, d)
+		}
+	}
+}
+
+func TestIntegrityUnhealableFailsAttributed(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	plan := crashResumePlan(t, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+
+	// Pre-stage the inputs on the backend, then run with OpenInputs and
+	// no source tensors: rotten input data has nowhere to come back from.
+	sim := disk.NewSim(cfg.Disk, true)
+	for name, in := range inputs {
+		dims := make([]int64, len(in.Dims()))
+		for i, d := range in.Dims() {
+			dims[i] = int64(d)
+		}
+		if _, err := sim.Create(name, dims); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.LoadArray(name, in.Data()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be := &corruptOnRead{Backend: sim, target: "A", nth: 2}
+	_, rep, err := RunResilient(nil, plan, be, nil, Options{
+		OpenInputs: true,
+		Retry:      disk.DefaultRetryPolicy(),
+	}, RecoveryOptions{MaxRestarts: 3})
+	if err == nil {
+		t.Fatal("unhealable corruption did not fail")
+	}
+	if !disk.IsIntegrity(err) {
+		t.Fatalf("error lost its integrity typing: %v", err)
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error lost its IOError typing: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "cannot be healed") || !strings.Contains(msg, `"A"`) {
+		t.Fatalf("error lacks heal attribution: %q", msg)
+	}
+	if rep.IntegrityDetected != 1 || rep.IntegrityHealed != 0 {
+		t.Fatalf("integrity tallies wrong: %s", rep)
+	}
+}
+
+// TestRunResilientAutoReopens exercises the probe path: with
+// RecoveryOptions.Reopen unset, RunResilient asks the backend itself to
+// reopen (disk.Reopener). The fault injector forwards the reopen to its
+// wrapped FileStore and swaps in the rebuilt store, so recovery after a
+// persistent-window fault really does reopen the file handles.
+func TestRunResilientAutoReopens(t *testing.T) {
+	cfg := machine.Small(4 << 10)
+	plan := crashResumePlan(t, cfg)
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+	ref, err := Run(plan, disk.NewSim(cfg.Disk, true), inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	fs, err := disk.NewFileStore(dir, cfg.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.Wrap(fs, fault.Config{Seed: 3, PersistentAfter: 30, PersistentOps: 1})
+	res, rep, err := RunResilient(nil, plan, inj, inputs, Options{
+		Retry: disk.DefaultRetryPolicy(),
+	}, RecoveryOptions{}) // Reopen deliberately unset
+	if err != nil {
+		t.Fatalf("auto-reopen recovery failed: %v\nreport: %s", err, rep)
+	}
+	if rep.Restarts == 0 {
+		t.Fatal("persistent window never forced a restart")
+	}
+	nfs, ok := inj.Inner().(*disk.FileStore)
+	if !ok || nfs == fs {
+		t.Fatalf("injector still wraps the original store (%T, same=%v)", inj.Inner(), nfs == fs)
+	}
+	defer nfs.Close()
+	if d := tensor.MaxAbsDiff(res.Outputs["B"], ref.Outputs["B"]); d != 0 {
+		t.Fatalf("auto-reopened output differs by %g", d)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/disk"
+	"repro/internal/loops"
 	"repro/internal/tensor"
 )
 
@@ -29,8 +30,10 @@ type RecoveryOptions struct {
 	// backend (e.g. a fresh disk.FileStore over the same directory
 	// after a crashed process). The previous backend is abandoned, not
 	// closed — after a fault its state is suspect, and closing a
-	// simulator would destroy the arrays a resume needs. When nil, the
-	// restart reuses the same backend.
+	// simulator would destroy the arrays a resume needs. When nil,
+	// RunResilient probes the backend itself for disk.Reopener (which
+	// FileStore and fault.Injector implement) and otherwise reuses the
+	// same backend.
 	Reopen func() (disk.Backend, error)
 }
 
@@ -59,12 +62,33 @@ type RecoveryReport struct {
 	// TotalStats accumulates the backend's modelled I/O statistics
 	// across every attempt, failed ones included.
 	TotalStats disk.Stats `json:"total_stats"`
+	// IntegrityDetected counts restarts triggered by a verified-read
+	// checksum failure (disk.IntegrityError) rather than an ordinary I/O
+	// fault; IntegrityHealed counts those the heal path resolved (restage
+	// or recompute) before resuming.
+	IntegrityDetected int64 `json:"integrity_detected,omitempty"`
+	IntegrityHealed   int64 `json:"integrity_healed,omitempty"`
+	// Heals lists what the heal path did for each integrity fault.
+	Heals []HealAction `json:"heals,omitempty"`
+}
+
+// HealAction records how one integrity fault was resolved: the rotten
+// array, the method ("restage" re-wrote an input from its source tensor;
+// "recompute" rolled the resume point back to the array's producer unit),
+// and the checkpoint the run resumed from afterwards.
+type HealAction struct {
+	Array  string     `json:"array"`
+	Method string     `json:"method"`
+	Resume Checkpoint `json:"resume"`
 }
 
 func (r *RecoveryReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "faults %d, retries %d (%.3f s), restarts %d, wasted %.3f s",
 		r.FaultsSeen, r.Retries, r.RetrySeconds, r.Restarts, r.WastedSeconds)
+	if r.IntegrityDetected > 0 {
+		fmt.Fprintf(&b, ", integrity faults %d (healed %d)", r.IntegrityDetected, r.IntegrityHealed)
+	}
 	if len(r.ResumePoints) > 0 {
 		b.WriteString(", resumed at")
 		for _, cp := range r.ResumePoints {
@@ -107,6 +131,23 @@ func RecoverySafe(p *codegen.Plan) bool {
 	return true
 }
 
+// ProducerUnit returns the index of the first top-level plan item whose
+// subtree writes the named disk array (an init pass counts as a write) —
+// the unit integrity recovery rolls back to when a disk intermediate is
+// found rotten. The static verifier's rule S5 checks the same property
+// ahead of time: every non-input array read at the top level must have
+// such a producer at or before its first reader.
+func ProducerUnit(p *codegen.Plan, array string) (int64, bool) {
+	for i, n := range p.Body {
+		reads, writes := map[string]bool{}, map[string]bool{}
+		collectIO(n, reads, writes)
+		if writes[array] {
+			return int64(i), true
+		}
+	}
+	return 0, false
+}
+
 // collectIO gathers the disk arrays a subtree reads and writes.
 func collectIO(n codegen.Node, reads, writes map[string]bool) {
 	switch n := n.(type) {
@@ -146,7 +187,12 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 		maxRestarts = DefaultMaxRestarts
 	}
 	rep := &RecoveryReport{}
-	runOpt := opt
+	// Recovery implies the durability discipline: a checkpoint may only
+	// advance once its unit's bytes are durable, or a resume could skip
+	// work whose output a crash threw away.
+	base := opt
+	base.SyncUnits = true
+	runOpt := base
 	for {
 		res, err := RunContext(ctx, p, be, inputs, runOpt)
 		if err == nil {
@@ -171,8 +217,35 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 			// start, where init passes re-zero the accumulators.
 			cp = Checkpoint{}
 		}
+		// An integrity fault needs more than a rollback: re-reading a
+		// rotten block returns the same bytes, so the data itself must be
+		// healed before the resumed run can get past it.
+		var ie *disk.IntegrityError
+		if errors.As(err, &ie) {
+			rep.IntegrityDetected++
+			if opt.Metrics != nil {
+				opt.Metrics.Counter("exec.integrity.detected").Add(1)
+			}
+			heal, herr := healIntegrity(p, be, inputs, ie, &cp, opt.DryRun)
+			if herr != nil {
+				return nil, rep, fmt.Errorf("exec: integrity fault on array %q cannot be healed (%v): %w", ie.Array, herr, err)
+			}
+			rep.IntegrityHealed++
+			rep.Heals = append(rep.Heals, heal)
+			if opt.Metrics != nil {
+				opt.Metrics.Counter("exec.integrity.healed").Add(1)
+			}
+		}
 		if rc.Reopen != nil {
 			nbe, rerr := rc.Reopen()
+			if rerr != nil {
+				return nil, rep, fmt.Errorf("exec: recovery reopen: %w", rerr)
+			}
+			be = nbe
+		} else if ro, ok := be.(disk.Reopener); ok {
+			// Persistent faults can leave file handles or wrapper state
+			// suspect; rebuild the backend over its surviving files.
+			nbe, rerr := ro.Reopen()
 			if rerr != nil {
 				return nil, rep, fmt.Errorf("exec: recovery reopen: %w", rerr)
 			}
@@ -180,10 +253,79 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 		}
 		rep.Restarts++
 		rep.ResumePoints = append(rep.ResumePoints, cp)
-		runOpt = opt
+		runOpt = base
 		runOpt.Resume = &cp
 		// The resume path opens every array the interrupted attempt
 		// created; staging (and OpenInputs) no longer applies.
 		runOpt.OpenInputs = false
 	}
+}
+
+// healIntegrity resolves one verified-read failure so the resumed run can
+// make progress. The order is bless-then-regenerate: the rotten array's
+// checksum index is first rebuilt to accept its current contents (every
+// write verifies the blocks it touches before mutating them, so without
+// the blessing the heal's own writes — and the resumed run's — would trip
+// on the same rot forever), then the data is regenerated over the blessed
+// bytes: an input is re-staged whole from its source tensor; a disk
+// intermediate is recomputed by rolling the resume point back to its
+// producer unit, whose re-execution rewrites every block the plan reads
+// (the verifier's dataflow rules guarantee reads are write-covered).
+// Finally the backend is synced so a reopen does not resurrect the stale
+// pre-heal index. On success cp holds the (possibly rolled back) resume
+// point.
+func healIntegrity(p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, ie *disk.IntegrityError, cp *Checkpoint, dryRun bool) (HealAction, error) {
+	st := disk.AsIntegrityStore(be)
+	if st == nil {
+		return HealAction{}, fmt.Errorf("backend keeps no integrity metadata")
+	}
+	if err := st.RebuildChecksums(ie.Array); err != nil {
+		return HealAction{}, fmt.Errorf("rebuild checksums: %w", err)
+	}
+	var da *codegen.DiskArray
+	for i := range p.DiskArrays {
+		if p.DiskArrays[i].Name == ie.Array {
+			da = &p.DiskArrays[i]
+			break
+		}
+	}
+	if da == nil {
+		return HealAction{}, fmt.Errorf("not a plan array")
+	}
+	act := HealAction{Array: ie.Array}
+	if da.Kind == loops.Input {
+		// The pristine source data is in hand; re-stage the whole array.
+		// Dry runs stage no input data, so the blessed (cost-only) index
+		// is already the heal.
+		in, ok := inputs[ie.Array]
+		if !ok || in == nil {
+			if !dryRun {
+				return HealAction{}, fmt.Errorf("input has no source tensor to re-stage from")
+			}
+		} else if !dryRun {
+			a, err := be.Open(ie.Array)
+			if err != nil {
+				return HealAction{}, fmt.Errorf("re-stage: %w", err)
+			}
+			lo := make([]int64, len(da.Dims))
+			if err := a.WriteSection(lo, da.Dims, in.Data()); err != nil {
+				return HealAction{}, fmt.Errorf("re-stage: %w", err)
+			}
+		}
+		act.Method = "restage"
+	} else {
+		prod, ok := ProducerUnit(p, ie.Array)
+		if !ok {
+			return HealAction{}, fmt.Errorf("no producer unit writes it")
+		}
+		if prod < cp.Item || (prod == cp.Item && cp.Iter > 0) {
+			*cp = Checkpoint{Item: prod}
+		}
+		act.Method = "recompute"
+	}
+	if err := disk.SyncBackend(be); err != nil {
+		return HealAction{}, fmt.Errorf("sync healed index: %w", err)
+	}
+	act.Resume = *cp
+	return act, nil
 }

@@ -64,6 +64,21 @@ type Config struct {
 	// PersistentOps is the width of the persistent window; values
 	// < 1 mean 1.
 	PersistentOps int64
+	// BitFlipRate is the per-read probability of flipping one stored
+	// bit beneath the backend's checksum layer before the read — bit
+	// rot. The read then fails verification (disk.IntegrityError), so
+	// detection is immediate and attributable. Requires a backend whose
+	// arrays implement disk.BitFlipper; silently skipped otherwise.
+	BitFlipRate float64
+	// LostRate is the per-write probability of a lost write: the
+	// operation reports success and the checksum index advances, but
+	// the medium keeps the previous bytes. Requires disk.SilentWriter.
+	LostRate float64
+	// SilentTornRate is the per-write probability of a torn write that
+	// reports success: only the leading half of the section's rows
+	// persist, while the whole write is acknowledged and indexed.
+	// Requires disk.SilentWriter.
+	SilentTornRate float64
 }
 
 func (c Config) maxConsecutive() int {
@@ -95,6 +110,15 @@ func (c Config) String() string {
 	if c.MaxConsecutive > 0 {
 		s += fmt.Sprintf(",maxconsec=%d", c.MaxConsecutive)
 	}
+	if c.BitFlipRate > 0 {
+		s += fmt.Sprintf(",bitflip=%g", c.BitFlipRate)
+	}
+	if c.LostRate > 0 {
+		s += fmt.Sprintf(",lost=%g", c.LostRate)
+	}
+	if c.SilentTornRate > 0 {
+		s += fmt.Sprintf(",silenttorn=%g", c.SilentTornRate)
+	}
 	return s
 }
 
@@ -106,14 +130,27 @@ type Counts struct {
 	Torn           int64   // torn writes injected
 	LatencySpikes  int64   // latency spikes injected
 	LatencySeconds float64 // total modelled spike seconds
+	BitFlips       int64   // silent bit flips applied
+	LostWrites     int64   // silent lost writes applied
+	SilentTorn     int64   // silent torn writes applied
 }
 
-// Faults is the total number of injected errors of any kind.
+// Faults is the total number of injected errors of any kind. Silent
+// corruptions are not errors; see Silent.
 func (c Counts) Faults() int64 { return c.Transient + c.Persistent + c.Torn }
 
+// Silent is the total number of silent corruptions applied: damage the
+// injector planted without returning an error, detectable only by the
+// backend's checksum verification.
+func (c Counts) Silent() int64 { return c.BitFlips + c.LostWrites + c.SilentTorn }
+
 func (c Counts) String() string {
-	return fmt.Sprintf("ops=%d transient=%d torn=%d persistent=%d latency=%d (%.3fs)",
+	s := fmt.Sprintf("ops=%d transient=%d torn=%d persistent=%d latency=%d (%.3fs)",
 		c.Ops, c.Transient, c.Torn, c.Persistent, c.LatencySpikes, c.LatencySeconds)
+	if c.Silent() > 0 {
+		s += fmt.Sprintf(" silent: bitflip=%d lost=%d silenttorn=%d", c.BitFlips, c.LostWrites, c.SilentTorn)
+	}
+	return s
 }
 
 // Injector is a disk.Backend whose arrays inject faults per a Config
@@ -133,6 +170,9 @@ type Injector struct {
 	mTorn       *obs.Counter
 	mSpikes     *obs.Counter
 	hLatency    *obs.Histogram
+	mBitFlip    *obs.Counter
+	mLost       *obs.Counter
+	mSilentTorn *obs.Counter
 }
 
 // Wrap returns a fault-injecting view of be following cfg's schedule.
@@ -195,6 +235,24 @@ func (in *Injector) ResetStats() { in.Inner().ResetStats() }
 // Close closes the inner backend.
 func (in *Injector) Close() error { return in.Inner().Close() }
 
+// Reopen reopens the wrapped backend when it supports reopening,
+// swapping the rebuilt backend in underneath while the fault schedule
+// (ordinal, streak, counts) keeps running — so exec.RunResilient's
+// reopen probe works through the injector. A backend without reopen
+// support is kept as is.
+func (in *Injector) Reopen() (disk.Backend, error) {
+	r, ok := in.Inner().(disk.Reopener)
+	if !ok {
+		return in, nil
+	}
+	nbe, err := r.Reopen()
+	if err != nil {
+		return nil, err
+	}
+	in.Swap(nbe)
+	return in, nil
+}
+
 // AsyncCapable reports true: fault arrays implement disk.AsyncArray,
 // upgrading the inner arrays via disk.AsAsync when needed.
 func (in *Injector) AsyncCapable() bool { return true }
@@ -206,6 +264,7 @@ func (in *Injector) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		in.mInjected, in.mTransient, in.mPersistent = nil, nil, nil
 		in.mTorn, in.mSpikes, in.hLatency = nil, nil, nil
+		in.mBitFlip, in.mLost, in.mSilentTorn = nil, nil, nil
 	} else {
 		in.mInjected = reg.Counter("fault.injected")
 		in.mTransient = reg.Counter("fault.injected.transient")
@@ -213,6 +272,9 @@ func (in *Injector) SetMetrics(reg *obs.Registry) {
 		in.mTorn = reg.Counter("fault.injected.torn")
 		in.mSpikes = reg.Counter("fault.latency.spikes")
 		in.hLatency = reg.Histogram("fault.latency.seconds")
+		in.mBitFlip = reg.Counter("fault.injected.bitflip")
+		in.mLost = reg.Counter("fault.injected.lost")
+		in.mSilentTorn = reg.Counter("fault.injected.silenttorn")
 	}
 	in.mu.Unlock()
 	disk.AttachMetrics(in.Inner(), reg)
@@ -224,11 +286,33 @@ const (
 	fTransient
 	fTorn
 	fPersistent
+	fBitFlip    // silent: flip one stored bit before a read
+	fLost       // silent: acknowledge a write the medium drops
+	fSilentTorn // silent: acknowledge a write that only half persists
+)
+
+// Schedule salts, one per independent probability draw.
+const (
+	saltLatency    = 0x1a7e
+	saltTorn       = 0x70f2
+	saltTransient  = 0xfa17
+	saltBitFlip    = 0xb17f
+	saltLost       = 0x105e
+	saltSilentTorn = 0x51fe
+	saltBitPick    = 0xb17b
 )
 
 // decide advances the schedule by one operation and returns the fault
-// kind to inject. write selects whether torn writes are eligible.
-func (in *Injector) decide(write bool) int {
+// kind to inject plus the operation's ordinal (which seeds any
+// per-operation detail draws, e.g. which bit to flip). write selects
+// whether the write-only kinds are eligible.
+//
+// Silent kinds are decided here but tallied by recordSilent only once
+// actually applied: they need backend capabilities (disk.BitFlipper,
+// disk.SilentWriter) the wrapped backend may lack, and an unapplied
+// corruption must not be counted. They return success, so they neither
+// feed nor reset the consecutive-error streak.
+func (in *Injector) decide(write bool) (int, int64) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	ord := in.ord
@@ -242,10 +326,10 @@ func (in *Injector) decide(write bool) int {
 		in.inc(in.mInjected)
 		in.inc(in.mPersistent)
 		in.streak = 0
-		return fPersistent
+		return fPersistent, ord
 	}
 
-	if in.cfg.LatencyRate > 0 && in.frac(ord, 0x1a7e) < in.cfg.LatencyRate {
+	if in.cfg.LatencyRate > 0 && in.frac(ord, saltLatency) < in.cfg.LatencyRate {
 		in.counts.LatencySpikes++
 		in.counts.LatencySeconds += in.cfg.LatencySeconds
 		in.inc(in.mSpikes)
@@ -256,26 +340,53 @@ func (in *Injector) decide(write bool) int {
 		// through so the same ordinal can still fault.
 	}
 
+	if !write && in.cfg.BitFlipRate > 0 && in.frac(ord, saltBitFlip) < in.cfg.BitFlipRate {
+		return fBitFlip, ord
+	}
+	if write && in.cfg.LostRate > 0 && in.frac(ord, saltLost) < in.cfg.LostRate {
+		return fLost, ord
+	}
+	if write && in.cfg.SilentTornRate > 0 && in.frac(ord, saltSilentTorn) < in.cfg.SilentTornRate {
+		return fSilentTorn, ord
+	}
+
 	if in.streak >= in.cfg.maxConsecutive() {
 		in.streak = 0
-		return fNone
+		return fNone, ord
 	}
-	if write && in.cfg.TornRate > 0 && in.frac(ord, 0x70f2) < in.cfg.TornRate {
+	if write && in.cfg.TornRate > 0 && in.frac(ord, saltTorn) < in.cfg.TornRate {
 		in.counts.Torn++
 		in.inc(in.mInjected)
 		in.inc(in.mTorn)
 		in.streak++
-		return fTorn
+		return fTorn, ord
 	}
-	if in.cfg.Rate > 0 && in.frac(ord, 0xfa17) < in.cfg.Rate {
+	if in.cfg.Rate > 0 && in.frac(ord, saltTransient) < in.cfg.Rate {
 		in.counts.Transient++
 		in.inc(in.mInjected)
 		in.inc(in.mTransient)
 		in.streak++
-		return fTransient
+		return fTransient, ord
 	}
 	in.streak = 0
-	return fNone
+	return fNone, ord
+}
+
+// recordSilent tallies an applied silent corruption.
+func (in *Injector) recordSilent(kind int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	switch kind {
+	case fBitFlip:
+		in.counts.BitFlips++
+		in.inc(in.mBitFlip)
+	case fLost:
+		in.counts.LostWrites++
+		in.inc(in.mLost)
+	case fSilentTorn:
+		in.counts.SilentTorn++
+		in.inc(in.mSilentTorn)
+	}
 }
 
 func (in *Injector) inc(c *obs.Counter) {
@@ -286,12 +397,19 @@ func (in *Injector) inc(c *obs.Counter) {
 
 // frac maps (seed, ordinal, salt) to a uniform [0,1) via splitmix64.
 func (in *Injector) frac(ord int64, salt uint64) float64 {
+	return float64(in.pick(ord, salt)>>11) / float64(uint64(1)<<53)
+}
+
+// pick maps (seed, ordinal, salt) to a uniform uint64 via splitmix64 —
+// the raw draw behind frac, also used for per-operation details such as
+// which bit a bit flip targets.
+func (in *Injector) pick(ord int64, salt uint64) uint64 {
 	x := in.cfg.Seed ^ uint64(ord)*0x9e3779b97f4a7c15 ^ salt
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x ^= x >> 31
-	return float64(x>>11) / float64(uint64(1)<<53)
+	return x
 }
 
 // faultArray injects faults around one array's section I/O.
@@ -319,10 +437,51 @@ func tornPrefix(shape []int64) ([]int64, int64) {
 	return pre, n
 }
 
+// flipBit applies a silent bit flip beneath the backend's checksum
+// layer, targeting the first element of the section about to be read so
+// that the very next verified read detects the rot. Returns whether the
+// flip was applied (the backend must implement disk.BitFlipper).
+func (f *faultArray) flipBit(lo []int64, ord int64) bool {
+	bf, ok := f.a.(disk.BitFlipper)
+	if !ok {
+		return false
+	}
+	elem := disk.FlatOffset(f.a.Dims(), lo)
+	bit := uint(f.in.pick(ord, saltBitPick) % 64)
+	if bf.FlipBit(elem, bit) != nil {
+		return false
+	}
+	f.in.recordSilent(fBitFlip)
+	return true
+}
+
+// writeSilent applies a silent write corruption when the backend can
+// model one, reporting whether it was applied (otherwise the caller
+// performs an honest write).
+func (f *faultArray) writeSilent(lo, shape []int64, buf []float64, kind int) (bool, error) {
+	sw, ok := f.a.(disk.SilentWriter)
+	if !ok {
+		return false, nil
+	}
+	mode := disk.SilentLost
+	if kind == fSilentTorn {
+		mode = disk.SilentTorn
+	}
+	err := sw.WriteSectionSilent(lo, shape, buf, mode)
+	if err == nil {
+		f.in.recordSilent(kind)
+	}
+	return true, err
+}
+
 func (f *faultArray) ReadSection(lo, shape []int64, buf []float64) error {
-	switch f.in.decide(false) {
+	kind, ord := f.in.decide(false)
+	switch kind {
 	case fPersistent:
 		return disk.NewIOError("read", f.a.Name(), lo, shape, false, ErrPersistent)
+	case fBitFlip:
+		f.flipBit(lo, ord)
+		return f.a.ReadSection(lo, shape, buf)
 	case fTransient:
 		// Perform-then-fail: the backend is charged and the buffer
 		// poisoned, modelling a completed transfer with corrupt
@@ -340,9 +499,15 @@ func (f *faultArray) ReadSection(lo, shape []int64, buf []float64) error {
 }
 
 func (f *faultArray) WriteSection(lo, shape []int64, buf []float64) error {
-	switch f.in.decide(true) {
+	kind, _ := f.in.decide(true)
+	switch kind {
 	case fPersistent:
 		return disk.NewIOError("write", f.a.Name(), lo, shape, false, ErrPersistent)
+	case fLost, fSilentTorn:
+		if applied, err := f.writeSilent(lo, shape, buf, kind); applied {
+			return err
+		}
+		return f.a.WriteSection(lo, shape, buf)
 	case fTorn:
 		pre, n := tornPrefix(shape)
 		if n > 0 {
@@ -383,10 +548,14 @@ func (c *faultCompletion) Await() error {
 }
 
 func (f *faultArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion {
-	switch f.in.decide(false) {
+	kind, ord := f.in.decide(false)
+	switch kind {
 	case fPersistent:
 		ioe := disk.NewIOError("read", f.a.Name(), lo, shape, false, ErrPersistent)
 		return &faultCompletion{apply: func(error) error { return ioe }}
+	case fBitFlip:
+		f.flipBit(lo, ord)
+		return f.aa.ReadAsync(lo, shape, buf)
 	case fTransient:
 		ioe := disk.NewIOError("read", f.a.Name(), lo, shape, true, ErrInjected)
 		return &faultCompletion{
@@ -407,10 +576,20 @@ func (f *faultArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion
 }
 
 func (f *faultArray) WriteAsync(lo, shape []int64, buf []float64) disk.Completion {
-	switch f.in.decide(true) {
+	kind, _ := f.in.decide(true)
+	switch kind {
 	case fPersistent:
 		ioe := disk.NewIOError("write", f.a.Name(), lo, shape, false, ErrPersistent)
 		return &faultCompletion{apply: func(error) error { return ioe }}
+	case fLost, fSilentTorn:
+		if _, ok := f.a.(disk.SilentWriter); ok {
+			k := kind
+			return disk.Go(func() error {
+				_, err := f.writeSilent(lo, shape, buf, k)
+				return err
+			})
+		}
+		return f.aa.WriteAsync(lo, shape, buf)
 	case fTorn:
 		ioe := disk.NewIOError("write", f.a.Name(), lo, shape, true, ErrTorn)
 		pre, n := tornPrefix(shape)

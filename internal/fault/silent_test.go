@@ -1,0 +1,208 @@
+package fault_test
+
+// Silent-corruption chaos and crash-point sweeps. These close the loop
+// the acceptance criteria name: whatever mix of silent bit flips, lost
+// writes, and torn-returning-success writes a seed produces, the
+// verified-read layer must detect every one, the heal path must absorb
+// them, and the run must complete bit-identically on BOTH engines with
+// identical integrity-counter snapshots; and a process kill at any
+// operation boundary must leave the FileStore manifest-consistent — a
+// restart recovers and a scrub finds zero defects.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/tensor"
+)
+
+// TestChaosSilentBitIdentical runs the same seeded silent-corruption
+// schedule against the simulator and the FileStore. Serial execution
+// pins the injector's ordinal stream, so the two chains see identical
+// corruption; detect→heal must leave identical outputs and identical
+// lifetime integrity counters.
+func TestChaosSilentBitIdentical(t *testing.T) {
+	plan, inputs, cfg := chaosPlan(t)
+	ref, err := exec.Run(plan, disk.NewSim(cfg.Disk, true), inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var totalSilent, totalDetected int64
+	for seed := uint64(1); seed <= 3; seed++ {
+		fcfg := fault.Config{
+			Seed:           seed,
+			BitFlipRate:    0.01,
+			LostRate:       0.01,
+			SilentTornRate: 0.01,
+		}
+		run := func(be disk.Backend) (*exec.Result, *exec.RecoveryReport, *fault.Injector) {
+			inj := fault.Wrap(be, fcfg)
+			res, rep, err := exec.RunResilient(nil, plan, inj, inputs, exec.Options{
+				Retry: disk.DefaultRetryPolicy(),
+			}, exec.RecoveryOptions{MaxRestarts: 50})
+			if err != nil {
+				t.Fatalf("seed %d %T: %v\nreport: %s", seed, be, err, rep)
+			}
+			return res, rep, inj
+		}
+
+		simRes, simRep, simInj := run(disk.NewSim(cfg.Disk, true))
+		fs, err := disk.NewFileStore(t.TempDir(), cfg.Disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsRes, fsRep, fsInj := run(fs)
+
+		// The injector streams must agree op for op: any divergence means
+		// the engines behaved differently under the same corruption.
+		sc, fc := simInj.Counts(), fsInj.Counts()
+		if sc != fc {
+			t.Fatalf("seed %d: injector streams diverged:\nsim       %s\nfilestore %s", seed, sc, fc)
+		}
+		if simRep.IntegrityDetected != fsRep.IntegrityDetected ||
+			simRep.IntegrityHealed != fsRep.IntegrityHealed ||
+			simRep.Restarts != fsRep.Restarts {
+			t.Fatalf("seed %d: recovery accounts diverged:\nsim       %s\nfilestore %s", seed, simRep, fsRep)
+		}
+		simInteg := simInj.Inner().(*disk.Sim).Integrity()
+		live, ok := fsInj.Inner().(*disk.FileStore)
+		if !ok {
+			t.Fatalf("seed %d: injector no longer wraps a FileStore (%T)", seed, fsInj.Inner())
+		}
+		fsInteg := live.Integrity()
+		if simInteg.Detected != fsInteg.Detected {
+			t.Fatalf("seed %d: integrity counters diverged: sim %+v, filestore %+v", seed, simInteg, fsInteg)
+		}
+		for name, want := range ref.Outputs {
+			if d := tensor.MaxAbsDiff(simRes.Outputs[name], want); d != 0 {
+				t.Fatalf("seed %d: sim output %q off by %g", seed, name, d)
+			}
+			if d := tensor.MaxAbsDiff(fsRes.Outputs[name], want); d != 0 {
+				t.Fatalf("seed %d: filestore output %q off by %g", seed, name, d)
+			}
+		}
+		// A healed store holds only good blocks: a scrub right after must
+		// be clean (the detections above happened mid-run and were healed).
+		srep, err := disk.Scrub(live, disk.ScrubOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: scrub: %v", seed, err)
+		}
+		if !srep.OK() {
+			t.Fatalf("seed %d: healed store still has defects:\n%+v", seed, srep.Defects)
+		}
+		live.Close()
+		totalSilent += sc.Silent()
+		totalDetected += simRep.IntegrityDetected
+	}
+	if totalSilent == 0 {
+		t.Fatal("no silent corruption injected across any seed; rates too low for this plan")
+	}
+	if totalDetected == 0 {
+		t.Fatal("silent corruption injected but never surfaced as an integrity fault")
+	}
+}
+
+// TestChaosCrashPoint kills the run at every operation ordinal (a real
+// process kill: the crashed store is abandoned without Close) and
+// restarts against the surviving files. A kill after staging recovers
+// to the bit-identical result; a kill during staging is not restartable
+// but must still leave the store manifest-consistent. Either way a
+// post-mortem scrub finds zero defects.
+func TestChaosCrashPoint(t *testing.T) {
+	plan, inputs, cfg := chaosPlan(t)
+	ref, err := exec.Run(plan, disk.NewSim(cfg.Disk, true), inputs, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discovery run: count the op ordinals a full resilient run spans.
+	fs0, err := disk.NewFileStore(t.TempDir(), cfg.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := fault.WrapCrash(fs0, 1<<30)
+	if _, _, err := exec.RunResilient(nil, plan, probe, inputs, exec.Options{}, exec.RecoveryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	fs0.Close()
+	if total < 10 {
+		t.Fatalf("plan spans only %d ops; sweep is meaningless", total)
+	}
+	step := int64(1)
+	if testing.Short() {
+		step = total/8 + 1
+	}
+
+	recovered, unstaged := 0, 0
+	for at := int64(0); at < total; at += step {
+		dir := t.TempDir()
+		fs, err := disk.NewFileStore(dir, cfg.Disk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash := fault.WrapCrash(fs, at)
+		var live *disk.FileStore
+		res, rep, err := exec.RunResilient(nil, plan, crash, inputs, exec.Options{
+			Retry: disk.DefaultRetryPolicy(),
+		}, exec.RecoveryOptions{
+			Reopen: func() (disk.Backend, error) {
+				// The restarted process opens the surviving files bare: the
+				// crashed wrapper (and its dead store) is abandoned unclosed.
+				nfs, err := disk.NewFileStore(dir, cfg.Disk)
+				if err != nil {
+					return nil, err
+				}
+				live = nfs
+				return nfs, nil
+			},
+		})
+		if err != nil {
+			// Only a crash before staging completed may fail: there is no
+			// checkpoint to resume from. The store must still reopen
+			// manifest-consistent.
+			var re *exec.RunError
+			if errors.As(err, &re) && re.Staged {
+				t.Fatalf("at=%d: staged crash did not recover: %v\nreport: %s", at, err, rep)
+			}
+			unstaged++
+			post, oerr := disk.NewFileStore(dir, cfg.Disk)
+			if oerr != nil {
+				t.Fatalf("at=%d: store not reopenable after staging crash: %v", at, oerr)
+			}
+			assertScrubClean(t, at, post)
+			post.Close()
+			continue
+		}
+		recovered++
+		if rep.Restarts == 0 || live == nil {
+			t.Fatalf("at=%d: crash did not force a restart (report: %s)", at, rep)
+		}
+		if d := tensor.MaxAbsDiff(res.Outputs["B"], ref.Outputs["B"]); d != 0 {
+			t.Fatalf("at=%d: recovered output differs by %g", at, d)
+		}
+		assertScrubClean(t, at, live)
+		live.Close()
+	}
+	if recovered == 0 {
+		t.Fatal("no crash point recovered")
+	}
+	t.Logf("swept %d crash points (step %d): %d recovered, %d unstaged", (total+step-1)/step, step, recovered, unstaged)
+}
+
+// assertScrubClean fails the test if the store holds any block whose
+// contents disagree with its checksum index.
+func assertScrubClean(t *testing.T, at int64, be disk.Backend) {
+	t.Helper()
+	rep, err := disk.Scrub(be, disk.ScrubOptions{})
+	if err != nil {
+		t.Fatalf("at=%d: scrub: %v", at, err)
+	}
+	if !rep.OK() {
+		t.Fatalf("at=%d: store has defects after recovery:\n%+v", at, rep.Defects)
+	}
+}

@@ -171,11 +171,14 @@ var stringMatchFns = map[string]bool{
 
 // IOErr flags error classification that bypasses errors.Is/errors.As:
 // equality comparisons between error-shaped values (except against nil),
-// and strings-package matching on Error() text. Both break as soon as an
-// error is wrapped with %w — which every layer boundary in this repo
-// does — so a retry or recovery decision made that way silently stops
-// firing. Test files are exempt: asserting on message text is how tests
-// pin attribution formats.
+// strings-package matching on Error() text, and direct type assertions
+// on error-shaped values. All three break as soon as an error is wrapped
+// with %w — which every layer boundary in this repo does; in particular
+// disk.IntegrityError always arrives wrapped inside a non-retryable
+// disk.IOError, so only errors.As can see it — and a retry, recovery, or
+// heal decision made any other way silently stops firing. Test files are
+// exempt: asserting on message text is how tests pin attribution
+// formats.
 var IOErr = &Analyzer{
 	Name: "ioerr",
 	Doc:  "classify errors with errors.Is/As, not == or Error() string matching",
@@ -234,6 +237,12 @@ var IOErr = &Analyzer{
 						if isErrorCall(arg) {
 							p.Reportf(f, arg.Pos(), "error classified by Error() string matching; use errors.Is/As on the typed error")
 						}
+					}
+				case *ast.TypeAssertExpr:
+					// n.Type == nil is a type switch's x.(type) clause,
+					// which names the error once and is fine.
+					if n.Type != nil && errish(n.X) {
+						p.Reportf(f, n.Pos(), "type assertion on an error; use errors.As so typed classification (disk.IOError, disk.IntegrityError) survives wrapping")
 					}
 				}
 				return true

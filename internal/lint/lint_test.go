@@ -231,3 +231,39 @@ func show(err error, s string) string {
 func cmp(a, b int) bool { return a == b }
 `), "ioerr")
 }
+
+func TestIOErrTypeAssert(t *testing.T) {
+	// A direct type assertion on an error-shaped value misses wrapped
+	// errors (disk.IntegrityError always arrives inside an IOError).
+	diags := check(t, "internal/exec", `package exec
+type IntegrityError struct{}
+func (*IntegrityError) Error() string { return "" }
+func classify(err error) bool {
+	_, ok := err.(*IntegrityError)
+	return ok
+}
+`)
+	wantDiag(t, diags, "ioerr", "errors.As")
+
+	// Type switches name the error once per arm; they are not flagged.
+	wantNone(t, check(t, "internal/exec", `package exec
+func kind(err error) int {
+	switch err.(type) {
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}
+`), "ioerr")
+
+	// Assertions on non-error-shaped values (capability probes) are the
+	// backbone of the disk wrapper chain and are out of scope.
+	wantNone(t, check(t, "internal/disk", `package disk
+type Syncer interface{ Sync() error }
+func probe(be interface{}) bool {
+	_, ok := be.(Syncer)
+	return ok
+}
+`), "ioerr")
+}

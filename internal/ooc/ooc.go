@@ -59,9 +59,19 @@ type Options struct {
 	Retry *disk.RetryPolicy
 	// Recovery, if non-nil, executes through exec.RunResilient: a
 	// persistent fault rolls the run back to its last checkpoint and
-	// resumes, within the configured restart budget. The account of what
+	// resumes, within the configured restart budget; a verified-read
+	// checksum failure is healed (inputs re-staged, intermediates
+	// recomputed from their producer unit) before resuming. Recovery also
+	// enables the durability discipline: the backend is synced at every
+	// unit barrier before the checkpoint advances. The account of what
 	// recovery did is Result.Recovery.
 	Recovery *exec.RecoveryOptions
+	// Scrub sweeps the backend's checksum index after the run completes,
+	// verifying every block of every array against its stored contents.
+	// The report is Result.Scrub; a defective block does not fail the
+	// contraction — callers inspect the report. Requires a backend with
+	// integrity metadata (FileStore or Sim, possibly wrapped).
+	Scrub bool
 }
 
 // Result reports a contraction run.
@@ -77,6 +87,8 @@ type Result struct {
 	Retry exec.RetryStats
 	// Recovery reports checkpoint restarts (nil unless Options.Recovery).
 	Recovery *exec.RecoveryReport
+	// Scrub is the post-run integrity sweep (nil unless Options.Scrub).
+	Scrub *disk.ScrubReport
 }
 
 // Contract evaluates an einsum-style contraction over arrays resident on
@@ -148,8 +160,16 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline,
-		Retry: res.Retry, Recovery: res.Recovery}, nil
+	out := &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline,
+		Retry: res.Retry, Recovery: res.Recovery}
+	if opt.Scrub {
+		rep, err := disk.Scrub(be, disk.ScrubOptions{Metrics: opt.Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("ooc: post-run scrub: %w", err)
+		}
+		out.Scrub = rep
+	}
+	return out, nil
 }
 
 // parseWithInferredRanges parses the spec and infers every index's extent

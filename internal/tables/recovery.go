@@ -30,6 +30,13 @@ type RecoveryRow struct {
 	Restarts int64 `json:"restarts"`
 	// WastedSeconds is modelled work repeated after rollbacks.
 	WastedSeconds float64 `json:"wasted_seconds"`
+	// SilentInjected counts corruptions the injector planted without an
+	// error (bit flips, lost writes, torn-returning-success); detection is
+	// the checksum layer's job. IntegrityDetected/IntegrityHealed count the
+	// verified-read failures recovery saw and resolved.
+	SilentInjected    int64 `json:"silent_injected,omitempty"`
+	IntegrityDetected int64 `json:"integrity_detected,omitempty"`
+	IntegrityHealed   int64 `json:"integrity_healed,omitempty"`
 }
 
 // RecoveryStudy synthesizes each size with DCS and measures the generated
@@ -75,6 +82,10 @@ func RecoveryStudy(sizes []Size, fcfg fault.Config, opt Options) ([]RecoveryRow,
 			Retries:        rep.Retries,
 			Restarts:       rep.Restarts,
 			WastedSeconds:  rep.WastedSeconds,
+
+			SilentInjected:    c.Silent(),
+			IntegrityDetected: rep.IntegrityDetected,
+			IntegrityHealed:   rep.IntegrityHealed,
 		}
 		if row.CleanSeconds > 0 {
 			row.OverheadPct = 100 * (row.FaultySeconds - row.CleanSeconds) / row.CleanSeconds

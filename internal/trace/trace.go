@@ -192,6 +192,11 @@ func (r *Recorder) ResetStats() {
 // Close implements disk.Backend.
 func (r *Recorder) Close() error { return r.inner.Close() }
 
+// Inner implements disk.InnerBackend, so integrity probes (disk.Scrub,
+// disk.SyncBackend, exec's heal path) reach the real store through a
+// traced chain.
+func (r *Recorder) Inner() disk.Backend { return r.inner }
+
 type tracedArray struct {
 	rec   *Recorder
 	inner disk.Array

@@ -18,12 +18,14 @@
 //     structure match the plan's declared footprint, the total fits the
 //     machine's memory, every disk transfer meets the minimum block size,
 //     and tile sizes are in range;
-//   - schedule legality (S1–S4): buffer state is closed under top-level
+//   - schedule legality (S1–S5): buffer state is closed under top-level
 //     work units (the barrier discipline the pipelined engine and
 //     exec.Checkpointable rely on), every disk read is covered by earlier
 //     writes (RAW), overlapping writes are separated by a read-back (WAW),
-//     and a resume checkpoint (Options.Resume) names a real unit boundary
-//     of a checkpointable plan.
+//     a resume checkpoint (Options.Resume) names a real unit boundary
+//     of a checkpointable plan, and every disk intermediate the plan
+//     reads has a producer unit at or before its first reader — the
+//     static counterpart of exec's integrity-heal rollback.
 //
 // Check returns a Report of structured Diagnostics rather than a bare
 // error so callers can assert on specific rule IDs.
@@ -31,6 +33,7 @@ package verify
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/codegen"
@@ -63,6 +66,7 @@ var Rules = []Rule{
 	{"S2", "disk reads covered by prior writes (RAW)", "§3 (producer before consumer, at disk granularity)"},
 	{"S3", "overlapping writes separated by read-back (WAW)", "§3 (accumulation clobber)"},
 	{"S4", "resume checkpoint aligned to a unit boundary", "§3 ordering; DESIGN.md §8 (recovery restarts at unit granularity)"},
+	{"S5", "disk intermediates have a producer unit at or before their first reader", "DESIGN.md §9 (integrity recovery recomputes rotten intermediates from the producer unit)"},
 }
 
 // RuleByID returns the rule with the given ID (zero Rule if unknown).
@@ -202,7 +206,76 @@ func CheckOpts(p *codegen.Plan, opt Options) *Report {
 	c.lca()
 	c.schedule()
 	c.resume()
+	c.producers()
 	return c.rep
+}
+
+// producers enforces S5: every non-input disk array the plan reads must
+// have a producer unit — a top-level item whose subtree writes it (an
+// init pass counts) — at or before the item that first reads it. This is
+// the static guarantee behind exec's integrity recovery: when a verified
+// read finds a rotten intermediate, the heal path rolls the resume point
+// back to exec.ProducerUnit and re-executes from there, which only
+// recreates the data if such a unit exists above the reader.
+func (c *checker) producers() {
+	firstRead := map[string]int{}
+	firstWrite := map[string]int{}
+	for i, n := range c.p.Body {
+		reads, writes := map[string]bool{}, map[string]bool{}
+		collectUnitIO(n, reads, writes)
+		for a := range reads {
+			if _, ok := firstRead[a]; !ok {
+				firstRead[a] = i
+			}
+		}
+		for a := range writes {
+			if _, ok := firstWrite[a]; !ok {
+				firstWrite[a] = i
+			}
+		}
+	}
+	names := make([]string, 0, len(firstRead))
+	for a := range firstRead {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		if da, ok := c.arrays[a]; !ok || da.Kind == loops.Input {
+			// Inputs are healed by re-staging from the source tensor, not
+			// by recomputation; undeclared arrays are DF territory.
+			continue
+		}
+		r := firstRead[a]
+		w, written := firstWrite[a]
+		switch {
+		case !written:
+			c.diag("S5", a, fmt.Sprintf("item=%d", r),
+				"read by top-level item %d but no top-level unit writes it; integrity recovery would have no producer unit to recompute it from", r)
+		case w > r:
+			c.diag("S5", a, fmt.Sprintf("item=%d", r),
+				"first read by top-level item %d precedes its producer unit (item %d); integrity recovery cannot roll back to a unit that has not run", r, w)
+		}
+	}
+}
+
+// collectUnitIO gathers the disk arrays a top-level item's subtree reads
+// and writes (the same collection exec's recovery uses to pick a
+// producer unit).
+func collectUnitIO(n codegen.Node, reads, writes map[string]bool) {
+	switch n := n.(type) {
+	case *codegen.Loop:
+		for _, ch := range n.Body {
+			collectUnitIO(ch, reads, writes)
+		}
+	case *codegen.IO:
+		if n.Read {
+			reads[n.Array] = true
+		} else {
+			writes[n.Array] = true
+		}
+	case *codegen.InitPass:
+		writes[n.Array] = true
+	}
 }
 
 // resume enforces S4: a checkpoint a caller plans to restart from must

@@ -556,3 +556,78 @@ func TestVerifyResumeCheckpoints(t *testing.T) {
 		t.Fatalf("resume into non-checkpointable plan not flagged:\n%s", rep)
 	}
 }
+
+// TestVerifyProducerOrdering exercises S5: every disk intermediate (or
+// output) read at the top level needs a producer unit at or before its
+// first reader — the property integrity recovery leans on when it rolls
+// a rotten array back to its producer. A consumer hoisted above its
+// producer, and a consumer whose producer was deleted outright, are both
+// flagged.
+func TestVerifyProducerOrdering(t *testing.T) {
+	// The unfused program keeps T's producer and consumer in separate
+	// top-level units (the fused variant folds them into one, where S5 is
+	// trivially satisfied).
+	prog := loops.TwoIndexUnfused(6, 8)
+	cfg := machine.Small(1 << 20)
+	p := buildProblem(t, prog, cfg)
+	tiles := map[string]int64{"i": 3, "j": 5, "m": 4, "n": 5}
+	unitIO := func(n codegen.Node) (reads, writes map[string]bool) {
+		reads, writes = map[string]bool{}, map[string]bool{}
+		collectUnitIO(n, reads, writes)
+		return
+	}
+	plan := planWith(t, p, tiles, func(plan *codegen.Plan) bool {
+		prodAt, readAt := -1, -1
+		for i, n := range plan.Body {
+			reads, writes := unitIO(n)
+			if writes["T"] && prodAt == -1 {
+				prodAt = i
+			}
+			if reads["T"] && !writes["T"] && readAt == -1 {
+				readAt = i
+			}
+		}
+		return prodAt != -1 && readAt != -1 && prodAt < readAt
+	})
+	if rep := Check(plan); !rep.OK() {
+		t.Fatalf("base plan does not verify:\n%s", rep)
+	}
+	readAt := -1
+	for i, n := range plan.Body {
+		if reads, writes := unitIO(n); reads["T"] && !writes["T"] {
+			readAt = i
+			break
+		}
+	}
+
+	// Hoist the consumer above every unit that writes T.
+	hoisted := *plan
+	hoisted.Body = append([]codegen.Node{plan.Body[readAt]}, plan.Body[:readAt]...)
+	hoisted.Body = append(hoisted.Body, plan.Body[readAt+1:]...)
+	if rep := Check(&hoisted); !rep.Has("S5") {
+		t.Fatalf("consumer before producer not flagged:\n%s", rep)
+	}
+
+	// Delete the producer outright: T is read but never written.
+	orphan := *plan
+	orphan.Body = nil
+	for _, n := range plan.Body {
+		if _, writes := unitIO(n); writes["T"] {
+			continue
+		}
+		orphan.Body = append(orphan.Body, n)
+	}
+	rep := Check(&orphan)
+	if !rep.Has("S5") {
+		t.Fatalf("orphaned consumer not flagged:\n%s", rep)
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if d.Rule == "S5" && d.Array == "T" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("S5 diagnostic does not name the orphaned array:\n%s", rep)
+	}
+}
