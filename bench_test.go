@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -203,7 +204,7 @@ func benchSolver(b *testing.B, strat dcs.Strategy) {
 	b.ResetTimer()
 	var obj float64
 	for i := 0; i < b.N; i++ {
-		res, err := dcs.Solve(p, dcs.Options{Strategy: strat, Seed: 1, MaxEvals: 100000})
+		res, err := dcs.Run(context.Background(), p, dcs.WithStrategy(strat), dcs.WithSeed(1), dcs.WithBudget(100000))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func benchDominance(b *testing.B, disable bool) {
 	var obj float64
 	for i := 0; i < b.N; i++ {
 		p := fourIndexProblem(b, 140, 120, cfg, placement.Options{DisableDominancePruning: disable})
-		res, err := dcs.Solve(p, dcs.Options{Seed: 1, MaxEvals: 100000})
+		res, err := dcs.Run(context.Background(), p, dcs.WithSeed(1), dcs.WithBudget(100000))
 		if err != nil || !res.Feasible {
 			b.Fatalf("solve failed: %v", err)
 		}
@@ -254,7 +255,7 @@ func benchEncoding(b *testing.B, enc nlp.Encoding) {
 	b.ResetTimer()
 	var obj float64
 	for i := 0; i < b.N; i++ {
-		res, err := dcs.Solve(p, dcs.Options{Seed: 1, MaxEvals: 100000})
+		res, err := dcs.Run(context.Background(), p, dcs.WithSeed(1), dcs.WithBudget(100000))
 		if err != nil || !res.Feasible {
 			b.Fatalf("solve failed: %v", err)
 		}
@@ -299,7 +300,7 @@ func benchBlockConstraint(b *testing.B, enforce bool) {
 	b.ResetTimer()
 	var obj float64
 	for i := 0; i < b.N; i++ {
-		res, err := dcs.Solve(p, dcs.Options{Seed: 1, MaxEvals: 100000})
+		res, err := dcs.Run(context.Background(), p, dcs.WithSeed(1), dcs.WithBudget(100000))
 		if err != nil || !res.Feasible {
 			b.Fatalf("solve failed: %v", err)
 		}

@@ -6,6 +6,9 @@
 //	oocbench -pipeline  # add the pipelined-engine study (serial vs overlapped)
 //	oocbench -faults 'seed=9,rate=0.02' -faults-out BENCH_recovery.json
 //	                    # add the fault-recovery study and save it as JSON
+//	oocbench -solver -solver-out BENCH_solver.json -solver-baseline BENCH_solver.json
+//	                    # run the solver study (cold vs portfolio vs warm sweep)
+//	                    # and gate it against the committed baseline
 //
 // Table 2 compares code generation time between the uniform-sampling
 // baseline (full logarithmic grid, brute force) and the DCS approach;
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,7 +26,10 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/loops"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/tables"
 )
 
@@ -38,6 +45,11 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "also measure the pipelined engine: serial vs overlapped I/O critical path")
 		faults    = flag.String("faults", "", "also run the fault-recovery study under this schedule, e.g. 'seed=9,rate=0.02,persistent=50'")
 		faultsOut = flag.String("faults-out", "", "write the fault-recovery study rows as JSON to this file")
+
+		solver         = flag.Bool("solver", false, "also run the solver study: cold vs portfolio vs warm-started sweep")
+		solverOut      = flag.String("solver-out", "", "write the solver study rows as JSON to this file")
+		solverBaseline = flag.String("solver-baseline", "", "gate the solver study against this committed baseline JSON; exit 1 on regression")
+		solverCurves   = flag.String("solver-curves", "", "write the portfolio's per-lane convergence events as JSON lines to this file")
 	)
 	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
@@ -136,6 +148,47 @@ func main() {
 		}
 	}
 
+	runSolver := func() {
+		rows, err := tables.SolverStudy(sizes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatSolver(rows))
+		if *solverOut != "" {
+			raw, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*solverOut, raw, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("solver study saved to %s\n", *solverOut)
+		}
+		if *solverCurves != "" {
+			if err := writeLaneCurves(sizes[0], opt, *solverCurves); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("per-lane convergence curves saved to %s\n", *solverCurves)
+		}
+		if *solverBaseline != "" {
+			raw, err := os.ReadFile(*solverBaseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var base []tables.SolverRow
+			if err := json.Unmarshal(raw, &base); err != nil {
+				log.Fatalf("parse %s: %v", *solverBaseline, err)
+			}
+			if bad := tables.SolverRegressions(rows, base, 0.25); len(bad) != 0 {
+				for _, msg := range bad {
+					log.Printf("REGRESSION: %s", msg)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("solver regression gate green against %s\n", *solverBaseline)
+		}
+	}
+
 	runScaling := func() {
 		workloads, err := tables.ScalingWorkloads()
 		if err != nil {
@@ -174,4 +227,36 @@ func main() {
 	if *faults != "" {
 		runRecovery()
 	}
+	if *solver || *solverOut != "" || *solverBaseline != "" || *solverCurves != "" {
+		runSolver()
+	}
+}
+
+// writeLaneCurves reruns the portfolio synthesis of one size with the
+// convergence recorder attached and writes the event stream — each event
+// tagged with its lane — as JSON for the CI artifact.
+func writeLaneCurves(size tables.Size, opt tables.Options, path string) error {
+	var curve obs.Convergence
+	cfg := opt.Machine
+	if cfg.MemoryLimit == 0 {
+		cfg = machine.OSCItanium2()
+	}
+	_, err := core.SynthesizeOpts(context.Background(), loops.FourIndexAbstract(size.N, size.V),
+		core.WithMachine(cfg),
+		core.WithSeed(opt.Seed),
+		core.WithMaxEvals(opt.DCSEvals),
+		core.WithPortfolio(tables.SolverPortfolioLanes),
+		core.WithConvergence(&curve))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := curve.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

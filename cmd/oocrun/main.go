@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/codegen"
+	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/exec"
 	"repro/internal/fault"
@@ -37,18 +38,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("oocrun: ")
 	var (
-		dir      = flag.String("dir", ".", "directory holding the .dra arrays")
-		spec     = flag.String("spec", "", "contraction, e.g. 'C[i,k] = A[i,j] * B[j,k]'")
-		random   = flag.String("random", "", "stage random arrays first, e.g. 'A[i,j]=200x300,B[j,k]=300x150'")
-		mem      = flag.String("mem", "2g", "memory limit (e.g. 64k, 512m, 2g)")
-		seed     = flag.Int64("seed", 1, "solver / data seed")
-		workers  = flag.Int("workers", 1, "parallel compute workers")
-		pipeline = flag.Bool("pipeline", false, "execute through the asynchronous double-buffered engine (prefetch + write-behind)")
-		verifyP  = flag.Bool("verify", false, "run the static plan verifier before executing; a finding aborts the run")
-		quiet    = flag.Bool("quiet", false, "suppress the synthesized code listing")
-		savePlan = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
-		planFile = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
-		faults   = flag.String("faults", "", "inject a seeded fault schedule, e.g. 'seed=7,rate=0.05,torn=0.02,persistent=200,persistentops=2'")
+		dir       = flag.String("dir", ".", "directory holding the .dra arrays")
+		spec      = flag.String("spec", "", "contraction, e.g. 'C[i,k] = A[i,j] * B[j,k]'")
+		random    = flag.String("random", "", "stage random arrays first, e.g. 'A[i,j]=200x300,B[j,k]=300x150'")
+		mem       = flag.String("mem", "2g", "memory limit (e.g. 64k, 512m, 2g)")
+		seed      = flag.Int64("seed", 1, "solver / data seed")
+		portfolio = flag.Int("portfolio", 1, "race this many independently seeded solver lanes; first feasible convergence wins")
+		workers   = flag.Int("workers", 1, "parallel compute workers")
+		pipeline  = flag.Bool("pipeline", false, "execute through the asynchronous double-buffered engine (prefetch + write-behind)")
+		verifyP   = flag.Bool("verify", false, "run the static plan verifier before executing; a finding aborts the run")
+		quiet     = flag.Bool("quiet", false, "suppress the synthesized code listing")
+		savePlan  = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
+		planFile  = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
+		faults    = flag.String("faults", "", "inject a seeded fault schedule, e.g. 'seed=7,rate=0.05,torn=0.02,persistent=200,persistentops=2'")
 		// recover is a Go builtin; the flag variable takes a suffix.
 		recoverFlag = flag.Bool("recover", false, "retry transient disk faults with backoff and restart from the last checkpoint on persistent ones")
 		scrub       = flag.Bool("scrub", false, "verify every block checksum of every array against the stored data (after the run, or standalone without -spec/-plan); unrepaired defects exit 1")
@@ -188,17 +190,18 @@ func main() {
 
 	rec := trace.NewWithDisk(store, cfg.Disk)
 	res, err := ooc.Contract(rec, *spec, ooc.Options{
-		Machine:  cfg,
-		Seed:     *seed,
-		Workers:  *workers,
-		MaxEvals: 0,
-		Pipeline: *pipeline,
-		Metrics:  obsFlags.Registry(),
-		Tracer:   obsFlags.Tracer(),
-		Verify:   *verifyP,
-		Retry:    retry,
-		Recovery: recovery,
-		Scrub:    *scrub && !*scrubRepair,
+		Machine:   cfg,
+		Seed:      *seed,
+		Portfolio: *portfolio,
+		Workers:   *workers,
+		MaxEvals:  0,
+		Pipeline:  *pipeline,
+		Metrics:   obsFlags.Registry(),
+		Tracer:    obsFlags.Tracer(),
+		Verify:    *verifyP,
+		Retry:     retry,
+		Recovery:  recovery,
+		Scrub:     *scrub && !*scrubRepair,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -224,6 +227,7 @@ func main() {
 	fmt.Printf("%s\n", res.Stats)
 	fmt.Printf("predicted %.2f s, measured (modelled) %.2f s\n",
 		res.Synthesis.Predicted(), res.Stats.Time())
+	printSolver(res.Synthesis)
 	printPipeline(res.Pipeline)
 	printResilience(res.Retry, res.Recovery)
 	fmt.Println("\n== per-array I/O ==")
@@ -236,6 +240,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printSolver reports how the synthesis search went: evaluation count
+// and, for a portfolio run, which lane won the race.
+func printSolver(s *core.Synthesis) {
+	if s == nil || s.SolverLanes == 0 {
+		return
+	}
+	if s.SolverLanes > 1 {
+		fmt.Printf("solver: %d cost evaluations across %d lanes; lane %d won (seed %d, %s)\n",
+			s.SolverEvals, s.SolverLanes, s.WinnerLane, s.WinnerSeed, s.WinnerStrategy)
+		return
+	}
+	fmt.Printf("solver: %d cost evaluations (seed %d, %s)\n",
+		s.SolverEvals, s.WinnerSeed, s.WinnerStrategy)
 }
 
 // printScrub reports a scrub sweep, one line per defective block.

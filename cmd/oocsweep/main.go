@@ -5,6 +5,8 @@
 //	oocsweep -sweep memory  > memory.csv
 //	oocsweep -sweep procs   > procs.csv
 //	oocsweep -sweep size    > size.csv
+//	oocsweep -sweep memory -warm       # incremental re-solve between points
+//	oocsweep -sweep memory -portfolio 4
 package main
 
 import (
@@ -28,6 +30,10 @@ func main() {
 		n     = flag.Int64("n", 140, "N for the four-index workload")
 		v     = flag.Int64("v", 120, "V for the four-index workload")
 		list  = flag.String("points", "", "comma-separated sweep points (GB for memory, counts for procs, N for size)")
+
+		warm      = flag.Bool("warm", false, "warm-start each memory-sweep point from the previous point's solution (incremental re-solve)")
+		patience  = flag.Int("patience", 5000, "with -warm: stop a re-solve after this many evaluations without improvement (0 = full budget)")
+		portfolio = flag.Int("portfolio", 1, "race this many solver lanes per synthesis; first feasible convergence wins")
 	)
 	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
@@ -42,7 +48,10 @@ func main() {
 		}
 	}()
 
-	opt := sweep.Options{Seed: *seed, Evals: *evals, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer()}
+	opt := sweep.Options{
+		Seed: *seed, Evals: *evals, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
+		Warm: *warm, Patience: *patience, Portfolio: *portfolio,
+	}
 	var s sweep.Series
 	var err error
 	switch *kind {

@@ -44,18 +44,41 @@ const (
 	RandomSearch
 )
 
+// strategySpec is a strategy's complete solver configuration — the
+// single source of truth mapping core strategies onto the solver. The
+// synthesis path reads the spec instead of switching on the enum, so the
+// two enums cannot drift (strategy_test.go checks the table is total and
+// covers every solver strategy).
+type strategySpec struct {
+	name string
+	// solverBased: the strategy runs through the dcs solver (as opposed
+	// to the uniform-sampling baseline); solver is its dcs configuration.
+	solverBased bool
+	solver      dcs.Strategy
+}
+
+var strategySpecs = map[Strategy]strategySpec{
+	DCS:                     {name: "DCS", solverBased: true, solver: dcs.DLM},
+	UniformSampling:         {name: "uniform-sampling"},
+	DCSConstrainedAnnealing: {name: "DCS-CSA", solverBased: true, solver: dcs.CSA},
+	RandomSearch:            {name: "random-search", solverBased: true, solver: dcs.RandomSearch},
+}
+
 func (s Strategy) String() string {
-	switch s {
-	case DCS:
-		return "DCS"
-	case UniformSampling:
-		return "uniform-sampling"
-	case DCSConstrainedAnnealing:
-		return "DCS-CSA"
-	case RandomSearch:
-		return "random-search"
+	if sp, ok := strategySpecs[s]; ok {
+		return sp.name
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// SolverStrategy returns the dcs strategy this core strategy configures,
+// and whether the strategy is solver-based at all.
+func (s Strategy) SolverStrategy() (dcs.Strategy, bool) {
+	sp, ok := strategySpecs[s]
+	if !ok || !sp.solverBased {
+		return 0, false
+	}
+	return sp.solver, true
 }
 
 // Request describes one synthesis task.
@@ -100,6 +123,18 @@ type Synthesis struct {
 	GenTime time.Duration
 	// SolverEvals is the number of cost-model evaluations performed.
 	SolverEvals int64
+	// SolverLanes, WinnerLane, WinnerSeed, and WinnerStrategy describe the
+	// portfolio race behind a solver-based synthesis: how many lanes ran
+	// (1 without WithPortfolio, 0 for sampling) and which lane's point was
+	// selected.
+	SolverLanes    int
+	WinnerLane     int
+	WinnerSeed     int64
+	WinnerStrategy string
+	// CandidatesPruned counts placement candidates removed by the
+	// warm-start incumbent lower bound before the solve (0 without
+	// WithWarmStart).
+	CandidatesPruned int
 	// Pipeline selects the asynchronous double-buffered execution engine
 	// for MeasureSim/RunSim/RunFiles (set via WithPipeline);
 	// PipelineDepth bounds its in-flight disk operations.
@@ -124,6 +159,14 @@ type synthExtras struct {
 	metrics  *obs.Registry
 	curve    *obs.Convergence
 	verify   bool
+	// portfolio races k solver lanes; patience stops a search once the
+	// best feasible point stalls; start seeds the solver directly; warm
+	// seeds it from a previous synthesis (and prunes candidates against
+	// its objective as an incumbent bound).
+	portfolio int
+	patience  int
+	start     []int64
+	warm      *Synthesis
 }
 
 // solverObserver composes the user observer and the convergence curve
@@ -134,7 +177,7 @@ func (x synthExtras) solverObserver() dcs.Observer {
 	}
 	return func(e dcs.Event) {
 		x.curve.Record(obs.SolveEvent{
-			Kind: e.Kind, Restart: e.Restart, Evals: e.Evals,
+			Kind: e.Kind, Lane: e.Lane, Restart: e.Restart, Evals: e.Evals,
 			Best: e.Best, Feasible: e.Feasible,
 			MaxViolation: e.MaxViolation, MuNorm: e.MuNorm,
 		})
@@ -172,6 +215,10 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 	if err := req.Machine.Validate(); err != nil {
 		return nil, err
 	}
+	sp, known := strategySpecs[req.Strategy]
+	if !known {
+		return nil, fmt.Errorf("core: unknown strategy %v", req.Strategy)
+	}
 	if req.AutoFuse {
 		req.Program = loops.FuseGreedy(req.Program)
 	}
@@ -185,26 +232,45 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 	}
 	prob := nlp.Build(model)
 
+	// Warm start: remap the previous synthesis's solution into this
+	// problem. When it is still feasible here, its objective is a valid
+	// incumbent — re-enumerate with it as a lower-bound filter, shrinking
+	// the cross-product candidate space, and remap the start into the
+	// pruned problem (the incumbent's own candidates always survive the
+	// filter, so the remap stays complete and feasible).
+	solveStart := extras.start
+	if extras.warm != nil && sp.solverBased {
+		if x0, matched := prob.EncodeAssignment(extras.warm.Assign); matched > 0 {
+			solveStart = x0
+			if prob.Feasible(x0) {
+				popt := req.Placement
+				popt.BoundIncumbent = prob.Objective(x0)
+				if m2, err2 := placement.Enumerate(tree, req.Machine, popt); err2 == nil && m2.BoundPruned > 0 {
+					p2 := nlp.Build(m2)
+					if x2, matched2 := p2.EncodeAssignment(extras.warm.Assign); matched2 == matched && p2.Feasible(x2) {
+						model, prob, solveStart = m2, p2, x2
+					}
+				}
+			}
+		}
+	}
+
 	start := time.Now()
 	var x []int64
 	var evals int64
-	switch req.Strategy {
-	case DCS, DCSConstrainedAnnealing, RandomSearch:
-		strat := dcs.DLM
-		if req.Strategy == DCSConstrainedAnnealing {
-			strat = dcs.CSA
-		}
-		if req.Strategy == RandomSearch {
-			strat = dcs.RandomSearch
-		}
-		res, err := dcs.SolveContext(ctx, prob, dcs.Options{
-			Strategy: strat,
-			Seed:     req.Seed,
-			MaxEvals: req.MaxEvals,
-			MaxTime:  req.MaxTime,
-			Observer: extras.solverObserver(),
-			Metrics:  extras.metrics,
-		})
+	var race dcs.Result
+	if sp.solverBased {
+		res, err := dcs.Run(ctx, prob,
+			dcs.WithStrategy(sp.solver),
+			dcs.WithSeed(req.Seed),
+			dcs.WithBudget(req.MaxEvals),
+			dcs.WithMaxTime(req.MaxTime),
+			dcs.WithStart(solveStart),
+			dcs.WithPatience(extras.patience),
+			dcs.WithPortfolio(extras.portfolio),
+			dcs.WithObserver(extras.solverObserver()),
+			dcs.WithMetrics(extras.metrics),
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +285,8 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 		}
 		x = res.X
 		evals = int64(res.Evals)
-	case UniformSampling:
+		race = res
+	} else {
 		res, err := sampling.Search(prob, req.Sampling)
 		if err != nil {
 			return nil, err
@@ -229,13 +296,22 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 		}
 		x = res.X
 		evals = res.Combos
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", req.Strategy)
 	}
 	if req.AlignTiles > 0 {
 		x = AlignLastDimTiles(prob, x, req.AlignTiles)
 	}
 	genTime := time.Since(start)
+	if extras.metrics != nil {
+		// Self-describing BENCH rows: the snapshot carries the solve's
+		// wall clock, eval count, and race outcome alongside the counters.
+		extras.metrics.Gauge("core.gen_seconds").Set(genTime.Seconds())
+		extras.metrics.Gauge("dcs.result.evals").Set(float64(evals))
+		if sp.solverBased {
+			extras.metrics.Gauge("dcs.portfolio.lanes").Set(float64(race.Lanes))
+			extras.metrics.Gauge("dcs.portfolio.winner_lane").Set(float64(race.WinnerLane))
+			extras.metrics.Gauge("dcs.portfolio.winner_seed").Set(float64(race.WinnerSeed))
+		}
+	}
 
 	plan, err := codegen.Generate(prob, x)
 	if err != nil {
@@ -248,18 +324,26 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 			return nil, fmt.Errorf("core: synthesized plan failed verification: %w", err)
 		}
 	}
-	return &Synthesis{
-		Request:     req,
-		Tree:        tree,
-		Model:       model,
-		Problem:     prob,
-		X:           x,
-		Assign:      prob.Decode(x),
-		Plan:        plan,
-		GenTime:     genTime,
-		SolverEvals: evals,
-		Verify:      rep,
-	}, nil
+	syn := &Synthesis{
+		Request:          req,
+		Tree:             tree,
+		Model:            model,
+		Problem:          prob,
+		X:                x,
+		Assign:           prob.Decode(x),
+		Plan:             plan,
+		GenTime:          genTime,
+		SolverEvals:      evals,
+		CandidatesPruned: model.BoundPruned,
+		Verify:           rep,
+	}
+	if sp.solverBased {
+		syn.SolverLanes = race.Lanes
+		syn.WinnerLane = race.WinnerLane
+		syn.WinnerSeed = race.WinnerSeed
+		syn.WinnerStrategy = race.WinnerStrategy.String()
+	}
+	return syn, nil
 }
 
 // AMPL renders the synthesis problem in the DCS solver's AMPL input

@@ -115,6 +115,44 @@ func WithTracer(tr *obs.Tracer) Option {
 	return func(c *config) { c.tracer = tr }
 }
 
+// WithPortfolio races k independently seeded solver lanes (cycling the
+// DLM, CSA, and random strategies) in deterministic lockstep rounds
+// during solver-based synthesis; the first lane to converge on a
+// feasible point stops the race. The evaluation budget is split across
+// lanes, so total work never exceeds a single-seed solve (k ≤ 1 keeps
+// the plain search).
+func WithPortfolio(k int) Option {
+	return func(c *config) { c.extras.portfolio = k }
+}
+
+// WithStart seeds the solver's first restart with a raw decision vector
+// (clamped to the problem bounds). Most callers want WithWarmStart,
+// which remaps a previous synthesis instead of assuming an identical
+// encoding.
+func WithStart(x []int64) Option {
+	return func(c *config) { c.extras.start = x }
+}
+
+// WithWarmStart seeds the solver from a previous synthesis of the same
+// program shape: the prior solution's tile sizes and placement choices
+// are remapped into the new problem (by loop-index name and candidate
+// label) and used as the starting point. When the remapped point is
+// still feasible, its objective additionally acts as an incumbent: the
+// placement enumeration prunes every candidate whose analytic cost lower
+// bound already exceeds it. This is what lets a sweep over memory limits
+// or machine models re-solve incrementally instead of cold.
+func WithWarmStart(prev *Synthesis) Option {
+	return func(c *config) { c.extras.warm = prev }
+}
+
+// WithPatience stops a solver-based synthesis once a feasible point
+// exists and no improvement was recorded for n cost evaluations — the
+// deterministic early stop that makes warm-started re-solves finish far
+// under budget (0 disables).
+func WithPatience(n int) Option {
+	return func(c *config) { c.extras.patience = n }
+}
+
 // WithVerify runs the static plan verifier (internal/verify) over the
 // generated plan before returning: dataflow, resource, and schedule
 // legality are re-derived from the plan itself, independently of the

@@ -11,7 +11,7 @@ import (
 func TestSolveContextPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := SolveContext(ctx, quadProblem{}, Options{Seed: 1, MaxEvals: 20000}); err == nil {
+	if _, err := Run(ctx, quadProblem{}, WithSeed(1), WithBudget(20000)); err == nil {
 		t.Fatal("pre-cancelled solve should report it evaluated nothing")
 	}
 }
@@ -22,7 +22,7 @@ func TestSolveContextDeadlineGraceful(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	res, err := SolveContext(ctx, quadProblem{}, Options{Seed: 13, MaxEvals: 1 << 30})
+	res, err := Run(ctx, quadProblem{}, WithSeed(13), WithBudget(1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,9 @@ type Event struct {
 	// Kind is "restart" (a new start point begins), "improvement" (a new
 	// best feasible point was recorded), or "final" (the search ended).
 	Kind string
+	// Lane is the portfolio lane the event comes from (0 for a
+	// single-lane solve).
+	Lane int
 	// Restart is the 1-based restart the event occurred in.
 	Restart int
 	// Evals is the evaluation count at the event.
@@ -129,12 +132,33 @@ type Options struct {
 	MuGrowth float64
 	// Start, if non-nil, seeds the first restart.
 	Start []int64
+	// Patience, when positive, stops the search once a feasible point
+	// exists and no improvement has been recorded for that many
+	// evaluations — the deterministic early-stop behind warm-started
+	// incremental re-solves.
+	Patience int
+	// Portfolio, when > 1, races that many independently seeded lanes
+	// (cycling DLM/CSA/random strategies) in lockstep rounds on a
+	// goroutine pool; the first lane to converge on a feasible point
+	// stops the race and the best boundary snapshot wins (deterministic
+	// seed-order tie-break). The evaluation budget is split across lanes.
+	Portfolio int
 	// Observer, if non-nil, receives per-restart, per-improvement, and
 	// final events — the data behind a convergence curve.
 	Observer Observer
 	// Metrics, if non-nil, receives dcs.evals / dcs.restarts /
 	// dcs.improvements counters.
 	Metrics *obs.Registry
+
+	// gate, when non-nil, is invoked every gateEvery evaluations with a
+	// snapshot of the lane state; returning false stops the search at
+	// that boundary. It is the portfolio driver's lockstep hook — the
+	// stop decision stays a pure function of eval counts, never of
+	// wall-clock, which is what keeps racing deterministic.
+	gate      func(laneSnapshot) bool
+	gateEvery int
+	// lane tags this solve's observer events with a portfolio lane index.
+	lane int
 }
 
 func (o Options) withDefaults() Options {
@@ -163,18 +187,20 @@ type Result struct {
 	Evals int
 	// Restarts actually performed.
 	Restarts int
+	// Lanes is the number of portfolio lanes raced (1 for a plain solve);
+	// WinnerLane, WinnerSeed, and WinnerStrategy identify the lane whose
+	// point was selected.
+	Lanes          int
+	WinnerLane     int
+	WinnerSeed     int64
+	WinnerStrategy Strategy
 }
 
-// Solve minimizes the problem.
-func Solve(p Problem, opt Options) (Result, error) {
-	return SolveContext(context.Background(), p, opt)
-}
-
-// SolveContext minimizes the problem under a context. Cancellation and
-// deadline expiry stop the search gracefully: the best point found so far
-// is returned, never an error — a budget signal, exactly like MaxEvals.
+// solve minimizes the problem under a context. Cancellation and deadline
+// expiry stop the search gracefully: the best point found so far is
+// returned, never an error — a budget signal, exactly like MaxEvals.
 // Options.MaxTime is layered on the context as a deadline.
-func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
+func solve(ctx context.Context, p Problem, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	if p.Dim() == 0 {
 		return Result{}, fmt.Errorf("dcs: empty problem")
@@ -186,7 +212,52 @@ func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.MaxTime)
 		defer cancel()
+		opt.MaxTime = 0 // the deadline is on ctx now
 	}
+	if opt.Strategy < DLM || opt.Strategy > RandomSearch {
+		return Result{}, fmt.Errorf("dcs: unknown strategy %v", opt.Strategy)
+	}
+	if opt.Portfolio > 1 {
+		return solvePortfolio(ctx, p, opt)
+	}
+	s := newSolver(ctx, p, opt)
+	s.search()
+	if s.best == nil && s.leastBadX == nil {
+		// The budget (context) expired before any point was evaluated.
+		return Result{}, fmt.Errorf("dcs: search stopped before evaluating any point: %w", ctx.Err())
+	}
+	if s.best == nil {
+		// No feasible point found anywhere: report the least-infeasible.
+		res := Result{
+			X:              s.leastBadX,
+			Objective:      s.p.Objective(s.leastBadX),
+			Feasible:       false,
+			Evals:          s.evals,
+			Restarts:       s.restarts,
+			Lanes:          1,
+			WinnerSeed:     opt.Seed,
+			WinnerStrategy: opt.Strategy,
+		}
+		s.emit("final", res.Objective, false, maxOf(s.p.Violations(s.leastBadX)))
+		return res, nil
+	}
+	res := Result{
+		X:              s.best,
+		Objective:      s.bestF,
+		Feasible:       true,
+		Evals:          s.evals,
+		Restarts:       s.restarts,
+		Lanes:          1,
+		WinnerSeed:     opt.Seed,
+		WinnerStrategy: opt.Strategy,
+	}
+	s.emit("final", res.Objective, true, 0)
+	return res, nil
+}
+
+// newSolver builds the per-solve scratch state. Options must already have
+// defaults applied.
+func newSolver(ctx context.Context, p Problem, opt Options) *solver {
 	s := &solver{
 		p:   p,
 		opt: opt,
@@ -202,41 +273,20 @@ func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
 		s.mRestarts = opt.Metrics.Counter("dcs.restarts")
 		s.mImprovements = opt.Metrics.Counter("dcs.improvements")
 	}
-	switch opt.Strategy {
-	case DLM:
-		s.run(s.dlmOnce)
+	return s
+}
+
+// search runs the configured strategy to exhaustion of its budget (or a
+// gate stop). The caller assembles the Result from the solver state.
+func (s *solver) search() {
+	switch s.opt.Strategy {
 	case CSA:
 		s.run(s.csaOnce)
 	case RandomSearch:
 		s.randomSearch()
 	default:
-		return Result{}, fmt.Errorf("dcs: unknown strategy %v", opt.Strategy)
+		s.run(s.dlmOnce)
 	}
-	if s.best == nil && s.leastBadX == nil {
-		// The budget (context) expired before any point was evaluated.
-		return Result{}, fmt.Errorf("dcs: search stopped before evaluating any point: %w", ctx.Err())
-	}
-	if s.best == nil {
-		// No feasible point found anywhere: report the least-infeasible.
-		res := Result{
-			X:         s.leastBadX,
-			Objective: s.p.Objective(s.leastBadX),
-			Feasible:  false,
-			Evals:     s.evals,
-			Restarts:  s.restarts,
-		}
-		s.emit("final", res.Objective, false, maxOf(s.p.Violations(s.leastBadX)))
-		return res, nil
-	}
-	res := Result{
-		X:         s.best,
-		Objective: s.bestF,
-		Feasible:  true,
-		Evals:     s.evals,
-		Restarts:  s.restarts,
-	}
-	s.emit("final", res.Objective, true, 0)
-	return res, nil
 }
 
 // maxOf returns the largest element (0 for an empty slice).
@@ -260,6 +310,12 @@ type solver struct {
 
 	evals    int
 	restarts int
+	// lastImprove is the eval count of the most recent best-feasible
+	// improvement (for Options.Patience).
+	lastImprove int
+	// stopped is set when a gate callback vetoes continuing; the search
+	// unwinds at the next budget check and emits no further events.
+	stopped bool
 
 	best  []int64 // best feasible
 	bestF float64
@@ -278,7 +334,7 @@ type solver struct {
 // emit delivers an observer event, attaching the current restart, eval
 // count, and multiplier norm.
 func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64) {
-	if s.opt.Observer == nil {
+	if s.opt.Observer == nil || s.stopped {
 		return
 	}
 	muNorm := 0.0
@@ -287,6 +343,7 @@ func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64)
 	}
 	s.opt.Observer(Event{
 		Kind:         kind,
+		Lane:         s.opt.lane,
 		Restart:      s.restarts,
 		Evals:        s.evals,
 		Best:         best,
@@ -320,6 +377,7 @@ func (s *solver) eval(x []int64) (float64, []float64) {
 		if s.best == nil || f < s.bestF {
 			s.best = append([]int64(nil), x...)
 			s.bestF = f
+			s.lastImprove = s.evals
 			if s.mImprovements != nil {
 				s.mImprovements.Inc()
 			}
@@ -329,11 +387,19 @@ func (s *solver) eval(x []int64) (float64, []float64) {
 		s.leastBadX = append([]int64(nil), x...)
 		s.leastBad = total
 	}
+	if s.opt.gate != nil && !s.stopped && s.evals%s.opt.gateEvery == 0 {
+		if !s.opt.gate(s.snapshot()) {
+			s.stopped = true
+		}
+	}
 	return f, g
 }
 
 func (s *solver) budgetLeft() bool {
-	if s.evals >= s.opt.MaxEvals {
+	if s.stopped || s.evals >= s.opt.MaxEvals {
+		return false
+	}
+	if s.opt.Patience > 0 && s.best != nil && s.evals-s.lastImprove >= s.opt.Patience {
 		return false
 	}
 	// Poll the context sparingly: ctx.Err takes a lock, an eval ~1µs.

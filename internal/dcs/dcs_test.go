@@ -1,6 +1,7 @@
 package dcs
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func (quadProblem) Violations(x []int64) []float64 {
 }
 
 func TestDLMSolvesQuadratic(t *testing.T) {
-	res, err := Solve(quadProblem{}, Options{Seed: 1, MaxEvals: 20000})
+	res, err := Run(context.Background(), quadProblem{}, WithSeed(1), WithBudget(20000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestDLMSolvesQuadratic(t *testing.T) {
 }
 
 func TestCSASolvesQuadratic(t *testing.T) {
-	res, err := Solve(quadProblem{}, Options{Strategy: CSA, Seed: 2, MaxEvals: 50000})
+	res, err := Run(context.Background(), quadProblem{}, WithStrategy(CSA), WithSeed(2), WithBudget(50000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestCSASolvesQuadratic(t *testing.T) {
 }
 
 func TestRandomSearchFindsFeasible(t *testing.T) {
-	res, err := Solve(quadProblem{}, Options{Strategy: RandomSearch, Seed: 3, MaxEvals: 5000})
+	res, err := Run(context.Background(), quadProblem{}, WithStrategy(RandomSearch), WithSeed(3), WithBudget(5000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestDLMSolvesKnapsack(t *testing.T) {
 			bestVal = v
 		}
 	}
-	res, err := Solve(knapsack{}, Options{Seed: 4, MaxEvals: 20000})
+	res, err := Run(context.Background(), knapsack{}, WithSeed(4), WithBudget(20000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func (ceilProblem) Violations(x []int64) []float64 {
 }
 
 func TestDLMHandlesCeilLandscape(t *testing.T) {
-	res, err := Solve(ceilProblem{}, Options{Seed: 5, MaxEvals: 20000})
+	res, err := Run(context.Background(), ceilProblem{}, WithSeed(5), WithBudget(20000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func (infeasibleProblem) Violations(x []int64) []float64 {
 }
 
 func TestInfeasibleReportsLeastBad(t *testing.T) {
-	res, err := Solve(infeasibleProblem{}, Options{Seed: 6, MaxEvals: 2000})
+	res, err := Run(context.Background(), infeasibleProblem{}, WithSeed(6), WithBudget(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +183,11 @@ func TestInfeasibleReportsLeastBad(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	for _, strat := range []Strategy{DLM, CSA, RandomSearch} {
-		a, err := Solve(quadProblem{}, Options{Strategy: strat, Seed: 7, MaxEvals: 5000})
+		a, err := Run(context.Background(), quadProblem{}, WithStrategy(strat), WithSeed(7), WithBudget(5000))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Solve(quadProblem{}, Options{Strategy: strat, Seed: 7, MaxEvals: 5000})
+		b, err := Run(context.Background(), quadProblem{}, WithStrategy(strat), WithSeed(7), WithBudget(5000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestBudgetRespected(t *testing.T) {
-	res, err := Solve(quadProblem{}, Options{Seed: 8, MaxEvals: 100})
+	res, err := Run(context.Background(), quadProblem{}, WithSeed(8), WithBudget(100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestBudgetRespected(t *testing.T) {
 }
 
 func TestSolutionWithinBounds(t *testing.T) {
-	res, err := Solve(ceilProblem{}, Options{Strategy: CSA, Seed: 9, MaxEvals: 3000})
+	res, err := Run(context.Background(), ceilProblem{}, WithStrategy(CSA), WithSeed(9), WithBudget(3000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestSolutionWithinBounds(t *testing.T) {
 
 func TestStartPointUsed(t *testing.T) {
 	// Seeding the optimum must keep it.
-	res, err := Solve(quadProblem{}, Options{Seed: 10, MaxEvals: 5000, Start: []int64{6, 2}})
+	res, err := Run(context.Background(), quadProblem{}, WithSeed(10), WithBudget(5000), WithStart([]int64{6, 2}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestStartPointUsed(t *testing.T) {
 }
 
 func TestEmptyProblemErrors(t *testing.T) {
-	if _, err := Solve(emptyProblem{}, Options{}); err == nil {
+	if _, err := Run(context.Background(), emptyProblem{}); err == nil {
 		t.Fatal("empty problem must error")
 	}
 }
@@ -302,7 +303,7 @@ func TestGroupMovesFindCoupledOptimum(t *testing.T) {
 	// Brute-force optimum: min over k of cost[k]·ceil(100/caps[k]):
 	// k=0: 5·1=5, k=1: 3·3=9, k=2: 1·10=10, k=3: 4·2=8, k=4: 2·4=8 → 5.
 	for _, oneHot := range []bool{false, true} {
-		res, err := Solve(groupedProblem{oneHot: oneHot}, Options{Seed: 11, MaxEvals: 30000})
+		res, err := Run(context.Background(), groupedProblem{oneHot: oneHot}, WithSeed(11), WithBudget(30000))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,7 +317,7 @@ func TestGroupMovesFindCoupledOptimum(t *testing.T) {
 }
 
 func TestCSAGroupMoves(t *testing.T) {
-	res, err := Solve(groupedProblem{}, Options{Strategy: CSA, Seed: 12, MaxEvals: 60000})
+	res, err := Run(context.Background(), groupedProblem{}, WithStrategy(CSA), WithSeed(12), WithBudget(60000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestGroupCodeRoundTrip(t *testing.T) {
 
 func TestMaxTimeBoundsSolve(t *testing.T) {
 	start := time.Now()
-	res, err := Solve(quadProblem{}, Options{Seed: 13, MaxEvals: 1 << 30, MaxTime: 50 * time.Millisecond})
+	res, err := Run(context.Background(), quadProblem{}, WithSeed(13), WithBudget(1<<30), WithMaxTime(50*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +368,7 @@ func TestMaxTimeBoundsSolve(t *testing.T) {
 }
 
 func TestUnknownStrategyErrors(t *testing.T) {
-	if _, err := Solve(quadProblem{}, Options{Strategy: Strategy(99)}); err == nil {
+	if _, err := Run(context.Background(), quadProblem{}, WithStrategy(Strategy(99))); err == nil {
 		t.Fatal("unknown strategy must error")
 	}
 	if Strategy(99).String() == "" {

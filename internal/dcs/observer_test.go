@@ -1,6 +1,7 @@
 package dcs
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,19 +17,19 @@ func TestObserverConvergence(t *testing.T) {
 		t.Run(strat.String(), func(t *testing.T) {
 			var curve obs.Convergence
 			reg := obs.NewRegistry()
-			res, err := Solve(quadProblem{}, Options{
-				Strategy: strat,
-				Seed:     7,
-				MaxEvals: 20000,
-				Observer: func(e Event) {
+			res, err := Run(context.Background(), quadProblem{},
+				WithStrategy(strat),
+				WithSeed(7),
+				WithBudget(20000),
+				WithObserver(func(e Event) {
 					curve.Record(obs.SolveEvent{
-						Kind: e.Kind, Restart: e.Restart, Evals: e.Evals,
+						Kind: e.Kind, Lane: e.Lane, Restart: e.Restart, Evals: e.Evals,
 						Best: e.Best, Feasible: e.Feasible,
 						MaxViolation: e.MaxViolation, MuNorm: e.MuNorm,
 					})
-				},
-				Metrics: reg,
-			})
+				}),
+				WithMetrics(reg),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,10 +109,10 @@ func TestObserverConvergence(t *testing.T) {
 // search reports the least-bad point's violation.
 func TestObserverInfeasibleFinal(t *testing.T) {
 	var events []Event
-	res, err := Solve(infeasibleProblem{}, Options{
-		Seed: 1, MaxEvals: 2000,
-		Observer: func(e Event) { events = append(events, e) },
-	})
+	res, err := Run(context.Background(), infeasibleProblem{},
+		WithSeed(1), WithBudget(2000),
+		WithObserver(func(e Event) { events = append(events, e) }),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

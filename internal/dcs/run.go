@@ -1,0 +1,136 @@
+package dcs
+
+// This file is the redesigned entry point of the solver: Run(ctx,
+// Problem, ...Option). One ctx-first call replaces the Solve/SolveContext
+// split, and functional options replace the growing Options struct at
+// call sites. Options remains the internal carrier; every RunOption maps
+// onto it, and the deprecated shims forward unchanged.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunOption configures a Run call.
+type RunOption func(*Options)
+
+// WithStrategy selects the search algorithm (default DLM).
+func WithStrategy(s Strategy) RunOption {
+	return func(o *Options) { o.Strategy = s }
+}
+
+// WithSeed makes the search deterministic.
+func WithSeed(seed int64) RunOption {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithBudget bounds the number of objective/constraint evaluations
+// (non-positive keeps the default of 200000). Under a portfolio the
+// budget is split across lanes, so the total work never exceeds a
+// single-lane solve.
+func WithBudget(maxEvals int) RunOption {
+	return func(o *Options) {
+		if maxEvals > 0 {
+			o.MaxEvals = maxEvals
+		}
+	}
+}
+
+// WithMaxTime bounds the wall-clock solve time, layered on the caller's
+// context as a deadline (0: unbounded).
+func WithMaxTime(d time.Duration) RunOption {
+	return func(o *Options) { o.MaxTime = d }
+}
+
+// WithRestarts sets the number of independent starts per lane
+// (non-positive keeps the default of 8).
+func WithRestarts(n int) RunOption {
+	return func(o *Options) {
+		if n > 0 {
+			o.Restarts = n
+		}
+	}
+}
+
+// WithMuGrowth scales multiplier ascent steps (non-positive keeps the
+// default of 1.5).
+func WithMuGrowth(g float64) RunOption {
+	return func(o *Options) {
+		if g > 0 {
+			o.MuGrowth = g
+		}
+	}
+}
+
+// WithStart warm-starts the search: x seeds the first restart (of lane 0
+// under a portfolio). The solver clamps it to the problem bounds; a nil
+// start is ignored.
+func WithStart(x []int64) RunOption {
+	return func(o *Options) {
+		if x != nil {
+			o.Start = append([]int64(nil), x...)
+		}
+	}
+}
+
+// WithPatience stops the search once a feasible point exists and no
+// improvement was recorded for n evaluations — the deterministic early
+// stop that lets warm-started re-solves finish far under budget
+// (non-positive disables).
+func WithPatience(n int) RunOption {
+	return func(o *Options) {
+		if n > 0 {
+			o.Patience = n
+		}
+	}
+}
+
+// WithPortfolio races k independently seeded lanes (cycling the DLM, CSA,
+// and random strategies) in deterministic lockstep rounds; the first lane
+// to converge on a feasible point stops the race (k ≤ 1 keeps the plain
+// single search).
+func WithPortfolio(k int) RunOption {
+	return func(o *Options) { o.Portfolio = k }
+}
+
+// WithObserver streams per-restart, per-improvement, and final events to
+// obs — the data behind a convergence curve. Under a portfolio the
+// callback is serialized across lanes and Event.Lane identifies the
+// source.
+func WithObserver(obs Observer) RunOption {
+	return func(o *Options) { o.Observer = obs }
+}
+
+// WithMetrics publishes dcs.evals / dcs.restarts / dcs.improvements
+// counters into the registry (nil disables).
+func WithMetrics(reg *obs.Registry) RunOption {
+	return func(o *Options) { o.Metrics = reg }
+}
+
+// Run minimizes the problem under a context, configured by functional
+// options. Cancellation and deadline expiry stop the search gracefully:
+// the best point found so far is returned, never an error — a budget
+// signal, exactly like WithBudget.
+func Run(ctx context.Context, p Problem, opts ...RunOption) (Result, error) {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return solve(ctx, p, o)
+}
+
+// Solve minimizes the problem.
+//
+// Deprecated: use Run with functional options.
+func Solve(p Problem, opt Options) (Result, error) {
+	return solve(context.Background(), p, opt)
+}
+
+// SolveContext minimizes the problem under a context.
+//
+// Deprecated: use Run with functional options.
+func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
+	return solve(ctx, p, opt)
+}

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dcs"
@@ -119,7 +120,7 @@ func TestSolveUnderBothEncodings(t *testing.T) {
 	results := map[Encoding]float64{}
 	for _, enc := range []Encoding{BinaryEncoding, OneHotEncoding} {
 		p := buildEncoded(t, enc)
-		res, err := dcs.Solve(p, dcs.Options{Seed: 3, MaxEvals: 120000})
+		res, err := dcs.Run(context.Background(), p, dcs.WithSeed(3), dcs.WithBudget(120000))
 		if err != nil {
 			t.Fatal(err)
 		}

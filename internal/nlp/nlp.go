@@ -464,6 +464,35 @@ func (p *Problem) Encode(tiles map[string]int64, selected map[string]int) []int6
 	return x
 }
 
+// EncodeAssignment maps a (possibly foreign) assignment into p's decision
+// vector: tile sizes are matched by loop-index name and clamped to p's
+// ranges, candidate selections by label within the same-named choice
+// (labels are stable across enumerations of the same program). It returns
+// the vector and the number of choices whose selection was matched —
+// the warm-start remapping behind incremental re-solves, where the
+// previous sweep point's solution seeds the next problem even though the
+// candidate lists were enumerated (and possibly pruned) independently.
+// Unmatched selections fall back to candidate 0.
+func (p *Problem) EncodeAssignment(a Assignment) ([]int64, int) {
+	sel := map[string]int{}
+	matched := 0
+	for ci := range p.Model.Choices {
+		ch := &p.Model.Choices[ci]
+		prev := a.Selected[ch.Name]
+		if prev == nil {
+			continue
+		}
+		for k := range ch.Candidates {
+			if ch.Candidates[k].Label == prev.Label {
+				sel[ch.Name] = k
+				matched++
+				break
+			}
+		}
+	}
+	return p.Encode(a.Tiles, sel), matched
+}
+
 // Describe renders an assignment for humans, in deterministic order.
 func (a Assignment) Describe() string {
 	s := fmt.Sprintf("objective %.3f s, memory %.3g bytes\n", a.Objective, a.MemoryBytes)

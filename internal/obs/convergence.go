@@ -15,7 +15,10 @@ import (
 // Best is +Inf until a feasible point exists; the JSON export encodes
 // non-finite values as null.
 type SolveEvent struct {
-	Kind         string  `json:"kind"`
+	Kind string `json:"kind"`
+	// Lane is the portfolio lane the event comes from (0 for a
+	// single-lane solve).
+	Lane         int     `json:"lane"`
 	Restart      int     `json:"restart"`
 	Evals        int     `json:"evals"`
 	Best         float64 `json:"best"`
@@ -29,6 +32,7 @@ type SolveEvent struct {
 func (e SolveEvent) MarshalJSON() ([]byte, error) {
 	type shadow struct {
 		Kind         string   `json:"kind"`
+		Lane         int      `json:"lane"`
 		Restart      int      `json:"restart"`
 		Evals        int      `json:"evals"`
 		Best         *float64 `json:"best"`
@@ -36,7 +40,7 @@ func (e SolveEvent) MarshalJSON() ([]byte, error) {
 		MaxViolation float64  `json:"max_violation"`
 		MuNorm       float64  `json:"mu_norm"`
 	}
-	s := shadow{Kind: e.Kind, Restart: e.Restart, Evals: e.Evals,
+	s := shadow{Kind: e.Kind, Lane: e.Lane, Restart: e.Restart, Evals: e.Evals,
 		Feasible: e.Feasible, MaxViolation: e.MaxViolation, MuNorm: e.MuNorm}
 	if !math.IsInf(e.Best, 0) && !math.IsNaN(e.Best) {
 		best := e.Best

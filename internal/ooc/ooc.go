@@ -28,6 +28,10 @@ type Options struct {
 	Seed int64
 	// MaxEvals bounds the solver (0: default).
 	MaxEvals int
+	// Portfolio races that many independently seeded solver lanes during
+	// synthesis, first feasible convergence wins (≤ 1: single lane). The
+	// evaluation budget is split across lanes.
+	Portfolio int
 	// Workers parallelizes in-memory compute.
 	Workers int
 	// KeepUnfused disables the greedy fusion pass.
@@ -130,6 +134,9 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	}
 	if opt.Observer != nil {
 		copts = append(copts, core.WithObserver(opt.Observer))
+	}
+	if opt.Portfolio > 1 {
+		copts = append(copts, core.WithPortfolio(opt.Portfolio))
 	}
 	if opt.Verify {
 		copts = append(copts, core.WithVerify())

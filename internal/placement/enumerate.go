@@ -178,6 +178,42 @@ func (e *enumerator) pruneDominated(ps []IOPlacement) []IOPlacement {
 	return out
 }
 
+// boundFilter drops candidates whose analytic cost lower bound exceeds
+// the incumbent objective (Options.BoundIncumbent): no selection
+// containing such a candidate can beat the incumbent, since the objective
+// sums non-negative per-choice costs. The incumbent's own candidates
+// always survive (their bound is at most their actual contribution, which
+// is at most the incumbent total), so a feasible solution at least as
+// good as the incumbent always remains in the pruned space. Defensively,
+// a choice always keeps its cheapest-bound candidate.
+func (e *enumerator) boundFilter(ch Choice, pruned *int) Choice {
+	if e.opt.BoundIncumbent <= 0 || len(ch.Candidates) <= 1 {
+		return ch
+	}
+	bounds := make([]float64, len(ch.Candidates))
+	minIdx := 0
+	for i := range ch.Candidates {
+		bounds[i] = ch.Candidates[i].LowerBoundSeconds(e.p.Ranges, e.cfg)
+		if bounds[i] < bounds[minIdx] {
+			minIdx = i
+		}
+	}
+	var kept []Candidate
+	for i := range ch.Candidates {
+		if bounds[i] <= e.opt.BoundIncumbent {
+			kept = append(kept, ch.Candidates[i])
+		} else {
+			*pruned++
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, ch.Candidates[minIdx])
+		*pruned--
+	}
+	ch.Candidates = kept
+	return ch
+}
+
 // inputChoice enumerates read placements for an input array at one
 // consumer site.
 func (e *enumerator) inputChoice(name string, arr *loops.Array, site tiling.LeafSite) (Choice, error) {

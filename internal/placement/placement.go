@@ -184,6 +184,29 @@ type BlockConstraint struct {
 	IsRead bool
 }
 
+// LowerBoundSeconds returns an analytic lower bound on the candidate's
+// modelled I/O time over all tile assignments (Term.LowerBound applied to
+// every cost term). A candidate whose bound exceeds a known solution's
+// total objective can never appear in a better solution: the objective is
+// a sum of non-negative per-choice costs.
+func (c *Candidate) LowerBoundSeconds(ranges map[string]int64, cfg machine.Config) float64 {
+	d := cfg.Disk
+	total := 0.0
+	for _, t := range c.ReadBytes() {
+		total += t.LowerBound(ranges) / d.ReadBandwidth
+	}
+	for _, t := range c.WriteBytes() {
+		total += t.LowerBound(ranges) / d.WriteBandwidth
+	}
+	for _, t := range c.ReadOps() {
+		total += t.LowerBound(ranges) * d.SeekTime
+	}
+	for _, t := range c.WriteOps() {
+		total += t.LowerBound(ranges) * d.SeekTime
+	}
+	return total
+}
+
 // Choice is the set of candidates for one array occurrence; exactly one
 // candidate must be selected.
 type Choice struct {
@@ -201,6 +224,9 @@ type Model struct {
 	Cfg      machine.Config
 	Choices  []Choice
 	TileVars []string // sorted distinct loop indices
+	// BoundPruned counts candidates discarded by the incumbent lower-bound
+	// filter (Options.BoundIncumbent).
+	BoundPruned int
 }
 
 // Options control the enumeration.
@@ -209,6 +235,12 @@ type Options struct {
 	// or worse I/O bytes and buffer size than another candidate); used by
 	// the ablation benchmarks.
 	DisableDominancePruning bool
+	// BoundIncumbent, when positive, is the objective (seconds) of a known
+	// feasible solution: candidates whose analytic cost lower bound
+	// already exceeds it are pruned during enumeration, shrinking the
+	// cross-product search space of incremental re-solves. Each choice
+	// always keeps at least its cheapest-bound candidate.
+	BoundIncumbent float64
 }
 
 // Enumerate runs the candidate-placement enumeration of Sec. 4.1 over a
@@ -248,7 +280,7 @@ func Enumerate(tree *tiling.Tree, cfg machine.Config, opt Options) (*Model, erro
 				if err != nil {
 					return nil, err
 				}
-				m.Choices = append(m.Choices, ch)
+				m.Choices = append(m.Choices, e.boundFilter(ch, &m.BoundPruned))
 			}
 		case loops.Output:
 			if len(producers[name]) == 0 {
@@ -265,7 +297,7 @@ func Enumerate(tree *tiling.Tree, cfg machine.Config, opt Options) (*Model, erro
 					return nil, err
 				}
 				ch.Name = cname
-				m.Choices = append(m.Choices, ch)
+				m.Choices = append(m.Choices, e.boundFilter(ch, &m.BoundPruned))
 			}
 		case loops.Intermediate:
 			if len(producers[name]) != 1 || len(consumers[name]) != 1 {
@@ -275,7 +307,7 @@ func Enumerate(tree *tiling.Tree, cfg machine.Config, opt Options) (*Model, erro
 			if err != nil {
 				return nil, err
 			}
-			m.Choices = append(m.Choices, ch)
+			m.Choices = append(m.Choices, e.boundFilter(ch, &m.BoundPruned))
 		}
 	}
 	return m, nil

@@ -88,6 +88,27 @@ func (t Term) EvalTileOne(ranges map[string]int64) float64 {
 	return v
 }
 
+// LowerBound returns a value the term can never go below over any tile
+// assignment 1 ≤ T_x ≤ N_x: full-range factors contribute N_x exactly;
+// each Tile/Trip factor pair over the same index contributes at least N_x
+// (T_x · ceil(N_x/T_x) ≥ N_x — the communication-lower-bound argument of
+// Dinh & Demmel applied to the product form); unpaired Tile or Trip
+// factors are only known to be ≥ 1. Requires Coeff ≥ 0 (all cost terms
+// are).
+func (t Term) LowerBound(ranges map[string]int64) float64 {
+	v := t.Coeff
+	for _, x := range t.Fulls {
+		v *= float64(ranges[x])
+	}
+	tiles := multiset(t.Tiles)
+	for x, n := range multiset(t.Trips) {
+		for i := 0; i < min64(n, tiles[x]); i++ {
+			v *= float64(ranges[x])
+		}
+	}
+	return v
+}
+
 // String renders the term for model dumps: "8 * Nn/Tn * Ti * Tj".
 func (t Term) String() string {
 	parts := []string{trimFloat(t.Coeff)}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dcs"
@@ -90,7 +91,7 @@ func TestDCSBeatsOrMatchesSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := dcs.Solve(p, dcs.Options{Seed: 1, MaxEvals: 150000, Restarts: 10})
+	sol, err := dcs.Run(context.Background(), p, dcs.WithSeed(1), dcs.WithBudget(150000), dcs.WithRestarts(10))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,6 +66,21 @@ type Options struct {
 	// Tracer, if non-nil, records the measurement runs' modelled
 	// timelines (successive sweep points append to one timeline).
 	Tracer *obs.Tracer
+	// Warm re-solves each sweep point from the previous point's solution:
+	// the prior plan is remapped into the new problem as a starting point
+	// and, when still feasible, its objective prunes the candidate
+	// enumeration (see core.WithWarmStart). Only MemoryLimit exploits
+	// this today.
+	Warm bool
+	// Patience stops each warm re-solve once a feasible point has gone
+	// that many evaluations without improvement (0: run the full budget).
+	// It is what converts a good starting point into fewer evaluations;
+	// cold solves (the first point, or Warm unset) ignore it so their
+	// quality is unaffected.
+	Patience int
+	// Portfolio races that many solver lanes per synthesis (≤ 1: single
+	// lane).
+	Portfolio int
 }
 
 func (o Options) machine() machine.Config {
@@ -76,8 +91,8 @@ func (o Options) machine() machine.Config {
 }
 
 // synthesize runs one DCS synthesis with the sweep's observability sinks
-// attached.
-func (o Options) synthesize(prog *loops.Program, cfg machine.Config) (*core.Synthesis, error) {
+// attached; prev, when non-nil, warm-starts the solve.
+func (o Options) synthesize(prog *loops.Program, cfg machine.Config, prev *core.Synthesis) (*core.Synthesis, error) {
 	opts := []core.Option{
 		core.WithMachine(cfg),
 		core.WithStrategy(core.DCS),
@@ -90,6 +105,17 @@ func (o Options) synthesize(prog *loops.Program, cfg machine.Config) (*core.Synt
 	if o.Tracer != nil {
 		opts = append(opts, core.WithTracer(o.Tracer))
 	}
+	if prev != nil {
+		opts = append(opts, core.WithWarmStart(prev))
+		// Patience only applies to warm re-solves: on a cold solve it
+		// would just truncate the search and degrade the first point.
+		if o.Patience > 0 {
+			opts = append(opts, core.WithPatience(o.Patience))
+		}
+	}
+	if o.Portfolio > 1 {
+		opts = append(opts, core.WithPortfolio(o.Portfolio))
+	}
 	return core.SynthesizeOpts(context.Background(), prog, opts...)
 }
 
@@ -97,15 +123,24 @@ func (o Options) synthesize(prog *loops.Program, cfg machine.Config) (*core.Synt
 // DCS-synthesized code's predicted and measured I/O time per limit. The
 // curve shows the memory-starvation blow-up: as memory shrinks, redundant
 // passes multiply.
+// When opt.Warm is set, each point after the first re-solves from the
+// previous point's plan instead of cold (warm start plus incumbent
+// pruning); the solver_evals column makes the saving visible.
 func MemoryLimit(build func() *loops.Program, limits []int64, opt Options) (Series, error) {
-	s := Series{Name: "io-time-vs-memory", XLabel: "memory_bytes", Columns: []string{"predicted_s", "measured_s"}}
+	s := Series{Name: "io-time-vs-memory", XLabel: "memory_bytes", Columns: []string{"predicted_s", "measured_s", "solver_evals"}}
+	var prev *core.Synthesis
 	for _, limit := range limits {
 		cfg := opt.machine()
 		cfg.MemoryLimit = limit
-		syn, err := opt.synthesize(build(), cfg)
+		var warm *core.Synthesis
+		if opt.Warm {
+			warm = prev
+		}
+		syn, err := opt.synthesize(build(), cfg, warm)
 		if err != nil {
 			return s, fmt.Errorf("sweep: limit %d: %w", limit, err)
 		}
+		prev = syn
 		st, err := syn.MeasureSim()
 		if err != nil {
 			return s, err
@@ -113,8 +148,9 @@ func MemoryLimit(build func() *loops.Program, limits []int64, opt Options) (Seri
 		s.Points = append(s.Points, Point{
 			X: float64(limit),
 			Values: map[string]float64{
-				"predicted_s": syn.Predicted(),
-				"measured_s":  st.Time(),
+				"predicted_s":  syn.Predicted(),
+				"measured_s":   st.Time(),
+				"solver_evals": float64(syn.SolverEvals),
 			},
 		})
 	}
@@ -130,7 +166,7 @@ func Processors(n, v int64, procCounts []int, opt Options) (Series, error) {
 	for _, p := range procCounts {
 		cfg := perNode
 		cfg.MemoryLimit = perNode.MemoryLimit * int64(p)
-		syn, err := opt.synthesize(loops.FourIndexAbstract(n, v), cfg)
+		syn, err := opt.synthesize(loops.FourIndexAbstract(n, v), cfg, nil)
 		if err != nil {
 			return s, err
 		}
@@ -165,7 +201,7 @@ func ProblemSize(ns []int64, vScale float64, opt Options) (Series, error) {
 		if v < 2 {
 			v = 2
 		}
-		syn, err := opt.synthesize(loops.FourIndexAbstract(n, v), opt.machine())
+		syn, err := opt.synthesize(loops.FourIndexAbstract(n, v), opt.machine(), nil)
 		if err != nil {
 			return s, err
 		}

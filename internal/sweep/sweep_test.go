@@ -36,6 +36,73 @@ func TestMemoryLimitSweepMonotone(t *testing.T) {
 	}
 }
 
+// TestWarmSweepNeverWorseAndCheaper: the warm-started memory-limit sweep
+// must produce points no worse than the cold sweep's (never-worse
+// property of warm starting — the solver evaluates the remapped previous
+// plan first) while spending strictly fewer total solver evaluations.
+func TestWarmSweepNeverWorseAndCheaper(t *testing.T) {
+	limits := []int64{1 * machine.GB, 2 * machine.GB, 4 * machine.GB}
+	build := func() *loops.Program { return loops.FourIndexAbstract(140, 120) }
+
+	cold, err := MemoryLimit(build, limits, opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpt := opt()
+	warmOpt.Warm = true
+	warmOpt.Patience = 5000
+	warm, err := MemoryLimit(build, limits, warmOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldEvals, warmEvals := 0.0, 0.0
+	for i := range limits {
+		c, w := cold.Points[i].Values, warm.Points[i].Values
+		if w["predicted_s"] > c["predicted_s"]*1.05 {
+			t.Fatalf("limit %d: warm predicted %g worse than cold %g",
+				limits[i], w["predicted_s"], c["predicted_s"])
+		}
+		coldEvals += c["solver_evals"]
+		warmEvals += w["solver_evals"]
+	}
+	if warmEvals >= coldEvals {
+		t.Fatalf("warm sweep spent %g evals, cold %g — no saving", warmEvals, coldEvals)
+	}
+	// The warm sweep still honors the blow-up curve: predicted time
+	// non-increasing as memory grows.
+	for i := 1; i < len(warm.Points); i++ {
+		if warm.Points[i].Values["predicted_s"] > warm.Points[i-1].Values["predicted_s"]*1.05 {
+			t.Fatalf("warm predicted time rose with memory: %+v", warm.Points)
+		}
+	}
+}
+
+// TestPortfolioSweepDeterministic: a portfolio-enabled sweep is
+// reproducible point for point.
+func TestPortfolioSweepDeterministic(t *testing.T) {
+	limits := []int64{1 * machine.GB, 2 * machine.GB}
+	build := func() *loops.Program { return loops.FourIndexAbstract(140, 120) }
+	po := opt()
+	po.Portfolio = 4
+	a, err := MemoryLimit(build, limits, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MemoryLimit(build, limits, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		for _, col := range a.Columns {
+			if a.Points[i].Values[col] != b.Points[i].Values[col] {
+				t.Fatalf("point %d column %s differs: %g vs %g",
+					i, col, a.Points[i].Values[col], b.Points[i].Values[col])
+			}
+		}
+	}
+}
+
 func TestProcessorsSweep(t *testing.T) {
 	s, err := Processors(140, 120, []int{1, 2, 4}, opt())
 	if err != nil {
