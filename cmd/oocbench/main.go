@@ -64,7 +64,7 @@ func main() {
 		}
 	}()
 
-	opt := tables.Options{Seed: *seed, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer()}
+	opt := tables.Options{Seed: *seed, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(), Log: obsFlags.Log()}
 	if *quick {
 		opt.SamplingCombos = 200000
 		opt.DCSEvals = 60000

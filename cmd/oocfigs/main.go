@@ -47,6 +47,9 @@ func main() {
 	if tr := obsFlags.Tracer(); tr != nil {
 		copts = append(copts, core.WithTracer(tr))
 	}
+	if l := obsFlags.Log(); l != nil {
+		copts = append(copts, core.WithLog(l))
+	}
 
 	print := func(n int) {
 		switch n {

@@ -68,6 +68,10 @@ func main() {
 			log.Print(err)
 		}
 	}()
+	elog := obsFlags.Log()
+	if *spec != "" {
+		elog = elog.WithScenario(*spec)
+	}
 
 	cfg := machine.OSCItanium2()
 	limit, err := cliutil.ParseBytes(*mem)
@@ -93,6 +97,7 @@ func main() {
 			log.Fatal(err)
 		}
 		inj = fault.Wrap(fs, fcfg)
+		inj.SetLog(elog)
 		store = inj
 		fmt.Printf("fault injection: %s\n", fcfg)
 	}
@@ -106,9 +111,10 @@ func main() {
 	// each defective block. Unrepaired defects exit nonzero so scripted
 	// scrubs (CI, cron) can alarm on them.
 	runScrub := func(be disk.Backend) {
-		rep, err := disk.Scrub(be, disk.ScrubOptions{Repair: *scrubRepair, Metrics: obsFlags.Registry()})
+		obsFlags.SetPhase("scrub")
+		rep, err := disk.Scrub(be, disk.ScrubOptions{Repair: *scrubRepair, Metrics: obsFlags.Registry(), Log: elog})
 		if err != nil {
-			log.Fatal(err)
+			obsFlags.Fatal(err)
 		}
 		printScrub(rep)
 		if !rep.OK() && !*scrubRepair {
@@ -156,7 +162,9 @@ func main() {
 		xopt := exec.Options{
 			OpenInputs: true, NoFetch: true, Workers: *workers, Pipeline: *pipeline,
 			Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(), Retry: retry,
+			Log: elog,
 		}
+		obsFlags.SetPhase("execute")
 		var res *exec.Result
 		if recovery != nil {
 			res, _, err = exec.RunResilient(nil, plan, rec, nil, xopt, *recovery)
@@ -164,7 +172,7 @@ func main() {
 			res, err = exec.Run(plan, rec, nil, xopt)
 		}
 		if err != nil {
-			log.Fatal(err)
+			obsFlags.Fatal(err)
 		}
 		fmt.Printf("executed saved plan %q\n%s\npredicted %.2f s, measured (modelled) %.2f s\n",
 			*planFile, res.Stats, plan.Predicted, res.Stats.Time())
@@ -189,6 +197,7 @@ func main() {
 	}
 
 	rec := trace.NewWithDisk(store, cfg.Disk)
+	obsFlags.SetPhase("contract")
 	res, err := ooc.Contract(rec, *spec, ooc.Options{
 		Machine:   cfg,
 		Seed:      *seed,
@@ -198,13 +207,14 @@ func main() {
 		Pipeline:  *pipeline,
 		Metrics:   obsFlags.Registry(),
 		Tracer:    obsFlags.Tracer(),
+		Log:       elog,
 		Verify:    *verifyP,
 		Retry:     retry,
 		Recovery:  recovery,
 		Scrub:     *scrub && !*scrubRepair,
 	})
 	if err != nil {
-		log.Fatal(err)
+		obsFlags.Fatal(err)
 	}
 	if *verifyP {
 		fmt.Println(res.Synthesis.Verify)

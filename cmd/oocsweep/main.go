@@ -50,7 +50,7 @@ func main() {
 
 	opt := sweep.Options{
 		Seed: *seed, Evals: *evals, Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(),
-		Warm: *warm, Patience: *patience, Portfolio: *portfolio,
+		Log: obsFlags.Log(), Warm: *warm, Patience: *patience, Portfolio: *portfolio,
 	}
 	var s sweep.Series
 	var err error

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -55,9 +56,23 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print the synthesis result as JSON and exit")
 		cache      = flag.Bool("cache", false, "also optimize memory→cache tiling of each compute block (Itanium-2 L3 model)")
 	)
+	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
 	flag.Parse()
 	showVersion()
+	if err := obsFlags.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.Finish(); err != nil {
+			log.Print(err)
+		}
+	}()
+	scenario := *spec
+	if scenario == "" {
+		scenario = *workload
+	}
+	elog := obsFlags.Log().WithScenario(scenario)
 
 	prog, err := buildProgramExt(*workload, *spec, *specFile, *ranges, *n, *v)
 	if err != nil {
@@ -74,17 +89,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := core.Synthesize(core.Request{
-		Program:  prog,
-		Machine:  cfg,
-		Strategy: strat,
-		Seed:     *seed,
-		MaxEvals: *evals,
-		Sampling: sampling.Options{MaxCombos: *combos},
-		AutoFuse: *fuse,
-	})
+	obsFlags.SetPhase("synthesize")
+	synthOpts := []core.Option{
+		core.WithMachine(cfg),
+		core.WithStrategy(strat),
+		core.WithSeed(*seed),
+		core.WithMaxEvals(*evals),
+		core.WithSampling(sampling.Options{MaxCombos: *combos}),
+		core.WithMetrics(obsFlags.Registry()),
+		core.WithTracer(obsFlags.Tracer()),
+		core.WithLog(elog),
+	}
+	if *fuse {
+		synthOpts = append(synthOpts, core.WithAutoFuse())
+	}
+	s, err := core.SynthesizeOpts(context.Background(), prog, synthOpts...)
 	if err != nil {
-		log.Fatal(err)
+		obsFlags.Fatal(err)
 	}
 	prog = s.Request.Program // reflects fusion
 
@@ -128,9 +149,10 @@ func main() {
 		}
 	}
 	if *measure {
+		obsFlags.SetPhase("measure")
 		st, err := s.MeasureSim()
 		if err != nil {
-			log.Fatal(err)
+			obsFlags.Fatal(err)
 		}
 		fmt.Printf("\n== measured (simulated disk) ==\n%s\ntotal %.1f s (predicted %.1f s)\n",
 			st, st.Time(), s.Predicted())

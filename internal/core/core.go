@@ -146,6 +146,9 @@ type Synthesis struct {
 	// timeline into Tracer for Chrome-trace export.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Log, when non-nil (set via WithLog), receives the structured
+	// events of the execution helpers (exec retries and recovery).
+	Log *obs.Log
 	// Verify is the static plan verifier's report (set via WithVerify; nil
 	// otherwise). A synthesis only returns with a clean report — a finding
 	// fails the run — so it carries the verified schedule-walk statistics.
@@ -157,6 +160,7 @@ type Synthesis struct {
 type synthExtras struct {
 	observer dcs.Observer
 	metrics  *obs.Registry
+	log      *obs.Log
 	curve    *obs.Convergence
 	verify   bool
 	// portfolio races k solver lanes; patience stops a search once the
@@ -270,6 +274,7 @@ func synthesizeWith(ctx context.Context, req Request, extras synthExtras) (*Synt
 			dcs.WithPortfolio(extras.portfolio),
 			dcs.WithObserver(extras.solverObserver()),
 			dcs.WithMetrics(extras.metrics),
+			dcs.WithLog(extras.log),
 		)
 		if err != nil {
 			return nil, err
@@ -368,6 +373,7 @@ func (s *Synthesis) execOptions(opt exec.Options) exec.Options {
 	opt.PipelineDepth = s.PipelineDepth
 	opt.Metrics = s.Metrics
 	opt.Tracer = s.Tracer
+	opt.Log = s.Log
 	return opt
 }
 

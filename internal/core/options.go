@@ -115,6 +115,14 @@ func WithTracer(tr *obs.Tracer) Option {
 	return func(c *config) { c.tracer = tr }
 }
 
+// WithLog streams the synthesis's structured events into the event
+// log: the solver's restarts, improvements, and lane wins during the
+// solve, and the execution helpers' retry and recovery events
+// afterwards (nil disables).
+func WithLog(l *obs.Log) Option {
+	return func(c *config) { c.extras.log = l }
+}
+
 // WithPortfolio races k independently seeded solver lanes (cycling the
 // DLM, CSA, and random strategies) in deterministic lockstep rounds
 // during solver-based synthesis; the first lane to converge on a
@@ -188,6 +196,7 @@ func SynthesizeOpts(ctx context.Context, prog *loops.Program, opts ...Option) (*
 	s.PipelineDepth = c.pipelineDepth
 	s.Metrics = c.extras.metrics
 	s.Tracer = c.tracer
+	s.Log = c.extras.log
 	return s, nil
 }
 

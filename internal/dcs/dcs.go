@@ -149,6 +149,9 @@ type Options struct {
 	// Metrics, if non-nil, receives dcs.evals / dcs.restarts /
 	// dcs.improvements counters.
 	Metrics *obs.Registry
+	// Log, if non-nil, receives the solver's structured events (system
+	// "dcs": solve.restart, solve.improvement, solve.final, lane.win).
+	Log *obs.Log
 
 	// gate, when non-nil, is invoked every gateEvery evaluations with a
 	// snapshot of the lane state; returning false stops the search at
@@ -331,17 +334,18 @@ type solver struct {
 	mEvals, mRestarts, mImprovements *obs.Counter
 }
 
-// emit delivers an observer event, attaching the current restart, eval
-// count, and multiplier norm.
+// emit delivers a progress event to the observer and the structured
+// event log, attaching the current restart, eval count, and multiplier
+// norm.
 func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64) {
-	if s.opt.Observer == nil || s.stopped {
+	if s.stopped || (s.opt.Observer == nil && !s.opt.Log.Enabled(obs.LevelInfo)) {
 		return
 	}
 	muNorm := 0.0
 	for _, m := range s.curMu {
 		muNorm += m * m
 	}
-	s.opt.Observer(Event{
+	e := Event{
 		Kind:         kind,
 		Lane:         s.opt.lane,
 		Restart:      s.restarts,
@@ -350,7 +354,26 @@ func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64)
 		Feasible:     feasible,
 		MaxViolation: maxViol,
 		MuNorm:       math.Sqrt(muNorm),
-	})
+	}
+	if s.opt.Observer != nil {
+		s.opt.Observer(e)
+	}
+	logSolveEvent(s.opt.Log, e)
+}
+
+// logSolveEvent mirrors a solver progress event into the structured
+// event log.
+func logSolveEvent(l *obs.Log, e Event) {
+	if !l.Enabled(obs.LevelInfo) {
+		return
+	}
+	l.Info("dcs", "solve."+e.Kind,
+		obs.F("lane", e.Lane),
+		obs.F("restart", e.Restart),
+		obs.F("evals", e.Evals),
+		obs.F("best", e.Best),
+		obs.F("feasible", e.Feasible),
+		obs.F("max_violation", e.MaxViolation))
 }
 
 // bestSoFar returns the best feasible objective (+Inf when none exists).

@@ -17,6 +17,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // staleLimit is the number of consecutive gate boundaries a lane's best
@@ -223,6 +225,13 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 			WinnerSeed:     lanes[winner].Seed,
 			WinnerStrategy: lanes[winner].Strategy,
 		}
+		opt.Log.Info("dcs", "lane.win",
+			obs.F("lane", winner),
+			obs.F("lanes", k),
+			obs.F("seed", lanes[winner].Seed),
+			obs.F("strategy", lanes[winner].Strategy.String()),
+			obs.F("best", res.Objective),
+			obs.F("evals", totalEvals))
 		emitPortfolioFinal(opt, res, 0)
 		return res, nil
 	}
@@ -259,10 +268,7 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 // emitPortfolioFinal delivers the race's single "final" event. All lanes
 // have been joined, so the raw observer is safe to call directly.
 func emitPortfolioFinal(opt Options, res Result, maxViol float64) {
-	if opt.Observer == nil {
-		return
-	}
-	opt.Observer(Event{
+	e := Event{
 		Kind:         "final",
 		Lane:         res.WinnerLane,
 		Restart:      res.Restarts,
@@ -270,5 +276,9 @@ func emitPortfolioFinal(opt Options, res Result, maxViol float64) {
 		Best:         res.Objective,
 		Feasible:     res.Feasible,
 		MaxViolation: maxViol,
-	})
+	}
+	if opt.Observer != nil {
+		opt.Observer(e)
+	}
+	logSolveEvent(opt.Log, e)
 }

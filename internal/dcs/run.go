@@ -109,6 +109,13 @@ func WithMetrics(reg *obs.Registry) RunOption {
 	return func(o *Options) { o.Metrics = reg }
 }
 
+// WithLog streams the solver's structured events (restarts,
+// improvements, lane wins, the final point) into the event log (nil
+// disables).
+func WithLog(l *obs.Log) RunOption {
+	return func(o *Options) { o.Log = l }
+}
+
 // Run minimizes the problem under a context, configured by functional
 // options. Cancellation and deadline expiry stop the search gracefully:
 // the best point found so far is returned, never an error — a budget

@@ -169,6 +169,9 @@ const (
 	MetricScrubBlocks       = "disk.scrub.blocks"
 	MetricScrubDefects      = "disk.scrub.defects"
 	MetricScrubRepaired     = "disk.scrub.repaired"
+	// MetricScrubDefectsByArray is a labeled counter family breaking
+	// the defect tally down per array (label "array").
+	MetricScrubDefectsByArray = "disk.scrub.defects.by_array"
 )
 
 // ScrubDefect is one block whose stored checksum disagrees with its
@@ -211,8 +214,12 @@ type ScrubOptions struct {
 	// original data is gone and a clean baseline is needed.
 	Repair bool
 	// Metrics, if non-nil, receives scrub progress counters
-	// (disk.scrub.blocks / .defects / .repaired).
+	// (disk.scrub.blocks / .defects / .repaired) plus the per-array
+	// defect breakdown (labeled family disk.scrub.defects.by_array).
 	Metrics *obs.Registry
+	// Log, if non-nil, receives one scrub.defect event per rotten block
+	// and a scrub.done summary (system "disk").
+	Log *obs.Log
 }
 
 // IntegrityStore is the per-backend scrub surface: both FileStore and
@@ -249,6 +256,17 @@ func Scrub(be Backend, opt ScrubOptions) (*ScrubReport, error) {
 		rep.Arrays++
 		rep.Blocks += blocks
 		rep.Defects = append(rep.Defects, defects...)
+		for _, d := range defects {
+			opt.Log.Warn("disk", "scrub.defect",
+				obs.F("array", d.Array),
+				obs.F("block", d.Block),
+				obs.F("stored", fmt.Sprintf("%08x", d.Stored)),
+				obs.F("computed", fmt.Sprintf("%08x", d.Computed)))
+		}
+		if opt.Metrics != nil && len(defects) > 0 {
+			opt.Metrics.CounterVec(MetricScrubDefectsByArray, "array").
+				With(name).Add(int64(len(defects)))
+		}
 		if opt.Repair && len(defects) > 0 {
 			if err := st.RebuildChecksums(name); err != nil {
 				return nil, fmt.Errorf("disk: scrub repair %q: %w", name, err)
@@ -266,6 +284,11 @@ func Scrub(be Backend, opt ScrubOptions) (*ScrubReport, error) {
 		opt.Metrics.Counter(MetricScrubDefects).Add(int64(len(rep.Defects)))
 		opt.Metrics.Counter(MetricScrubRepaired).Add(rep.Repaired)
 	}
+	opt.Log.Info("disk", "scrub.done",
+		obs.F("arrays", rep.Arrays),
+		obs.F("blocks", rep.Blocks),
+		obs.F("defects", len(rep.Defects)),
+		obs.F("repaired", rep.Repaired))
 	return rep, nil
 }
 

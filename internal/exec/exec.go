@@ -94,6 +94,10 @@ type Options struct {
 	// disk-track span total equals the backend's modelled disk.Stats.Time()
 	// up to floating-point association.
 	Tracer *obs.Tracer
+	// Log, if non-nil, receives the engine's structured events (system
+	// "exec"): io.fault / io.retry per retried operation, and the
+	// recovery and integrity-heal record of RunResilient.
+	Log *obs.Log
 }
 
 // Checkpoint identifies a safe resumption boundary: top-level body item
@@ -231,6 +235,7 @@ func RunContext(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs ma
 		e.mBufBytes = opt.Metrics.Gauge("exec.buffer.bytes")
 		e.mFaults = opt.Metrics.Counter("exec.io.faults")
 		e.mRetries = opt.Metrics.Counter("exec.io.retries")
+		e.vRetries = opt.Metrics.CounterVec("exec.io.retries.by_array", "array")
 	}
 	if opt.Pipeline {
 		e.pipe = newPipeline(e, opt.PipelineDepth)
@@ -340,6 +345,9 @@ type engine struct {
 	// mFaults/mRetries mirror the retry tallies into the metrics
 	// registry (nil without Options.Metrics).
 	mFaults, mRetries *obs.Counter
+	// vRetries breaks retries down per array (labeled family
+	// exec.io.retries.by_array); nil without Options.Metrics.
+	vRetries *obs.CounterVec
 }
 
 // retrySnapshot copies the retry tallies.
@@ -405,12 +413,30 @@ func (e *engine) retryOp(array string, attemptDur float64, fn func() error) erro
 		var ioe *disk.IOError
 		if errors.As(err, &ioe) {
 			e.noteFault()
+			if e.opt.Log.Enabled(obs.LevelWarn) {
+				e.opt.Log.Warn("exec", "io.fault",
+					obs.F("array", ioe.Array),
+					obs.F("op", ioe.Op),
+					obs.F("transient", ioe.Transient()),
+					obs.F("error", err))
+			}
 		}
 		if pol == nil || !disk.IsTransient(err) || attempt+1 >= attempts || e.ctx.Err() != nil {
 			return err
 		}
 		delay := pol.Delay(attempt, e.nextRetryKey())
 		e.noteRetry(delay + attemptDur)
+		if e.vRetries != nil {
+			e.vRetries.With(array).Inc()
+		}
+		if e.opt.Log.Enabled(obs.LevelWarn) {
+			e.opt.Log.Warn("exec", "io.retry",
+				obs.F("array", array),
+				obs.F("attempt", attempt+1),
+				obs.F("of", attempts),
+				obs.F("delay_s", delay),
+				obs.F("error", err))
+		}
 		if e.pipe != nil {
 			e.pipe.addRetryExtra(delay + attemptDur)
 		} else {

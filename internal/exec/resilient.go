@@ -18,6 +18,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/disk"
 	"repro/internal/loops"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -198,6 +199,14 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 		if err == nil {
 			rep.accumulate(res.Stats, res.Retry, 0)
 			res.Recovery = rep
+			if rep.Restarts > 0 || rep.FaultsSeen > 0 {
+				opt.Log.Info("exec", "recovery.done",
+					obs.F("restarts", rep.Restarts),
+					obs.F("faults", rep.FaultsSeen),
+					obs.F("retries", rep.Retries),
+					obs.F("integrity_healed", rep.IntegrityHealed),
+					obs.F("wasted_s", rep.WastedSeconds))
+			}
 			return res, rep, nil
 		}
 		var re *RunError
@@ -208,6 +217,10 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 		restartable := errors.As(err, &ioe) &&
 			re != nil && re.Staged && re.Checkpoint != nil
 		if !restartable || rep.Restarts >= int64(maxRestarts) || ctx != nil && ctx.Err() != nil {
+			opt.Log.Error("exec", "recovery.failed",
+				obs.F("restarts", rep.Restarts),
+				obs.F("restartable", restartable),
+				obs.F("error", err))
 			return nil, rep, err
 		}
 		cp := *re.Checkpoint
@@ -226,8 +239,14 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 			if opt.Metrics != nil {
 				opt.Metrics.Counter("exec.integrity.detected").Add(1)
 			}
+			opt.Log.Warn("exec", "integrity.detected",
+				obs.F("array", ie.Array),
+				obs.F("error", err))
 			heal, herr := healIntegrity(p, be, inputs, ie, &cp, opt.DryRun)
 			if herr != nil {
+				opt.Log.Error("exec", "integrity.unhealable",
+					obs.F("array", ie.Array),
+					obs.F("error", herr))
 				return nil, rep, fmt.Errorf("exec: integrity fault on array %q cannot be healed (%v): %w", ie.Array, herr, err)
 			}
 			rep.IntegrityHealed++
@@ -235,6 +254,11 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 			if opt.Metrics != nil {
 				opt.Metrics.Counter("exec.integrity.healed").Add(1)
 			}
+			opt.Log.Info("exec", "integrity.healed",
+				obs.F("array", heal.Array),
+				obs.F("method", heal.Method),
+				obs.F("resume_item", heal.Resume.Item),
+				obs.F("resume_iter", heal.Resume.Iter))
 		}
 		if rc.Reopen != nil {
 			nbe, rerr := rc.Reopen()
@@ -253,6 +277,11 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 		}
 		rep.Restarts++
 		rep.ResumePoints = append(rep.ResumePoints, cp)
+		opt.Log.Warn("exec", "recovery.restart",
+			obs.F("restart", rep.Restarts),
+			obs.F("resume_item", cp.Item),
+			obs.F("resume_iter", cp.Iter),
+			obs.F("error", err))
 		runOpt = base
 		runOpt.Resume = &cp
 		// The resume path opens every array the interrupted attempt

@@ -173,6 +173,11 @@ type Injector struct {
 	mBitFlip    *obs.Counter
 	mLost       *obs.Counter
 	mSilentTorn *obs.Counter
+	// vInjected breaks injections down per kind (labeled family
+	// fault.injected.by_kind{kind="transient"|...}).
+	vInjected *obs.CounterVec
+	// log receives one structured event per applied injection.
+	log *obs.Log
 }
 
 // Wrap returns a fault-injecting view of be following cfg's schedule.
@@ -276,8 +281,67 @@ func (in *Injector) SetMetrics(reg *obs.Registry) {
 		in.mLost = reg.Counter("fault.injected.lost")
 		in.mSilentTorn = reg.Counter("fault.injected.silenttorn")
 	}
+	if reg == nil {
+		in.vInjected = nil
+	} else {
+		in.vInjected = reg.CounterVec("fault.injected.by_kind", "kind")
+	}
 	in.mu.Unlock()
 	disk.AttachMetrics(in.Inner(), reg)
+}
+
+// SetLog streams one structured event per applied injection into the
+// event log (system "fault"; nil disables).
+func (in *Injector) SetLog(l *obs.Log) {
+	in.mu.Lock()
+	in.log = l
+	in.mu.Unlock()
+}
+
+// kindName returns the schedule kind's label ("" for fNone).
+func kindName(kind int) string {
+	switch kind {
+	case fTransient:
+		return "transient"
+	case fTorn:
+		return "torn"
+	case fPersistent:
+		return "persistent"
+	case fBitFlip:
+		return "bitflip"
+	case fLost:
+		return "lost"
+	case fSilentTorn:
+		return "silenttorn"
+	}
+	return ""
+}
+
+// vinc bumps the per-kind labeled counter. Callers hold in.mu.
+func (in *Injector) vinc(kind int) {
+	if in.vInjected != nil {
+		in.vInjected.With(kindName(kind)).Inc()
+	}
+}
+
+// logInject emits the injection event for an errored fault kind;
+// silent kinds are logged by recordSilent once actually applied.
+func (in *Injector) logInject(kind int, op, array string, ord int64) {
+	switch kind {
+	case fTransient, fTorn, fPersistent:
+	default:
+		return
+	}
+	in.mu.Lock()
+	l := in.log
+	in.mu.Unlock()
+	if !l.Enabled(obs.LevelInfo) {
+		return
+	}
+	l.Info("fault", "inject."+kindName(kind),
+		obs.F("op", op),
+		obs.F("array", array),
+		obs.F("ord", ord))
 }
 
 // fault kinds decided per operation.
@@ -325,6 +389,7 @@ func (in *Injector) decide(write bool) (int, int64) {
 		in.counts.Persistent++
 		in.inc(in.mInjected)
 		in.inc(in.mPersistent)
+		in.vinc(fPersistent)
 		in.streak = 0
 		return fPersistent, ord
 	}
@@ -358,6 +423,7 @@ func (in *Injector) decide(write bool) (int, int64) {
 		in.counts.Torn++
 		in.inc(in.mInjected)
 		in.inc(in.mTorn)
+		in.vinc(fTorn)
 		in.streak++
 		return fTorn, ord
 	}
@@ -365,6 +431,7 @@ func (in *Injector) decide(write bool) (int, int64) {
 		in.counts.Transient++
 		in.inc(in.mInjected)
 		in.inc(in.mTransient)
+		in.vinc(fTransient)
 		in.streak++
 		return fTransient, ord
 	}
@@ -372,10 +439,9 @@ func (in *Injector) decide(write bool) (int, int64) {
 	return fNone, ord
 }
 
-// recordSilent tallies an applied silent corruption.
-func (in *Injector) recordSilent(kind int) {
+// recordSilent tallies an applied silent corruption against its array.
+func (in *Injector) recordSilent(kind int, array string) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	switch kind {
 	case fBitFlip:
 		in.counts.BitFlips++
@@ -386,6 +452,12 @@ func (in *Injector) recordSilent(kind int) {
 	case fSilentTorn:
 		in.counts.SilentTorn++
 		in.inc(in.mSilentTorn)
+	}
+	in.vinc(kind)
+	l := in.log
+	in.mu.Unlock()
+	if l.Enabled(obs.LevelInfo) {
+		l.Info("fault", "inject."+kindName(kind), obs.F("array", array))
 	}
 }
 
@@ -451,7 +523,7 @@ func (f *faultArray) flipBit(lo []int64, ord int64) bool {
 	if bf.FlipBit(elem, bit) != nil {
 		return false
 	}
-	f.in.recordSilent(fBitFlip)
+	f.in.recordSilent(fBitFlip, f.a.Name())
 	return true
 }
 
@@ -469,13 +541,14 @@ func (f *faultArray) writeSilent(lo, shape []int64, buf []float64, kind int) (bo
 	}
 	err := sw.WriteSectionSilent(lo, shape, buf, mode)
 	if err == nil {
-		f.in.recordSilent(kind)
+		f.in.recordSilent(kind, f.a.Name())
 	}
 	return true, err
 }
 
 func (f *faultArray) ReadSection(lo, shape []int64, buf []float64) error {
 	kind, ord := f.in.decide(false)
+	f.in.logInject(kind, "read", f.a.Name(), ord)
 	switch kind {
 	case fPersistent:
 		return disk.NewIOError("read", f.a.Name(), lo, shape, false, ErrPersistent)
@@ -499,7 +572,8 @@ func (f *faultArray) ReadSection(lo, shape []int64, buf []float64) error {
 }
 
 func (f *faultArray) WriteSection(lo, shape []int64, buf []float64) error {
-	kind, _ := f.in.decide(true)
+	kind, ord := f.in.decide(true)
+	f.in.logInject(kind, "write", f.a.Name(), ord)
 	switch kind {
 	case fPersistent:
 		return disk.NewIOError("write", f.a.Name(), lo, shape, false, ErrPersistent)
@@ -549,6 +623,7 @@ func (c *faultCompletion) Await() error {
 
 func (f *faultArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion {
 	kind, ord := f.in.decide(false)
+	f.in.logInject(kind, "read", f.a.Name(), ord)
 	switch kind {
 	case fPersistent:
 		ioe := disk.NewIOError("read", f.a.Name(), lo, shape, false, ErrPersistent)
@@ -576,7 +651,8 @@ func (f *faultArray) ReadAsync(lo, shape []int64, buf []float64) disk.Completion
 }
 
 func (f *faultArray) WriteAsync(lo, shape []int64, buf []float64) disk.Completion {
-	kind, _ := f.in.decide(true)
+	kind, ord := f.in.decide(true)
+	f.in.logInject(kind, "write", f.a.Name(), ord)
 	switch kind {
 	case fPersistent:
 		ioe := disk.NewIOError("write", f.a.Name(), lo, shape, false, ErrPersistent)

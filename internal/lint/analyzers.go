@@ -20,6 +20,10 @@ package lint
 //     disk.IOError taxonomy), never by == on error values or by string
 //     matching on Error() text — both break under wrapping, and the
 //     retry/recovery layers depend on classification surviving wraps.
+//   - obslog: internal packages report through the structured event log
+//     (obs.Log) or returned errors, never by printing to stderr or via
+//     the stdlib log package; ad-hoc prints bypass the flight recorder
+//     and the -log-out stream. CLIs (cmd/...) and tests are exempt.
 
 import (
 	"go/ast"
@@ -28,7 +32,7 @@ import (
 )
 
 // Analyzers lists every repo analyzer in the order they run.
-var Analyzers = []*Analyzer{DiskStats, CtxField, ErrPrefix, ObsNew, IOErr}
+var Analyzers = []*Analyzer{DiskStats, CtxField, ErrPrefix, ObsNew, IOErr, ObsLog}
 
 // statsFields are the exported counters of disk.Stats.
 var statsFields = map[string]bool{
@@ -244,6 +248,69 @@ var IOErr = &Analyzer{
 					if n.Type != nil && errish(n.X) {
 						p.Reportf(f, n.Pos(), "type assertion on an error; use errors.As so typed classification (disk.IOError, disk.IntegrityError) survives wrapping")
 					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// logPrintFns are the stdlib log package's printing entry points.
+var logPrintFns = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// stderrPrintFns are the fmt functions that take an io.Writer first.
+var stderrPrintFns = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// ObsLog flags ad-hoc terminal output from internal packages: calls into
+// the stdlib log package and fmt.Fprint* aimed at os.Stderr. Library code
+// reports through the structured event log (obs.Log) or returned errors,
+// so every diagnostic lands in the flight recorder and the -log-out
+// stream; a stray log.Printf is invisible to both. CLIs under cmd/ own
+// the terminal and are exempt, as are test files.
+var ObsLog = &Analyzer{
+	Name: "obslog",
+	Doc:  "internal packages log through obs.Log, not the log package or stderr prints",
+	Run: func(p *Pass) {
+		if !strings.HasPrefix(p.PkgPath, "internal/") {
+			return
+		}
+		isStderr := func(e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Stderr" {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && id.Name == "os"
+		}
+		for _, f := range p.Files {
+			if strings.HasSuffix(f.Fset.Position(f.AST.Pos()).Filename, "_test.go") {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "log" && logPrintFns[sel.Sel.Name] {
+					p.Reportf(f, call.Pos(), "stdlib log call in an internal package; emit a structured event through obs.Log (or return the error)")
+				}
+				if id.Name == "fmt" && stderrPrintFns[sel.Sel.Name] &&
+					len(call.Args) > 0 && isStderr(call.Args[0]) {
+					p.Reportf(f, call.Pos(), "stderr print in an internal package; emit a structured event through obs.Log (or return the error)")
 				}
 				return true
 			})

@@ -267,3 +267,46 @@ func probe(be interface{}) bool {
 }
 `), "ioerr")
 }
+
+func TestObsLog(t *testing.T) {
+	src := `package exec
+import (
+	"fmt"
+	"log"
+	"os"
+)
+func report(err error) {
+	log.Printf("retry failed: %v", err)
+	fmt.Fprintf(os.Stderr, "retry failed: %v\n", err)
+}
+`
+	diags := check(t, "internal/exec", src)
+	if n := countBy(diags, "obslog"); n != 2 {
+		t.Fatalf("want 2 obslog diagnostics, got %d: %v", n, diags)
+	}
+	wantDiag(t, diags, "obslog", "structured event")
+
+	// CLIs own the terminal.
+	wantNone(t, check(t, "cmd/oocrun", strings.Replace(src, "package exec", "package main", 1)), "obslog")
+
+	// Prints to other writers are not terminal output.
+	wantNone(t, check(t, "internal/exec", `package exec
+import (
+	"fmt"
+	"io"
+)
+func dump(w io.Writer) { fmt.Fprintf(w, "ok\n") }
+`), "obslog")
+
+	// An ignore directive with a reason suppresses the finding.
+	wantNone(t, check(t, "internal/cliutil", `package cliutil
+import (
+	"fmt"
+	"os"
+)
+func fatal(err error) {
+	//lint:ignore obslog the CLI fatal path prints for the operator
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+}
+`), "obslog")
+}

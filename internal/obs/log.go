@@ -1,0 +1,350 @@
+package obs
+
+// Structured event log: the run's flight recorder. Every subsystem
+// emits leveled, field-structured events through one *Log, producing a
+// single ordered record (JSONL) that explains what a run did — solver
+// restarts and improvements, I/O retries, fault injections, integrity
+// heals, scrub findings. Sinks compose: a WriterSink streams JSONL to
+// a file, a Ring keeps the most recent events in memory for /statusz
+// and post-mortem dumps, and Tee fans out to both.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is an event severity.
+type Level int8
+
+// Levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to
+// its Level. The empty string means LevelInfo.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "", "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Event is one record of the structured event log.
+type Event struct {
+	Seq      uint64         `json:"seq"`
+	TimeMs   int64          `json:"t_ms"` // unix milliseconds
+	Level    string         `json:"level"`
+	System   string         `json:"system"` // emitting subsystem: dcs, exec, fault, disk, obs, ...
+	Name     string         `json:"event"`  // event name within the system, e.g. "solve.restart"
+	Run      string         `json:"run,omitempty"`
+	Scenario string         `json:"scenario,omitempty"`
+	Fields   map[string]any `json:"fields,omitempty"`
+}
+
+// Field is one key/value pair of an event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds an event field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// fieldValue makes a field value JSON-encodable: errors become their
+// message and non-finite floats (which encoding/json rejects) become
+// their usual string rendering.
+func fieldValue(v any) any {
+	switch x := v.(type) {
+	case error:
+		if x == nil {
+			return nil
+		}
+		return x.Error()
+	case float64:
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			return strconv.FormatFloat(x, 'g', -1, 64)
+		}
+	case float32:
+		if math.IsInf(float64(x), 0) || math.IsNaN(float64(x)) {
+			return strconv.FormatFloat(float64(x), 'g', -1, 32)
+		}
+	case time.Duration:
+		return x.Seconds()
+	}
+	return v
+}
+
+// Sink receives completed events. Implementations must be safe for
+// concurrent use; Emit is called with events in seq order.
+type Sink interface {
+	Emit(Event)
+}
+
+// WriterSink streams events as JSON Lines. It retains the first write
+// error and drops subsequent events.
+type WriterSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewWriterSink wraps w in a JSONL sink.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event as a JSON line.
+func (s *WriterSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (s *WriterSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Ring is a bounded in-memory event buffer: the flight recorder. Once
+// full, new events overwrite the oldest.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing creates a ring holding the most recent n events (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit records one event, evicting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// WriteJSONL dumps the buffered events, oldest first, as JSON Lines.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obs: ring dump: %w", err)
+		}
+	}
+	return nil
+}
+
+// teeSink fans events out to several sinks.
+type teeSink []Sink
+
+func (t teeSink) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// Tee combines sinks into one; nil sinks are skipped.
+func Tee(sinks ...Sink) Sink {
+	var out teeSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// logCore is the state shared by a Log and everything derived from it
+// via WithRun/WithScenario.
+type logCore struct {
+	min  Level
+	sink Sink
+	now  func() time.Time
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// Log emits structured events to a sink. The zero of *Log (nil) is a
+// valid no-op logger, so callers thread it unconditionally. WithRun
+// and WithScenario derive loggers that stamp every event; derived
+// loggers share one sequence, so the merged record stays ordered.
+type Log struct {
+	core     *logCore
+	run      string
+	scenario string
+}
+
+// NewLog creates a logger emitting events at or above min to sink.
+// A nil sink yields a no-op logger.
+func NewLog(min Level, sink Sink) *Log {
+	if sink == nil {
+		return nil
+	}
+	return &Log{core: &logCore{min: min, sink: sink, now: time.Now}}
+}
+
+// WithRun derives a logger stamping every event with the run ID.
+func (l *Log) WithRun(run string) *Log {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.run = run
+	return &d
+}
+
+// WithScenario derives a logger stamping every event with a scenario
+// name (the spec or workload being run).
+func (l *Log) WithScenario(scenario string) *Log {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.scenario = scenario
+	return &d
+}
+
+// Enabled reports whether events at level v would be emitted; hot
+// paths check it before building expensive fields.
+func (l *Log) Enabled(v Level) bool {
+	return l != nil && v >= l.core.min
+}
+
+// Emit records one event. Fields are sanitized for JSON encoding
+// (errors to messages, non-finite floats to strings).
+func (l *Log) Emit(v Level, system, event string, fields ...Field) {
+	if !l.Enabled(v) {
+		return
+	}
+	e := Event{
+		Level:    v.String(),
+		System:   system,
+		Name:     event,
+		Run:      l.run,
+		Scenario: l.scenario,
+	}
+	if len(fields) > 0 {
+		e.Fields = make(map[string]any, len(fields))
+		for _, f := range fields {
+			e.Fields[f.Key] = fieldValue(f.Value)
+		}
+	}
+	c := l.core
+	c.mu.Lock()
+	c.seq++
+	e.Seq = c.seq
+	e.TimeMs = c.now().UnixMilli()
+	c.sink.Emit(e) // under the lock: seq order and sink order agree
+	c.mu.Unlock()
+}
+
+// Debug emits a debug-level event.
+func (l *Log) Debug(system, event string, fields ...Field) {
+	l.Emit(LevelDebug, system, event, fields...)
+}
+
+// Info emits an info-level event.
+func (l *Log) Info(system, event string, fields ...Field) {
+	l.Emit(LevelInfo, system, event, fields...)
+}
+
+// Warn emits a warn-level event.
+func (l *Log) Warn(system, event string, fields ...Field) {
+	l.Emit(LevelWarn, system, event, fields...)
+}
+
+// Error emits an error-level event.
+func (l *Log) Error(system, event string, fields ...Field) {
+	l.Emit(LevelError, system, event, fields...)
+}
+
+// ReadEvents decodes a JSONL event stream (the WriterSink format).
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: event stream: %w", err)
+		}
+		out = append(out, e)
+	}
+}

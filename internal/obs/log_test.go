@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestLog builds a logger with a deterministic clock.
+func newTestLog(min Level, sink Sink) *Log {
+	l := NewLog(min, sink)
+	if l != nil {
+		var ms int64
+		l.core.now = func() time.Time {
+			ms += 10
+			return time.UnixMilli(ms)
+		}
+	}
+	return l
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	l := newTestLog(LevelInfo, sink).WithRun("r1")
+
+	l.Info("dcs", "solve.restart", F("restart", 1), F("evals", 512))
+	l.WithScenario("C=A*B").Warn("exec", "io.retry",
+		F("error", errors.New("boom")),
+		F("delay_s", 50*time.Millisecond),
+		F("bad", math.Inf(1)))
+	l.Debug("dcs", "dropped") // below min level
+
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2: %v", len(events), events)
+	}
+	e0, e1 := events[0], events[1]
+	if e0.Seq != 1 || e1.Seq != 2 {
+		t.Fatalf("seqs = %d,%d, want 1,2", e0.Seq, e1.Seq)
+	}
+	if e0.System != "dcs" || e0.Name != "solve.restart" || e0.Run != "r1" || e0.Level != "info" {
+		t.Fatalf("event 0 = %+v", e0)
+	}
+	// JSON numbers decode as float64.
+	if e0.Fields["evals"] != float64(512) {
+		t.Fatalf("evals = %v", e0.Fields["evals"])
+	}
+	if e1.Scenario != "C=A*B" || e1.Run != "r1" {
+		t.Fatalf("event 1 run/scenario = %q/%q", e1.Run, e1.Scenario)
+	}
+	// Sanitized fields: errors to messages, durations to seconds,
+	// non-finite floats to strings (encoding/json rejects them raw).
+	if e1.Fields["error"] != "boom" {
+		t.Fatalf("error field = %v", e1.Fields["error"])
+	}
+	if e1.Fields["delay_s"] != 0.05 {
+		t.Fatalf("delay_s = %v", e1.Fields["delay_s"])
+	}
+	if e1.Fields["bad"] != "+Inf" {
+		t.Fatalf("bad = %v", e1.Fields["bad"])
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	if l.Enabled(LevelError) {
+		t.Fatal("nil log reports enabled")
+	}
+	l.Info("x", "y", F("k", 1)) // must not panic
+	l = l.WithRun("r").WithScenario("s")
+	l.Error("x", "y")
+	if NewLog(LevelInfo, nil) != nil {
+		t.Fatal("NewLog(nil sink) != nil")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	l := newTestLog(LevelDebug, r)
+	for i := 0; i < 5; i++ {
+		l.Info("t", "e", F("i", i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", r.Len())
+	}
+	ev := r.Events()
+	// Oldest first, holding the last three events.
+	for i, want := range []uint64{3, 4, 5} {
+		if ev[i].Seq != want {
+			t.Fatalf("ring seqs = %v, want 3,4,5", ev)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Fatalf("dump has %d lines, want 3", n)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee of nils != nil")
+	}
+	r := NewRing(4)
+	if Tee(nil, r) != Sink(r) {
+		t.Fatal("single-sink Tee should return the sink itself")
+	}
+	var buf bytes.Buffer
+	ws := NewWriterSink(&buf)
+	l := newTestLog(LevelInfo, Tee(ws, r))
+	l.Info("t", "e")
+	if r.Len() != 1 || !strings.Contains(buf.String(), `"event":"e"`) {
+		t.Fatalf("tee did not fan out: ring=%d buf=%q", r.Len(), buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"": LevelInfo, "debug": LevelDebug, "INFO": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel(loud) did not fail")
+	}
+}
+
+func TestLogConcurrentSeqOrder(t *testing.T) {
+	ring := NewRing(4096)
+	l := NewLog(LevelInfo, ring)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.WithRun("r").Info("t", "e")
+			}
+		}()
+	}
+	wg.Wait()
+	ev := ring.Events()
+	if len(ev) != 800 {
+		t.Fatalf("got %d events, want 800", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d; sink order and seq order disagree", i, e.Seq)
+		}
+	}
+}

@@ -167,7 +167,10 @@ func (h *Histogram) snapshot() HistogramValue {
 	if len(h.buckets) > 0 {
 		hv.Buckets = map[string]int64{}
 		for d, n := range h.buckets {
-			key := "0"
+			// Zero/negative/non-finite observations get an explicit
+			// underflow key: "0" would be ambiguous with a decade label
+			// and sorts into the middle of the 1e±NN keys.
+			key := "underflow"
 			if d != math.MinInt32 {
 				key = fmt.Sprintf("1e%+03d", d)
 			}
@@ -181,18 +184,24 @@ func (h *Histogram) snapshot() HistogramValue {
 // Instruments are created on first use and live for the registry's
 // lifetime, so callers may cache the returned pointers on hot paths.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		histograms:    map[string]*Histogram{},
+		counterVecs:   map[string]*CounterVec{},
+		gaugeVecs:     map[string]*GaugeVec{},
+		histogramVecs: map[string]*HistogramVec{},
 	}
 }
 
@@ -264,6 +273,8 @@ type HistogramValue struct {
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry.
+// Labeled series appear alongside the unlabeled ones under
+// `name{k="v",...}` keys, so one map holds the whole family.
 type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]GaugeValue     `json:"gauges"`
@@ -288,6 +299,21 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.snapshot()
 	}
+	for name, v := range r.counterVecs {
+		v.core.each(func(series string, c *Counter) {
+			s.Counters[name+"{"+series+"}"] = c.Value()
+		})
+	}
+	for name, v := range r.gaugeVecs {
+		v.core.each(func(series string, g *Gauge) {
+			s.Gauges[name+"{"+series+"}"] = GaugeValue{Value: g.Value(), Max: g.Max()}
+		})
+	}
+	for name, v := range r.histogramVecs {
+		v.core.each(func(series string, h *Histogram) {
+			s.Histograms[name+"{"+series+"}"] = h.snapshot()
+		})
+	}
 	return s
 }
 
@@ -303,6 +329,15 @@ func (r *Registry) Names() []string {
 		names = append(names, n)
 	}
 	for n := range r.histograms {
+		names = append(names, n)
+	}
+	for n := range r.counterVecs {
+		names = append(names, n)
+	}
+	for n := range r.gaugeVecs {
+		names = append(names, n)
+	}
+	for n := range r.histogramVecs {
 		names = append(names, n)
 	}
 	sort.Strings(names)

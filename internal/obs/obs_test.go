@@ -202,3 +202,26 @@ func TestConvergenceCurve(t *testing.T) {
 		t.Fatal("nil curve must be empty")
 	}
 }
+
+func TestHistogramUnderflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.Inf(1))
+	h.Observe(0.5) // decade -1
+
+	hv := r.Snapshot().Histograms["h"]
+	// Zero, negative, and non-finite observations land in an explicit
+	// "underflow" key — the old "0" key was ambiguous with a decade
+	// label and sorted into the middle of the 1e±NN keys.
+	if hv.Buckets["underflow"] != 3 {
+		t.Fatalf("underflow bucket = %v", hv.Buckets)
+	}
+	if hv.Buckets["1e-01"] != 1 {
+		t.Fatalf("decade bucket = %v", hv.Buckets)
+	}
+	if _, ok := hv.Buckets["0"]; ok {
+		t.Fatalf(`ambiguous "0" bucket key resurfaced: %v`, hv.Buckets)
+	}
+}

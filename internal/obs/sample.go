@@ -1,0 +1,161 @@
+package obs
+
+// Periodic registry sampling: a ticker-driven goroutine that snapshots
+// a registry and emits delta-aware JSONL rows, turning a long run into
+// time-series curves instead of one end-of-run number. Each row holds
+// the absolute counter values, the deltas of the counters that moved
+// since the previous row, and the current gauge values.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Sample is one row of the sampler's JSONL time series.
+type Sample struct {
+	Seq      int64              `json:"seq"`
+	TimeMs   int64              `json:"t_ms"`  // unix milliseconds
+	DeltaMs  int64              `json:"dt_ms"` // since the previous row (0 on the first)
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Deltas   map[string]int64   `json:"deltas,omitempty"` // only counters that changed
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Sampler periodically snapshots a registry into a JSONL writer.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	now      func() time.Time
+
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	seq     int64
+	prev    map[string]int64
+	lastMs  int64
+	started bool
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler creates a sampler for reg writing rows to w every
+// interval (minimum 10ms; 0 means one second).
+func NewSampler(reg *Registry, w io.Writer, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		now:      time.Now,
+		enc:      json.NewEncoder(w),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine. It stops — emitting one
+// final row — when ctx is cancelled or Stop is called.
+func (s *Sampler) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				s.sample()
+				return
+			case <-s.stop:
+				s.sample()
+				return
+			case <-t.C:
+				s.sample()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling after one final row and returns the first write
+// error. Idempotent; safe to call when Start never ran.
+func (s *Sampler) Stop() error {
+	s.mu.Lock()
+	started, stopped := s.started, s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if !started {
+		s.sample() // still record the end-of-run state
+		return s.Err()
+	}
+	if !stopped {
+		close(s.stop)
+	}
+	<-s.done
+	return s.Err()
+}
+
+// Err returns the first write error, if any.
+func (s *Sampler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return fmt.Errorf("obs: sampler: %w", s.err)
+	}
+	return nil
+}
+
+// sample emits one row.
+func (s *Sampler) sample() {
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	nowMs := s.now().UnixMilli()
+	row := Sample{Seq: s.seq, TimeMs: nowMs}
+	if s.seq > 0 {
+		row.DeltaMs = nowMs - s.lastMs
+	}
+	if len(snap.Counters) > 0 {
+		row.Counters = snap.Counters
+		for name, v := range snap.Counters {
+			if d := v - s.prev[name]; d != 0 {
+				if row.Deltas == nil {
+					row.Deltas = map[string]int64{}
+				}
+				row.Deltas[name] = d
+			}
+		}
+	}
+	for name, g := range snap.Gauges {
+		if math.IsInf(g.Value, 0) || math.IsNaN(g.Value) {
+			continue // encoding/json rejects non-finite values
+		}
+		if row.Gauges == nil {
+			row.Gauges = map[string]float64{}
+		}
+		row.Gauges[name] = g.Value
+	}
+	s.err = s.enc.Encode(row)
+	s.prev = snap.Counters
+	s.lastMs = nowMs
+	s.seq++
+}

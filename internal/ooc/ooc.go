@@ -50,6 +50,10 @@ type Options struct {
 	// Tracer, if non-nil, records the execution's modelled timeline as
 	// obs spans for Chrome-trace export.
 	Tracer *obs.Tracer
+	// Log, if non-nil, receives the run's structured events: solver
+	// progress during synthesis, retries and recovery during execution,
+	// and scrub findings afterwards.
+	Log *obs.Log
 	// Observer, if non-nil, streams solver convergence events during the
 	// synthesis step.
 	Observer core.Observer
@@ -141,6 +145,9 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	if opt.Verify {
 		copts = append(copts, core.WithVerify())
 	}
+	if opt.Log != nil {
+		copts = append(copts, core.WithLog(opt.Log))
+	}
 	s, err := core.SynthesizeOpts(context.Background(), prog, copts...)
 	if err != nil {
 		return nil, err
@@ -156,6 +163,7 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 		PipelineDepth: opt.PipelineDepth,
 		Metrics:       opt.Metrics,
 		Tracer:        opt.Tracer,
+		Log:           opt.Log,
 		Retry:         opt.Retry,
 	}
 	var res *exec.Result
@@ -170,7 +178,7 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	out := &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline,
 		Retry: res.Retry, Recovery: res.Recovery}
 	if opt.Scrub {
-		rep, err := disk.Scrub(be, disk.ScrubOptions{Metrics: opt.Metrics})
+		rep, err := disk.Scrub(be, disk.ScrubOptions{Metrics: opt.Metrics, Log: opt.Log})
 		if err != nil {
 			return nil, fmt.Errorf("ooc: post-run scrub: %w", err)
 		}

@@ -66,6 +66,9 @@ type Options struct {
 	// Tracer, if non-nil, records the measurement runs' modelled
 	// timelines (successive sweep points append to one timeline).
 	Tracer *obs.Tracer
+	// Log, if non-nil, receives every synthesis's and measurement's
+	// structured events (solver progress, retries, recovery).
+	Log *obs.Log
 	// Warm re-solves each sweep point from the previous point's solution:
 	// the prior plan is remapped into the new problem as a starting point
 	// and, when still feasible, its objective prunes the candidate
@@ -104,6 +107,9 @@ func (o Options) synthesize(prog *loops.Program, cfg machine.Config, prev *core.
 	}
 	if o.Tracer != nil {
 		opts = append(opts, core.WithTracer(o.Tracer))
+	}
+	if o.Log != nil {
+		opts = append(opts, core.WithLog(o.Log))
 	}
 	if prev != nil {
 		opts = append(opts, core.WithWarmStart(prev))

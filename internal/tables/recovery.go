@@ -68,6 +68,7 @@ func RecoveryStudy(sizes []Size, fcfg fault.Config, opt Options) ([]RecoveryRow,
 			Pipeline: ds.Pipeline,
 			Retry:    disk.DefaultRetryPolicy(),
 			Metrics:  opt.Metrics,
+			Log:      opt.Log,
 		}, exec.RecoveryOptions{})
 		be.Close()
 		if err != nil {

@@ -50,6 +50,9 @@ type Options struct {
 	// Tracer, if non-nil, records the measurement runs' modelled
 	// timelines as obs spans (successive runs append to one timeline).
 	Tracer *obs.Tracer
+	// Log, if non-nil, receives every synthesis's and measurement's
+	// structured events (solver progress, retries, recovery).
+	Log *obs.Log
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +84,9 @@ func (o Options) coreOptions() []core.Option {
 	}
 	if o.Tracer != nil {
 		opts = append(opts, core.WithTracer(o.Tracer))
+	}
+	if o.Log != nil {
+		opts = append(opts, core.WithLog(o.Log))
 	}
 	return opts
 }
