@@ -113,8 +113,13 @@ func vettool(cfgPath string) int {
 }
 
 // pkgPath strips the module prefix so path-scoped analyzers see the same
-// "internal/..." paths in both modes.
+// "internal/..." paths in both modes. Test variants arrive from go vet
+// as `repro/pkg [repro/pkg.test]`; the bracketed suffix is dropped so
+// the variant matches the same path scopes as the package proper.
 func pkgPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
 	return strings.TrimPrefix(importPath, "repro/")
 }
 

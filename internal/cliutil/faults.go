@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -39,8 +40,8 @@ func ParseFaultSpec(spec string) (fault.Config, error) {
 			cfg.LatencyRate, err = parseRate(k, v)
 		case "latsec":
 			cfg.LatencySeconds, err = strconv.ParseFloat(v, 64)
-			if err == nil && cfg.LatencySeconds < 0 {
-				err = fmt.Errorf("cliutil: latsec must be >= 0")
+			if err == nil && (cfg.LatencySeconds < 0 || !isFinite(cfg.LatencySeconds)) {
+				err = fmt.Errorf("cliutil: latsec must be finite and >= 0")
 			}
 		case "maxconsec":
 			cfg.MaxConsecutive, err = strconv.Atoi(v)
@@ -64,14 +65,18 @@ func ParseFaultSpec(spec string) (fault.Config, error) {
 	return cfg, nil
 }
 
-// parseRate parses a probability in [0, 1].
+// parseRate parses a probability in [0, 1]. NaN fails both range
+// comparisons, so it is rejected explicitly.
 func parseRate(key, v string) (float64, error) {
 	r, err := strconv.ParseFloat(v, 64)
 	if err != nil {
 		return 0, err
 	}
-	if r < 0 || r > 1 {
+	if r < 0 || r > 1 || !isFinite(r) {
 		return 0, fmt.Errorf("cliutil: %s %g outside [0,1]", key, r)
 	}
 	return r, nil
 }
+
+// isFinite reports whether f is neither NaN nor an infinity.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

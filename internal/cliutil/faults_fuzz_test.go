@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaultSpec checks the -faults flag parser on arbitrary
+// input: it never panics, rejects with an error rather than returning
+// half-parsed garbage silently, and every accepted config round-trips
+// through fault.Config.String — the property the flag's documentation
+// promises.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("seed=7,rate=0.05")
+	f.Add("seed=7,rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=2,bitflip=0.01,lost=0.01,silenttorn=0.01")
+	f.Add("rate=1.5")
+	f.Add("rate")
+	f.Add("")
+	f.Add("seed=18446744073709551615")
+	f.Add(" seed = 1 , rate = 0.5 ")
+	f.Add("rate=NaN")
+	f.Add("rate=-0")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseFaultSpec(spec)
+		if err != nil {
+			return
+		}
+		// String canonicalizes (fields that cannot take effect — a
+		// persistent width with no window, a latency duration with no
+		// rate — are dropped), so the round-trip property is that the
+		// rendered form is a fixpoint of parse∘render.
+		rendered := cfg.String()
+		back, err := ParseFaultSpec(rendered)
+		if err != nil {
+			t.Fatalf("accepted spec %q renders as %q which does not re-parse: %v", spec, rendered, err)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("rendered spec is not a round-trip fixpoint:\n spec: %q\n once: %q\n twice: %q", spec, rendered, again)
+		}
+		// Rates documented as probabilities must actually be in [0,1].
+		for name, r := range map[string]float64{
+			"rate": cfg.Rate, "torn": cfg.TornRate, "latency": cfg.LatencyRate,
+			"bitflip": cfg.BitFlipRate, "lost": cfg.LostRate, "silenttorn": cfg.SilentTornRate,
+		} {
+			if r < 0 || r > 1 || r != r {
+				t.Fatalf("accepted spec %q yields %s=%g outside [0,1]", spec, name, r)
+			}
+		}
+		if strings.TrimSpace(spec) == "" {
+			t.Fatalf("empty spec %q was accepted", spec)
+		}
+	})
+}

@@ -162,6 +162,19 @@ type Options struct {
 	gateEvery int
 	// lane tags this solve's observer events with a portfolio lane index.
 	lane int
+	// logBuf, when non-nil, captures the events that would have gone to
+	// Log; the portfolio coordinator flushes the buffers in lane order
+	// at lockstep barriers so the merged event stream is deterministic.
+	logBuf *laneLog
+}
+
+// laneLog is a portfolio lane's private event queue. Only the lane
+// goroutine appends, and only while the coordinator knows the lane is
+// between barriers; the coordinator drains it while the lane is parked
+// at its gate (or finished), so no lock is needed.
+type laneLog struct {
+	enabled bool
+	events  []Event
 }
 
 func (o Options) withDefaults() Options {
@@ -338,7 +351,8 @@ type solver struct {
 // event log, attaching the current restart, eval count, and multiplier
 // norm.
 func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64) {
-	if s.stopped || (s.opt.Observer == nil && !s.opt.Log.Enabled(obs.LevelInfo)) {
+	wantLog := s.opt.Log.Enabled(obs.LevelInfo) || (s.opt.logBuf != nil && s.opt.logBuf.enabled)
+	if s.stopped || (s.opt.Observer == nil && !wantLog) {
 		return
 	}
 	muNorm := 0.0
@@ -357,6 +371,15 @@ func (s *solver) emit(kind string, best float64, feasible bool, maxViol float64)
 	}
 	if s.opt.Observer != nil {
 		s.opt.Observer(e)
+	}
+	if s.opt.logBuf != nil {
+		// Portfolio lane: events queue locally and the coordinator
+		// flushes them in lane order at the next lockstep barrier, so
+		// the merged stream never depends on goroutine scheduling.
+		if s.opt.logBuf.enabled {
+			s.opt.logBuf.events = append(s.opt.logBuf.events, e)
+		}
+		return
 	}
 	logSolveEvent(s.opt.Log, e)
 }

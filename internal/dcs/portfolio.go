@@ -91,6 +91,7 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 	cont := make([]chan bool, k)
 	var obsMu sync.Mutex
 	lanes := make([]Options, k)
+	bufs := make([]*laneLog, k)
 	for i := 0; i < k; i++ {
 		lo := opt
 		lo.Portfolio = 0
@@ -106,6 +107,12 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 		}
 		lo.lane = i
 		lo.gateEvery = gateEvery
+		// Lanes never write the shared log directly: concurrent lanes
+		// would interleave events in scheduler order. Each lane queues
+		// into a private buffer the coordinator flushes in lane order.
+		bufs[i] = &laneLog{enabled: opt.Log.Enabled(obs.LevelInfo)}
+		lo.logBuf = bufs[i]
+		lo.Log = nil
 		if opt.Observer != nil {
 			inner := opt.Observer
 			lo.Observer = func(e Event) {
@@ -137,6 +144,18 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 		}()
 	}
 
+	// flushLogs drains every lane's queued events into the shared log in
+	// lane order. Called only while every live lane is parked at its
+	// gate (or finished), so the buffers are quiescent.
+	flushLogs := func() {
+		for i := 0; i < k; i++ {
+			for _, e := range bufs[i].events {
+				logSolveEvent(opt.Log, e)
+			}
+			bufs[i].events = bufs[i].events[:0]
+		}
+	}
+
 	states := make([]laneSnapshot, k)
 	haveState := make([]bool, k)
 	done := make([]bool, k)
@@ -160,6 +179,7 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 				gated[msg.lane] = true
 			}
 		}
+		flushLogs()
 		// Convergence check over the boundary snapshots: a lane converged
 		// if it finished with a feasible point, or its feasible best has
 		// been flat for staleLimit consecutive boundaries.
@@ -194,6 +214,7 @@ func solvePortfolio(ctx context.Context, p Problem, opt Options) (Result, error)
 	}
 	cancel()
 	wg.Wait()
+	flushLogs()
 
 	totalEvals, totalRestarts := 0, 0
 	for i := 0; i < k; i++ {

@@ -715,16 +715,7 @@ func (a *fileArray) rebuildLocked() error {
 
 // writeSums atomically replaces the array's checksum sidecar.
 func (a *fileArray) writeSums(flags uint64) error {
-	raw := make([]byte, 8+8+8+len(a.sums)*4+4)
-	copy(raw, sumMagic[:])
-	binary.LittleEndian.PutUint64(raw[8:], flags)
-	binary.LittleEndian.PutUint64(raw[16:], uint64(len(a.sums)))
-	for i, s := range a.sums {
-		binary.LittleEndian.PutUint32(raw[24+i*4:], s)
-	}
-	body := raw[24 : 24+len(a.sums)*4]
-	binary.LittleEndian.PutUint32(raw[24+len(a.sums)*4:], crcBytes(body))
-	if err := atomicWrite(a.fs.sumPath(a.name), raw); err != nil {
+	if err := atomicWrite(a.fs.sumPath(a.name), encodeSums(a.sums, flags)); err != nil {
 		return fmt.Errorf("disk: checksum sidecar %q: %w", a.name, err)
 	}
 	return nil
@@ -748,25 +739,16 @@ func (a *fileArray) loadSums() error {
 	if err != nil {
 		return fmt.Errorf("disk: checksum sidecar %q: %w", a.name, err)
 	}
-	blocks := blockCount(a.n, a.blockElems)
-	want := 8 + 8 + 8 + int(blocks)*4 + 4
-	if len(raw) != want || [8]byte(raw[:8]) != sumMagic {
+	sums, dirty, derr := decodeSums(raw, blockCount(a.n, a.blockElems))
+	if derr != nil {
 		return fmt.Errorf("disk: checksum sidecar for %q is corrupt", a.name)
 	}
-	body := raw[24 : 24+blocks*4]
-	if crcBytes(body) != binary.LittleEndian.Uint32(raw[24+blocks*4:]) {
-		return fmt.Errorf("disk: checksum sidecar for %q is corrupt", a.name)
-	}
-	if binary.LittleEndian.Uint64(raw[8:])&sumFlagDirty != 0 {
+	if dirty {
 		if err := a.rebuildLocked(); err != nil {
 			return err
 		}
 		a.dirty = true
 		return nil
-	}
-	sums := make([]uint32, blocks)
-	for i := range sums {
-		sums[i] = binary.LittleEndian.Uint32(body[i*4:])
 	}
 	a.sums = sums
 	return nil

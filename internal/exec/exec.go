@@ -443,6 +443,7 @@ func (e *engine) retryOp(array string, attemptDur float64, fn func() error) erro
 			e.sClock += delay + attemptDur
 		}
 		if pol.WallClock {
+			//lint:ignore walltime opt-in wall-clock pacing: the modelled timeline already advanced above; Sleep runs only when the caller sets RetryPolicy.WallClock.
 			if serr := pol.Sleep(e.ctx, delay); serr != nil {
 				return err
 			}

@@ -32,7 +32,10 @@ import (
 )
 
 // Analyzers lists every repo analyzer in the order they run.
-var Analyzers = []*Analyzer{DiskStats, CtxField, ErrPrefix, ObsNew, IOErr, ObsLog}
+var Analyzers = []*Analyzer{
+	DiskStats, CtxField, ErrPrefix, ObsNew, IOErr, ObsLog,
+	WallTime, MapOrder, RngSeed, GoLeak, LabelCard, DeprecatedUse,
+}
 
 // statsFields are the exported counters of disk.Stats.
 var statsFields = map[string]bool{

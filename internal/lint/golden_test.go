@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureDiags runs every analyzer over the fixture module and renders
+// the diagnostics with root-relative filenames.
+func fixtureDiags(t *testing.T) ([]Diagnostic, string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", "fixmod")
+	diags, err := CheckTree(root, Analyzers)
+	if err != nil {
+		t.Fatalf("CheckTree(%s): %v", root, err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s (%s)\n",
+			filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	return diags, b.String()
+}
+
+// TestFixtureModule pins every analyzer's diagnostics over the fixture
+// module to the committed golden file: each analyzer must fire on the
+// bad declarations and stay silent on the good ones. Rewrite the
+// golden file with: go test ./internal/lint/ -run TestFixtureModule -update
+func TestFixtureModule(t *testing.T) {
+	_, got := fixtureDiags(t)
+	golden := filepath.Join("testdata", "golden", "fixmod.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from %s:\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestFixtureCoversNewAnalyzers guards against an analyzer going
+// silently inert: each dataflow analyzer must produce at least one
+// finding on the fixture module.
+func TestFixtureCoversNewAnalyzers(t *testing.T) {
+	diags, _ := fixtureDiags(t)
+	count := map[string]int{}
+	for _, d := range diags {
+		count[d.Analyzer]++
+	}
+	for _, name := range []string{"walltime", "maporder", "rngseed", "goleak", "labelcard", "deprecated-use"} {
+		if count[name] == 0 {
+			t.Errorf("analyzer %s produced no findings on the fixture module", name)
+		}
+	}
+}

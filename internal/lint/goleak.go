@@ -1,0 +1,246 @@
+package lint
+
+// GoLeak: every goroutine started in internal/ must have a shutdown
+// path the checker can see. The repo's sanctioned disciplines are:
+//
+//   - a select with a ctx.Done()/lifecycle-channel case (samplers,
+//     status servers),
+//   - a blocking receive or a range over a channel (worker pools drain
+//     until the channel closes),
+//   - sync.WaitGroup registration with a Wait somewhere in the package
+//     (the execution engines, the portfolio lanes),
+//   - signalling completion by closing a channel the package receives
+//     from (async completions).
+//
+// A `go` statement whose body shows none of these — including a `go`
+// of a function the checker cannot resolve in the same unit — is a
+// leak candidate: nothing provably stops it or waits for it.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoLeak flags goroutines without a visible shutdown path.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every goroutine must select on a lifecycle channel, drain a channel, signal a close, or be WaitGroup-registered",
+	Run: func(p *Pass) {
+		if !strings.HasPrefix(p.PkgPath, "internal/") {
+			return
+		}
+		// Index this unit's own function declarations so `go s.serve()`
+		// can be checked through one level of same-package calls.
+		decls := map[types.Object]*ast.FuncDecl{}
+		for _, f := range p.Files {
+			for _, decl := range f.AST.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj := p.Info.Defs[fd.Name]; obj != nil {
+						decls[obj] = fd
+					}
+				}
+			}
+		}
+		pkgWaits := packageHasWGWait(p)
+		pkgReceives := packageReceives(p)
+		for _, f := range p.Files {
+			if isTestFile(f) {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, f, gs, decls, pkgWaits, pkgReceives)
+				return true
+			})
+		}
+	},
+}
+
+// checkGoStmt verifies one go statement's shutdown discipline.
+func checkGoStmt(p *Pass, f *File, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl, pkgWaits, pkgReceives bool) {
+	body := goBody(p, gs.Call, decls)
+	if body == nil {
+		p.Reportf(f, gs.Pos(),
+			"goroutine body is not visible in this package; move the go statement onto a local function with an explicit shutdown path")
+		return
+	}
+	d := goDiscipline(p, body, decls, 2)
+	switch {
+	case d.lifecycle:
+		return
+	case d.wgDone:
+		if pkgWaits {
+			return
+		}
+		p.Reportf(f, gs.Pos(),
+			"goroutine calls WaitGroup.Done but no Wait is visible in this package; a Done nobody waits for is not a shutdown path")
+	case d.closes:
+		if pkgReceives {
+			return
+		}
+		p.Reportf(f, gs.Pos(),
+			"goroutine signals completion by closing a channel but nothing in this package receives; close alone is not a shutdown path")
+	default:
+		p.Reportf(f, gs.Pos(),
+			"goroutine has no visible shutdown path: select on a lifecycle channel (ctx.Done), drain a channel, close a waited-on channel, or register with a waited WaitGroup")
+	}
+}
+
+// goBody resolves the body a go statement runs: a function literal's
+// body directly, or the declaration of a same-unit function/method.
+func goBody(p *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	cf := callee(p.Info, call)
+	if cf == nil {
+		return nil
+	}
+	if fd, ok := decls[cf]; ok {
+		return fd.Body
+	}
+	return nil
+}
+
+// discipline is what a goroutine body was seen to do.
+type discipline struct {
+	// lifecycle: selects, receives, or ranges over a channel — the body
+	// blocks on channel state something else controls.
+	lifecycle bool
+	// wgDone: calls (*sync.WaitGroup).Done.
+	wgDone bool
+	// closes: closes a channel (completion signal).
+	closes bool
+}
+
+// goDiscipline scans a goroutine body, following same-unit calls up to
+// depth levels deep.
+func goDiscipline(p *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, depth int) discipline {
+	var d discipline
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			d.lifecycle = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				d.lifecycle = true
+			}
+		case *ast.SendStmt:
+			// A blocking send participates in channel lifecycle only if
+			// something receives; do not count it.
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					d.lifecycle = true
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isWGMethod(p, n, "Done"):
+				d.wgDone = true
+			case isBuiltinClose(p, n):
+				d.closes = true
+			default:
+				if depth > 0 {
+					if cf := callee(p.Info, n); cf != nil {
+						if fd, ok := decls[cf]; ok && fd.Body != nil {
+							sub := goDiscipline(p, fd.Body, decls, depth-1)
+							d.lifecycle = d.lifecycle || sub.lifecycle
+							d.wgDone = d.wgDone || sub.wgDone
+							d.closes = d.closes || sub.closes
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// isWGMethod reports whether a call is (*sync.WaitGroup).<name>.
+func isWGMethod(p *Pass, call *ast.CallExpr, name string) bool {
+	cf := callee(p.Info, call)
+	if cf == nil || cf.Name() != name {
+		return false
+	}
+	sig, _ := cf.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isBuiltinClose reports whether a call is the close builtin.
+func isBuiltinClose(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// packageHasWGWait reports whether any file of the unit calls
+// (*sync.WaitGroup).Wait.
+func packageHasWGWait(p *Pass) bool {
+	for _, f := range p.Files {
+		found := false
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isWGMethod(p, call, "Wait") {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// packageReceives reports whether any file of the unit blocks on a
+// channel (receive, range over a channel, or select).
+func packageReceives(p *Pass) bool {
+	for _, f := range p.Files {
+		found := false
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				found = true
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if t := p.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

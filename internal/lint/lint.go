@@ -1,13 +1,20 @@
-// Package lint is a small, dependency-free static-analysis framework for
-// the repo's own invariants, mirroring the shape of the go/analysis API
-// (analyzers with a Run func reporting position-tagged diagnostics) on the
-// standard library's go/ast and go/token only — the environment this repo
-// builds in has no module network access, so golang.org/x/tools is
-// deliberately not depended on. cmd/ooclint drives these analyzers both
-// standalone and as a `go vet -vettool` plugin.
+// Package lint is a small, dependency-free static-analysis framework
+// for the repo's own invariants, mirroring the shape of the go/analysis
+// API (analyzers with a Run func reporting position-tagged diagnostics)
+// on the standard library only — the environment this repo builds in
+// has no module network access, so golang.org/x/tools is deliberately
+// not depended on. cmd/ooclint drives these analyzers both standalone
+// and as a `go vet -vettool` plugin.
 //
-// Findings can be suppressed with a directive on the line of (or the line
-// before) the offending node:
+// Analysis is package-level, not per-file: every pass carries full
+// go/types information for its package (load.go), module-wide
+// call-graph and deprecation facts (facts.go), and a local tainted-path
+// engine (taint.go). Analyzers that only need syntax keep working when
+// type information is unavailable; analyzers that need types treat the
+// absence as "unknown" and stay silent rather than guess.
+//
+// Findings can be suppressed with a directive on the line of (or the
+// line before) the offending node:
 //
 //	//lint:ignore <analyzer> <reason>
 package lint
@@ -17,6 +24,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -51,6 +59,16 @@ type Pass struct {
 	PkgPath string
 	Files   []*File
 
+	// Pkg is the type-checked package; nil when type information is
+	// unavailable (typeless fallback paths).
+	Pkg *types.Package
+	// Info holds the package's type information. Never nil; the maps
+	// are empty on typeless paths, so lookups miss instead of panic.
+	Info *types.Info
+	// Facts is the module-wide fact base (call-graph wall-clock
+	// reachability, deprecation index). Never nil.
+	Facts *Facts
+
 	analyzer string
 	out      *[]Diagnostic
 }
@@ -69,6 +87,30 @@ func (p *Pass) Reportf(f *File, pos token.Pos, format string, args ...interface{
 		Analyzer: p.analyzer,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
 }
 
 // Analyzer is one named check.
@@ -105,19 +147,26 @@ func ParseFile(fset *token.FileSet, path string, src []byte) (*File, error) {
 	return f, nil
 }
 
-// CheckFiles runs the analyzers over one package's parsed files.
-func CheckFiles(pkgName, pkgPath string, files []*File, analyzers []*Analyzer) []Diagnostic {
+// run executes the analyzers over one prepared pass skeleton.
+func run(p Pass, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			PkgName:  pkgName,
-			PkgPath:  pkgPath,
-			Files:    files,
-			analyzer: a.Name,
-			out:      &out,
-		}
-		a.Run(pass)
+	if p.Info == nil {
+		p.Info = typeInfo()
 	}
+	if p.Facts == nil {
+		p.Facts = emptyFacts()
+	}
+	for _, a := range analyzers {
+		pass := p
+		pass.analyzer = a.Name
+		pass.out = &out
+		a.Run(&pass)
+	}
+	sortDiags(out)
+	return out
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -126,16 +175,66 @@ func CheckFiles(pkgName, pkgPath string, files []*File, analyzers []*Analyzer) [
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }
 
-// CheckPaths parses the named Go files as one package (all files must
-// share a package clause) and runs the analyzers. pkgPath scopes
-// path-sensitive analyzers; pass the package directory relative to the
-// module root.
+// CheckFiles runs the analyzers over one package's parsed files without
+// type information — the syntax-only entry point kept for unit tests of
+// the syntactic analyzers. Type-aware analyzers stay silent here.
+func CheckFiles(pkgName, pkgPath string, files []*File, analyzers []*Analyzer) []Diagnostic {
+	return run(Pass{PkgName: pkgName, PkgPath: pkgPath, Files: files}, analyzers)
+}
+
+// CheckUnit type-checks one analysis unit of a loaded module and runs
+// the analyzers with full type information and module facts.
+func CheckUnit(m *Module, u *Unit, analyzers []*Analyzer) []Diagnostic {
+	pkg, info := m.Check(u)
+	return run(Pass{
+		PkgName: u.PkgName,
+		PkgPath: u.PkgPath,
+		Files:   u.Files,
+		Pkg:     pkg,
+		Info:    info,
+		Facts:   m.Facts(),
+	}, analyzers)
+}
+
+// CheckPaths analyzes the named Go files as one package (grouping by
+// package clause, so a mixed list with an external test package yields
+// two units). pkgPath scopes path-sensitive analyzers; pass the package
+// directory relative to the module root. When the files sit under a
+// go.mod module, analysis is fully typed; otherwise it falls back to
+// syntax only.
 func CheckPaths(pkgPath string, goFiles []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(goFiles) == 0 {
+		return nil, nil
+	}
+	root, ok := FindModuleRoot(filepath.Dir(goFiles[0]))
+	if !ok {
+		return checkPathsTypeless(pkgPath, goFiles, analyzers)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	units, err := m.parseUnits(pkgPath, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, u := range units {
+		out = append(out, CheckUnit(m, u, analyzers)...)
+	}
+	sortDiags(out)
+	return out, nil
+}
+
+// checkPathsTypeless is the no-module fallback of CheckPaths.
+func checkPathsTypeless(pkgPath string, goFiles []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	var files []*File
 	pkgName := ""
@@ -156,49 +255,18 @@ func CheckPaths(pkgPath string, goFiles []string, analyzers []*Analyzer) ([]Diag
 	return CheckFiles(pkgName, pkgPath, files, analyzers), nil
 }
 
-// CheckTree walks a module tree rooted at root, analyzing every directory
-// of Go files as a package (skipping testdata and hidden directories).
-// Test files are included.
+// CheckTree analyzes every package of the module rooted at root
+// (skipping testdata and hidden directories; test files included) with
+// full type information and module-wide facts.
 func CheckTree(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	pkgs := map[string][]string{}
-	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() {
-			name := info.Name()
-			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		dir := filepath.Dir(path)
-		pkgs[dir] = append(pkgs[dir], path)
-		return nil
-	})
+	m, err := LoadModule(root)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
+		return nil, err
 	}
-	dirs := make([]string, 0, len(pkgs))
-	for dir := range pkgs {
-		dirs = append(dirs, dir)
-	}
-	sort.Strings(dirs)
 	var out []Diagnostic
-	for _, dir := range dirs {
-		sort.Strings(pkgs[dir])
-		rel, err := filepath.Rel(root, dir)
-		if err != nil {
-			rel = dir
-		}
-		diags, err := CheckPaths(filepath.ToSlash(rel), pkgs[dir], analyzers)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, diags...)
+	for _, u := range m.Units() {
+		out = append(out, CheckUnit(m, u, analyzers)...)
 	}
+	sortDiags(out)
 	return out, nil
 }

@@ -1,0 +1,254 @@
+package lint
+
+// The tainted-path engine: an intraprocedural backward dataflow over
+// one function body. Analyzers ask where the value of an expression
+// can come from — a wall clock, a Sprintf, an error message, a
+// parameter, a constant — and decide from the union of sources whether
+// an invariant holds (a rand seed must not be clock-derived; a metric
+// label value must not be a free-form string).
+//
+// The engine is deliberately conservative and local: it follows
+// assignments to named variables inside one body, looks through
+// conversions, parens, and arithmetic, and stops at calls it cannot
+// classify (reported as taintOpaque). Interprocedural reasoning lives
+// in the facts layer, not here.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// taint is a bit set of value origins.
+type taint uint
+
+const (
+	// taintConst: literal or typed/untyped constant.
+	taintConst taint = 1 << iota
+	// taintParam: parameter, receiver, field, captured or package
+	// variable — a value handed in by the caller or the environment
+	// of the function, not fabricated inside it.
+	taintParam
+	// taintNondet: derived from the wall clock (time.Now and friends)
+	// or an entropy source (crypto/rand) — nondeterministic across
+	// runs by construction.
+	taintNondet
+	// taintSprintf: built by fmt.Sprint/Sprintf/Sprintln.
+	taintSprintf
+	// taintErrText: an error's Error() text.
+	taintErrText
+	// taintStrconv: rendered from a runtime number/value by strconv.
+	taintStrconv
+	// taintConcat: a string concatenation with a non-constant operand.
+	taintConcat
+	// taintOpaque: produced by a call or construct the engine cannot
+	// see through.
+	taintOpaque
+)
+
+// freeString is the union of origins that make a string value
+// unbounded for labeling purposes.
+const freeString = taintSprintf | taintErrText | taintStrconv | taintConcat | taintNondet
+
+// flow is the per-function dataflow state.
+type flow struct {
+	info *types.Info
+	// defs maps a local variable to every expression assigned to it.
+	defs map[types.Object][]ast.Expr
+}
+
+// newFlow indexes the assignments of one function body.
+func newFlow(info *types.Info, body ast.Node) *flow {
+	fl := &flow{info: info, defs: map[types.Object][]ast.Expr{}}
+	if body == nil {
+		return fl
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id == nil || id.Name == "_" || rhs == nil {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		fl.defs[obj] = append(fl.defs[obj], rhs)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					record(id, n.Rhs[i])
+				} else if len(n.Rhs) == 1 {
+					// Multi-value: every lhs derives from the one call.
+					record(id, n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if len(n.Values) == len(n.Names) {
+					record(id, n.Values[i])
+				} else if len(n.Values) == 1 {
+					record(id, n.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			// Key and value derive from the ranged collection.
+			if id, ok := n.Key.(*ast.Ident); ok {
+				record(id, n.X)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				record(id, n.X)
+			}
+		}
+		return true
+	})
+	return fl
+}
+
+// sources computes the taint set of an expression.
+func (fl *flow) sources(e ast.Expr) taint {
+	return fl.trace(e, map[types.Object]bool{})
+}
+
+func (fl *flow) trace(e ast.Expr, visiting map[types.Object]bool) taint {
+	if e == nil {
+		return 0
+	}
+	// Anything the type checker evaluated to a constant is bounded.
+	if tv, ok := fl.info.Types[e]; ok && tv.Value != nil {
+		return taintConst
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return taintConst
+	case *ast.ParenExpr:
+		return fl.trace(e.X, visiting)
+	case *ast.StarExpr:
+		return fl.trace(e.X, visiting)
+	case *ast.UnaryExpr:
+		return fl.trace(e.X, visiting)
+	case *ast.Ident:
+		return fl.traceIdent(e, visiting)
+	case *ast.SelectorExpr:
+		if obj := fl.info.Uses[e.Sel]; obj != nil {
+			if _, isConst := obj.(*types.Const); isConst {
+				return taintConst
+			}
+		}
+		// Field read or qualified package variable.
+		return taintParam
+	case *ast.IndexExpr:
+		return taintParam | fl.trace(e.X, visiting)
+	case *ast.BinaryExpr:
+		t := fl.trace(e.X, visiting) | fl.trace(e.Y, visiting)
+		if isStringExpr(fl.info, e) && t&taintConst != t {
+			t |= taintConcat
+		}
+		return t
+	case *ast.CallExpr:
+		return fl.traceCall(e, visiting)
+	case *ast.TypeAssertExpr:
+		return fl.trace(e.X, visiting)
+	case *ast.CompositeLit, *ast.FuncLit:
+		return taintOpaque
+	}
+	return taintOpaque
+}
+
+func (fl *flow) traceIdent(id *ast.Ident, visiting map[types.Object]bool) taint {
+	obj := fl.info.Uses[id]
+	if obj == nil {
+		obj = fl.info.Defs[id]
+	}
+	if obj == nil {
+		return taintOpaque
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		return taintConst
+	}
+	if visiting[obj] {
+		return 0
+	}
+	rhss := fl.defs[obj]
+	if len(rhss) == 0 {
+		// Parameter, receiver, captured or package variable.
+		return taintParam
+	}
+	visiting[obj] = true
+	var t taint
+	for _, rhs := range rhss {
+		t |= fl.trace(rhs, visiting)
+	}
+	delete(visiting, obj)
+	return t
+}
+
+// traceCall classifies the origin of a call's result.
+func (fl *flow) traceCall(call *ast.CallExpr, visiting map[types.Object]bool) taint {
+	// A conversion passes its operand through.
+	if tv, ok := fl.info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		return fl.trace(call.Args[0], visiting)
+	}
+	fn := callee(fl.info, call)
+	if fn == nil {
+		return taintOpaque
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "time":
+			if wallClockFns[fn.Name()] {
+				return taintNondet
+			}
+		case "crypto/rand":
+			return taintNondet
+		case "fmt":
+			switch fn.Name() {
+			case "Sprint", "Sprintf", "Sprintln", "Appendf", "Append", "Appendln":
+				return taintSprintf
+			}
+		case "strconv":
+			return taintStrconv
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv := fl.trace(sel.X, visiting)
+		// err.Error() — the message text of an error value.
+		if fn.Name() == "Error" && len(call.Args) == 0 && isErrorRecv(fl.info, sel.X) {
+			return taintErrText | recv
+		}
+		// A method result carries its receiver's nondeterminism:
+		// time.Now().UnixNano() is clock-derived through the method.
+		return taintOpaque | (recv & taintNondet)
+	}
+	return taintOpaque
+}
+
+// isStringExpr reports whether the expression has string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isErrorRecv reports whether the expression's type implements error.
+func isErrorRecv(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorInterface) ||
+		types.Implements(types.NewPointer(tv.Type), errorInterface)
+}
+
+// errorInterface is the universe error type.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

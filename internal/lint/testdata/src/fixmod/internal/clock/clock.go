@@ -1,0 +1,8 @@
+package clock
+
+import "time"
+
+// WallNow returns the current wall-clock time in nanoseconds. It is
+// not in the sanctioned telemetry layer, so wall-clock taint
+// propagates through it to every caller.
+func WallNow() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,14 @@
+package olddcs
+
+// NewSolve is the supported entry point.
+func NewSolve() int { return solve() }
+
+func solve() int { return 1 }
+
+// Old is the legacy entry point.
+//
+// Deprecated: use NewSolve.
+func Old() int { return solve() }
+
+// SelfUse may keep calling Old: the declaring package is exempt.
+func SelfUse() int { return Old() }

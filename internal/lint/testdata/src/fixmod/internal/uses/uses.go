@@ -1,0 +1,9 @@
+package uses
+
+import "fixmod/internal/olddcs"
+
+// Sum calls into the legacy API; the Old call is a finding, the
+// NewSolve call is not.
+func Sum() int {
+	return olddcs.Old() + olddcs.NewSolve()
+}

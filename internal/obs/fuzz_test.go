@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEvents feeds arbitrary bytes to the JSONL event-stream
+// decoder: it must never panic, and every stream it accepts must
+// re-encode through WriterSink and decode again to the same number of
+// events — the scrape/replay paths both rely on that stability.
+func FuzzReadEvents(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"t_ms":42,"level":"info","system":"dcs","event":"lane.done"}`))
+	f.Add([]byte(`{"seq":1}` + "\n" + `{"seq":2,"fields":{"array":"a","n":3.5}}`))
+	f.Add([]byte(`{"fields":{"nested":{"deep":[1,2,{"x":null}]}}}`))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"seq":1}garbage`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		sink := NewWriterSink(&buf)
+		for _, e := range events {
+			sink.Emit(e)
+		}
+		back, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded accepted stream does not decode: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("event count changed through a write/read cycle: %d -> %d", len(events), len(back))
+		}
+		for i := range back {
+			if back[i].Seq != events[i].Seq || back[i].Name != events[i].Name || back[i].System != events[i].System {
+				t.Fatalf("event %d identity changed through a write/read cycle:\n in:  %+v\n out: %+v", i, events[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzLabelKey checks that the canonical series identity is injective
+// over label values: two different value tuples for the same keys must
+// never render to the same key string (a collision would silently
+// merge two series), and the rendering must never contain a raw
+// newline (it is embedded in the exposition format line-by-line).
+func FuzzLabelKey(f *testing.F) {
+	f.Add("a", "b", "x", "y")
+	f.Add("array", "kind", `quote"inside`, `back\slash`)
+	f.Add("k1", "k2", "line\nbreak", "")
+	f.Add("same", "same2", "v", "v")
+	f.Fuzz(func(t *testing.T, k1, k2, v1, v2 string) {
+		if k1 == k2 || !validLabelName(k1) || !validLabelName(k2) {
+			return // registration panics on duplicate or non-identifier keys
+		}
+		keys := []string{k1, k2}
+		a := labelKey(keys, []string{v1, v2})
+		b := labelKey(keys, []string{v2, v1})
+		if v1 != v2 && a == b {
+			t.Fatalf("distinct value tuples collide: labelKey(%q, [%q %q]) == labelKey(%q, [%q %q]) == %q", keys, v1, v2, keys, v2, v1, a)
+		}
+		if strings.ContainsRune(a, '\n') {
+			t.Fatalf("label key %q contains a raw newline", a)
+		}
+		// Same values in the same order must be stable.
+		if again := labelKey(keys, []string{v1, v2}); again != a {
+			t.Fatalf("labelKey is not deterministic: %q then %q", a, again)
+		}
+	})
+}

@@ -259,6 +259,20 @@ func NewLog(min Level, sink Sink) *Log {
 	return &Log{core: &logCore{min: min, sink: sink, now: time.Now}}
 }
 
+// NewLogAt is NewLog with a pinned clock: every event's TimeMs comes
+// from now instead of the wall clock. Determinism tests use it to make
+// two runs' event streams byte-identical; nil now falls back to
+// time.Now.
+func NewLogAt(min Level, sink Sink, now func() time.Time) *Log {
+	if sink == nil {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Log{core: &logCore{min: min, sink: sink, now: now}}
+}
+
 // WithRun derives a logger stamping every event with the run ID.
 func (l *Log) WithRun(run string) *Log {
 	if l == nil {

@@ -49,7 +49,32 @@ type vecCore[T any] struct {
 }
 
 func newVecCore[T any](name string, keys []string) vecCore[T] {
+	for _, k := range keys {
+		if !validLabelName(k) {
+			panic(fmt.Sprintf("obs: %s label name %q is not a valid identifier", name, k))
+		}
+	}
 	return vecCore[T]{name: name, keys: keys, children: map[string]*T{}}
+}
+
+// validLabelName reports whether k matches the Prometheus label-name
+// grammar [a-zA-Z_][a-zA-Z0-9_]*. Label names are embedded unescaped
+// in the series identity and the exposition format, so anything looser
+// would corrupt both; registration is programmer error territory, so
+// violations panic like a mismatched label count does.
+func validLabelName(k string) bool {
+	if k == "" {
+		return false
+	}
+	for i, c := range k {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // with returns the child for the given label values (positional, in
