@@ -9,6 +9,9 @@
 //	oocbench -solver -solver-out BENCH_solver.json -solver-baseline BENCH_solver.json
 //	                    # run the solver study (cold vs portfolio vs warm sweep)
 //	                    # and gate it against the committed baseline
+//	oocbench -ring -ring-out BENCH_ring.json
+//	                    # run the ring study (parallel I/O scaling, replication
+//	                    # overhead, rebalance cost) and save it as JSON
 //
 // Table 2 compares code generation time between the uniform-sampling
 // baseline (full logarithmic grid, brute force) and the DCS approach;
@@ -45,6 +48,9 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "also measure the pipelined engine: serial vs overlapped I/O critical path")
 		faults    = flag.String("faults", "", "also run the fault-recovery study under this schedule, e.g. 'seed=9,rate=0.02,persistent=50'")
 		faultsOut = flag.String("faults-out", "", "write the fault-recovery study rows as JSON to this file")
+
+		ringStudy = flag.Bool("ring", false, "also run the ring study: parallel I/O scaling, replication overhead, and rebalance cost on the replicated data plane at P=8..64")
+		ringOut   = flag.String("ring-out", "", "write the ring study report as JSON to this file")
 
 		solver         = flag.Bool("solver", false, "also run the solver study: cold vs portfolio vs warm-started sweep")
 		solverOut      = flag.String("solver-out", "", "write the solver study rows as JSON to this file")
@@ -148,6 +154,24 @@ func main() {
 		}
 	}
 
+	runRing := func() {
+		rep, err := tables.RingStudy(sizes[0], []int{8, 16, 32, 64}, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatRingStudy(rep))
+		if *ringOut != "" {
+			raw, err := rep.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*ringOut, raw, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("ring study saved to %s\n", *ringOut)
+		}
+	}
+
 	runSolver := func() {
 		rows, err := tables.SolverStudy(sizes, opt)
 		if err != nil {
@@ -226,6 +250,9 @@ func main() {
 	}
 	if *faults != "" {
 		runRecovery()
+	}
+	if *ringStudy || *ringOut != "" {
+		runRing()
 	}
 	if *solver || *solverOut != "" || *solverBaseline != "" || *solverCurves != "" {
 		runSolver()

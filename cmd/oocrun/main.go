@@ -30,6 +30,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/ooc"
+	"repro/internal/ring"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -51,6 +52,7 @@ func main() {
 		savePlan  = flag.String("saveplan", "", "write the synthesized plan as JSON to this file")
 		planFile  = flag.String("plan", "", "execute a previously saved plan instead of synthesizing")
 		faults    = flag.String("faults", "", "inject a seeded fault schedule, e.g. 'seed=7,rate=0.05,torn=0.02,persistent=200,persistentops=2'")
+		ringSpec  = flag.String("ring", "", "execute on a replicated in-memory data plane instead of .dra files, e.g. 'P=8,R=2' (P shards, R-way replication); -faults then applies per shard, and its shard= key confines the schedule to one replica")
 		// recover is a Go builtin; the flag variable takes a suffix.
 		recoverFlag = flag.Bool("recover", false, "retry transient disk faults with backoff and restart from the last checkpoint on persistent ones")
 		scrub       = flag.Bool("scrub", false, "verify every block checksum of every array against the stored data (after the run, or standalone without -spec/-plan); unrepaired defects exit 1")
@@ -80,25 +82,12 @@ func main() {
 	}
 	cfg.MemoryLimit = limit
 
-	fs, err := disk.NewFileStore(*dir, cfg.Disk)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer fs.Close()
-
-	// Backend chain: FileStore -> fault injector (optional) -> trace
-	// recorder, so injected faults exercise the same path real device
-	// errors take and retried attempts appear in the trace.
-	var store disk.Backend = fs
-	var inj *fault.Injector
+	var fcfg fault.Config
 	if *faults != "" {
-		fcfg, err := cliutil.ParseFaultSpec(*faults)
+		fcfg, err = cliutil.ParseFaultSpec(*faults)
 		if err != nil {
 			log.Fatal(err)
 		}
-		inj = fault.Wrap(fs, fcfg)
-		inj.SetLog(elog)
-		store = inj
 		fmt.Printf("fault injection: %s\n", fcfg)
 	}
 	var retry *disk.RetryPolicy
@@ -106,6 +95,55 @@ func main() {
 	if *recoverFlag {
 		retry = disk.DefaultRetryPolicy()
 		recovery = &exec.RecoveryOptions{}
+	}
+
+	// Backend chain: FileStore -> fault injector (optional) -> trace
+	// recorder, so injected faults exercise the same path real device
+	// errors take and retried attempts appear in the trace. With -ring
+	// the data plane is a replicated consistent-hash ring of simulated
+	// shards instead: faults wrap each shard inside the ring, and reads
+	// fail over to a healthy replica before anything reaches the engine.
+	var store disk.Backend
+	var inj *fault.Injector
+	var rstore *ring.Store
+	var rs cliutil.RingSpec
+	if *ringSpec != "" {
+		rs, err = cliutil.ParseRingSpec(*ringSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ropt := ring.Options{
+			Shards:   rs.Shards,
+			Replicas: rs.Replicas,
+			Seed:     uint64(*seed),
+			Disk:     cfg.Disk,
+			WithData: true,
+			Retry:    retry,
+			Metrics:  obsFlags.Registry(),
+			Log:      elog,
+		}
+		if *faults != "" {
+			ropt.Faults = &fcfg
+		}
+		rstore, err = ring.New(ropt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rstore.Close()
+		store = rstore
+		fmt.Printf("ring: %d shards, %d-way replication\n", rs.Shards, rs.Replicas)
+	} else {
+		fs, err := disk.NewFileStore(*dir, cfg.Disk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		store = fs
+		if *faults != "" {
+			inj = fault.Wrap(fs, fcfg)
+			inj.SetLog(elog)
+			store = inj
+		}
 	}
 	// runScrub sweeps the store's checksum index, printing the report and
 	// each defective block. Unrepaired defects exit nonzero so scripted
@@ -132,12 +170,42 @@ func main() {
 				rt.FaultsSeen, rt.Retries, rt.RetrySeconds)
 		}
 	}
+	// printRing reports the data plane's two-tier accounting: per-shard
+	// modelled I/O (with any injected faults), and the ring's parallel
+	// time — the slowest shard plus the modelled failover backoff.
+	printRing := func() {
+		if rstore == nil {
+			return
+		}
+		fmt.Println("\n== ring ==")
+		for i := 0; i < rs.Shards; i++ {
+			line := fmt.Sprintf("  shard %d: %s", i, rstore.ShardStats(i))
+			if fi, ok := rstore.ShardBackend(i).(*fault.Injector); ok {
+				line += fmt.Sprintf("; injected: %s", fi.Counts())
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("  aggregate: %s\n", rstore.AggregateStats())
+		fmt.Printf("  parallel I/O time %.2f s = slowest shard + %.3f s failover backoff\n",
+			rstore.Time(), rstore.FailoverSeconds())
+	}
 
 	if *random != "" {
-		if err := stageRandom(fs, *random, *seed); err != nil {
+		// Staging goes to the store beneath any fault injector so the
+		// ground-truth inputs land intact; on a ring the replicated write
+		// path itself is the protection, so staging uses the front door.
+		stageBE := store
+		if inj != nil {
+			stageBE = inj.Inner()
+		}
+		if err := stageRandom(stageBE, *random, *seed); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("staged random arrays under %s\n", *dir)
+		if rstore != nil {
+			fmt.Printf("staged random arrays across %d shards\n", rs.Shards)
+		} else {
+			fmt.Printf("staged random arrays under %s\n", *dir)
+		}
 	}
 	if *planFile != "" {
 		raw, err := os.ReadFile(*planFile)
@@ -178,6 +246,7 @@ func main() {
 			*planFile, res.Stats, plan.Predicted, res.Stats.Time())
 		printPipeline(res.Pipeline)
 		printResilience(res.Retry, res.Recovery)
+		printRing()
 		fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
 		if *scrub || *scrubRepair {
 			runScrub(store)
@@ -199,19 +268,20 @@ func main() {
 	rec := trace.NewWithDisk(store, cfg.Disk)
 	obsFlags.SetPhase("contract")
 	res, err := ooc.Contract(rec, *spec, ooc.Options{
-		Machine:   cfg,
-		Seed:      *seed,
-		Portfolio: *portfolio,
-		Workers:   *workers,
-		MaxEvals:  0,
-		Pipeline:  *pipeline,
-		Metrics:   obsFlags.Registry(),
-		Tracer:    obsFlags.Tracer(),
-		Log:       elog,
-		Verify:    *verifyP,
-		Retry:     retry,
-		Recovery:  recovery,
-		Scrub:     *scrub && !*scrubRepair,
+		Machine:     cfg,
+		Seed:        *seed,
+		Portfolio:   *portfolio,
+		Workers:     *workers,
+		MaxEvals:    0,
+		Pipeline:    *pipeline,
+		Metrics:     obsFlags.Registry(),
+		Tracer:      obsFlags.Tracer(),
+		Log:         elog,
+		Verify:      *verifyP,
+		Retry:       retry,
+		Recovery:    recovery,
+		Scrub:       *scrub && !*scrubRepair,
+		ScrubRepair: *scrubRepair,
 	})
 	if err != nil {
 		obsFlags.Fatal(err)
@@ -240,13 +310,12 @@ func main() {
 	printSolver(res.Synthesis)
 	printPipeline(res.Pipeline)
 	printResilience(res.Retry, res.Recovery)
+	printRing()
 	fmt.Println("\n== per-array I/O ==")
 	fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
-	if *scrubRepair {
-		runScrub(rec)
-	} else if res.Scrub != nil {
+	if res.Scrub != nil {
 		printScrub(res.Scrub)
-		if !res.Scrub.OK() {
+		if !res.Scrub.OK() && !*scrubRepair {
 			os.Exit(1)
 		}
 	}

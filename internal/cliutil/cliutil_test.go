@@ -180,6 +180,49 @@ func TestParseFaultSpecSilent(t *testing.T) {
 	}
 }
 
+func TestParseFaultSpecShard(t *testing.T) {
+	cfg, err := ParseFaultSpec("seed=7,rate=0.1,shard=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spec key is the 0-based shard index; Config stores index+1 so
+	// the zero value keeps targeting every shard.
+	if cfg.Shard != 3 {
+		t.Fatalf("shard=2 parsed to Shard=%d, want 3", cfg.Shard)
+	}
+	if !cfg.TargetsShard(2) || cfg.TargetsShard(1) || cfg.TargetsShard(3) {
+		t.Fatalf("Shard=%d targets wrong shards", cfg.Shard)
+	}
+	var all fault.Config
+	for _, i := range []int{0, 1, 7} {
+		if !all.TargetsShard(i) {
+			t.Fatalf("zero-value config must target shard %d", i)
+		}
+	}
+	// shard=0 is a real restriction to the first shard, not "untargeted".
+	zero, err := ParseFaultSpec("seed=1,rate=0.1,shard=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Shard != 1 || !zero.TargetsShard(0) || zero.TargetsShard(1) {
+		t.Fatalf("shard=0 parsed to Shard=%d", zero.Shard)
+	}
+	// String renders the selector and the rendered form is a fixpoint.
+	s := cfg.String()
+	if !strings.Contains(s, "shard=2") {
+		t.Fatalf("rendered spec %q lacks shard selector", s)
+	}
+	back, err := ParseFaultSpec(s)
+	if err != nil || back != cfg {
+		t.Fatalf("round trip of %q: %+v, %v", s, back, err)
+	}
+	for _, bad := range []string{"shard=-1", "shard=x", "shard=1.5", "shard=9223372036854775807"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q did not fail", bad)
+		}
+	}
+}
+
 // TestParseFaultSpecFuzzRoundTrip drives randomized configs through
 // String -> ParseFaultSpec -> String and demands a fixed point: every
 // field combination the injector can express (silent-corruption rates
@@ -213,6 +256,9 @@ func TestParseFaultSpecFuzzRoundTrip(t *testing.T) {
 		if rng.Intn(2) == 1 {
 			cfg.SilentTornRate = rng.Float64()
 		}
+		if rng.Intn(2) == 1 {
+			cfg.Shard = rng.Intn(64) + 1
+		}
 		s := cfg.String()
 		back, err := ParseFaultSpec(s)
 		if err != nil {
@@ -223,6 +269,39 @@ func TestParseFaultSpecFuzzRoundTrip(t *testing.T) {
 		}
 		if got := back.String(); got != s {
 			t.Fatalf("config %d: re-stringed to %q, want %q", i, got, s)
+		}
+	}
+}
+
+func TestParseRingSpec(t *testing.T) {
+	cases := []struct {
+		spec     string
+		shards   int
+		replicas int
+	}{
+		{"P=8,R=2", 8, 2},
+		{"p=16, r=3", 16, 3},
+		{"shards=4,replicas=1", 4, 1},
+		{"R=3", 8, 3},   // P defaults
+		{"P=12", 12, 2}, // R defaults
+	}
+	for _, c := range cases {
+		rs, err := ParseRingSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseRingSpec(%q): %v", c.spec, err)
+		}
+		if rs.Shards != c.shards || rs.Replicas != c.replicas {
+			t.Fatalf("ParseRingSpec(%q) = %+v, want P=%d R=%d", c.spec, rs, c.shards, c.replicas)
+		}
+		// String renders the flag syntax back; a fixpoint of the parser.
+		back, err := ParseRingSpec(rs.String())
+		if err != nil || back != rs {
+			t.Fatalf("round trip of %q via %q: %+v, %v", c.spec, rs.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"", "P", "P=0", "R=-2", "P=x", "Q=3", "P=8;R=2"} {
+		if _, err := ParseRingSpec(bad); err == nil {
+			t.Fatalf("ParseRingSpec(%q) accepted", bad)
 		}
 	}
 }

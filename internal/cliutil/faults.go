@@ -12,10 +12,13 @@ import (
 // ParseFaultSpec parses the -faults flag syntax into a fault schedule:
 // comma-separated key=value pairs, e.g.
 //
-//	seed=7,rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=2,bitflip=0.01,lost=0.01,silenttorn=0.01
+//	seed=7,rate=0.05,torn=0.02,latency=0.01,latsec=0.005,persistent=200,persistentops=3,maxconsec=2,bitflip=0.01,lost=0.01,silenttorn=0.01,shard=2
 //
 // Keys mirror fault.Config (fault.Config.String round-trips through this
-// parser); every key is optional, but the spec must not be empty.
+// parser); every key is optional, but the spec must not be empty. The
+// shard key is a 0-based shard index restricting the schedule to one
+// replica of a sharded data plane (ring.Store); without it the schedule
+// applies to every shard.
 func ParseFaultSpec(spec string) (fault.Config, error) {
 	var cfg fault.Config
 	spec = strings.TrimSpace(spec)
@@ -55,6 +58,18 @@ func ParseFaultSpec(spec string) (fault.Config, error) {
 			cfg.PersistentAfter, err = strconv.ParseInt(v, 10, 64)
 		case "persistentops":
 			cfg.PersistentOps, err = strconv.ParseInt(v, 10, 64)
+		case "shard":
+			// 0-based shard index targeting one replica of a sharded
+			// data plane; Config stores index+1 so the zero value stays
+			// "every shard".
+			var idx int
+			idx, err = strconv.Atoi(v)
+			if err == nil && (idx < 0 || idx >= math.MaxInt) {
+				err = fmt.Errorf("cliutil: shard index out of range")
+			}
+			if err == nil {
+				cfg.Shard = idx + 1
+			}
 		default:
 			return cfg, fmt.Errorf("cliutil: unknown fault spec key %q", k)
 		}

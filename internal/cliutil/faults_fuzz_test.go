@@ -20,6 +20,10 @@ func FuzzParseFaultSpec(f *testing.F) {
 	f.Add(" seed = 1 , rate = 0.5 ")
 	f.Add("rate=NaN")
 	f.Add("rate=-0")
+	f.Add("seed=1,rate=0.1,shard=2")
+	f.Add("seed=3,rate=0.05,persistent=10,persistentops=4,shard=0")
+	f.Add("shard=-1")
+	f.Add("shard=9223372036854775807")
 	f.Fuzz(func(t *testing.T, spec string) {
 		cfg, err := ParseFaultSpec(spec)
 		if err != nil {

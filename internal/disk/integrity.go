@@ -192,6 +192,10 @@ type ScrubReport struct {
 	// Repaired counts defective blocks whose checksums were rebuilt to
 	// accept the current contents (ScrubOptions.Repair).
 	Repaired int64 `json:"repaired,omitempty"`
+	// HealedFromReplica counts replica copies rebuilt from a healthy
+	// peer by a ReplicaHealer backend — true repairs that restore the
+	// original data, as opposed to the Repaired blessing.
+	HealedFromReplica int64 `json:"healed_from_replica,omitempty"`
 }
 
 // OK reports a defect-free sweep.
@@ -200,6 +204,9 @@ func (r *ScrubReport) OK() bool { return len(r.Defects) == 0 }
 func (r *ScrubReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scrub: %d array(s), %d block(s), %d defect(s)", r.Arrays, r.Blocks, len(r.Defects))
+	if r.HealedFromReplica > 0 {
+		fmt.Fprintf(&b, ", %d healed from replica", r.HealedFromReplica)
+	}
 	if r.Repaired > 0 {
 		fmt.Fprintf(&b, ", %d repaired", r.Repaired)
 	}
@@ -268,8 +275,23 @@ func Scrub(be Backend, opt ScrubOptions) (*ScrubReport, error) {
 				With(name).Add(int64(len(defects)))
 		}
 		if opt.Repair && len(defects) > 0 {
-			if err := st.RebuildChecksums(name); err != nil {
-				return nil, fmt.Errorf("disk: scrub repair %q: %w", name, err)
+			// Repair-before-recompute ordering: a replicated backend
+			// first restores defective copies from a healthy peer; only
+			// blocks no replica can restore fall through to the blessing
+			// below (and, at the execution layer, to recompute).
+			healed := false
+			if h := AsReplicaHealer(be); h != nil {
+				copied, unhealedBlocks, err := h.HealArray(name)
+				if err != nil {
+					return nil, fmt.Errorf("disk: scrub heal %q: %w", name, err)
+				}
+				rep.HealedFromReplica += copied
+				healed = unhealedBlocks == 0
+			}
+			if !healed {
+				if err := st.RebuildChecksums(name); err != nil {
+					return nil, fmt.Errorf("disk: scrub repair %q: %w", name, err)
+				}
 			}
 			rep.Repaired += int64(len(defects))
 		}
@@ -296,6 +318,34 @@ func Scrub(be Backend, opt ScrubOptions) (*ScrubReport, error) {
 // chain, or nil when nothing on the chain keeps integrity metadata — the
 // probe exec's heal path and the scrub CLI share.
 func AsIntegrityStore(be Backend) IntegrityStore { return findIntegrityStore(be) }
+
+// ReplicaHealer is implemented by backends that keep redundant copies of
+// their arrays (ring.Store) and can rebuild a defective copy from a
+// healthy peer. It is the repair-before-recompute hook: Scrub and the
+// execution engine's integrity heal path both try it before blessing
+// corruption or recomputing data from its producer.
+type ReplicaHealer interface {
+	// HealArray restores every defective replica copy of one array from
+	// a healthy peer. copied counts copies rebuilt; unhealed counts
+	// blocks left defective because no healthy replica existed.
+	HealArray(name string) (copied, unhealed int64, err error)
+}
+
+// AsReplicaHealer returns the first ReplicaHealer along be's wrapper
+// chain, or nil when the backend keeps no redundant copies.
+func AsReplicaHealer(be Backend) ReplicaHealer {
+	for be != nil {
+		if h, ok := be.(ReplicaHealer); ok {
+			return h
+		}
+		ib, ok := be.(InnerBackend)
+		if !ok {
+			return nil
+		}
+		be = ib.Inner()
+	}
+	return nil
+}
 
 // findIntegrityStore unwraps be until an IntegrityStore is found.
 func findIntegrityStore(be Backend) IntegrityStore {

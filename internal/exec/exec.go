@@ -754,7 +754,7 @@ func (e *engine) section(buf *codegen.Buffer) (lo, shape []int64) {
 			b := e.base[d.Index]
 			t := e.plan.Tiles[d.Index]
 			lo[i] = b
-			shape[i] = min64(t, n-b)
+			shape[i] = min(t, n-b)
 		case placement.ExtFull:
 			lo[i] = 0
 			shape[i] = n
@@ -954,7 +954,7 @@ func (e *engine) initPass(name string) error {
 		}
 		for b := int64(0); b < da.Dims[d]; b += tiles[d] {
 			lo[d] = b
-			shape[d] = min64(tiles[d], da.Dims[d]-b)
+			shape[d] = min(tiles[d], da.Dims[d]-b)
 			if err := walk(d + 1); err != nil {
 				return err
 			}
@@ -995,7 +995,7 @@ func (e *engine) computeWith(c *codegen.Compute, base map[string]int64, outInst 
 		n := e.plan.Prog.Ranges[x]
 		b := base[x]
 		bases[i] = b
-		extents[i] = min64(e.plan.Tiles[x], n-b)
+		extents[i] = min(e.plan.Tiles[x], n-b)
 		intraPos[x] = i
 	}
 
@@ -1041,7 +1041,7 @@ func (e *engine) computePoints(c *codegen.Compute, base map[string]int64) int64 
 	pts := int64(1)
 	for _, x := range c.Intra {
 		n := e.plan.Prog.Ranges[x]
-		pts *= min64(e.plan.Tiles[x], n-base[x])
+		pts *= min(e.plan.Tiles[x], n-base[x])
 	}
 	return pts
 }
@@ -1139,11 +1139,4 @@ func (r *compiledRef) offset() int {
 		off = off*int64(r.dims[i].size) + v
 	}
 	return int(off)
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -168,7 +168,7 @@ func (e *engine) genSteps(ns []codegen.Node, steps []pstep) []pstep {
 			mul := 1.0
 			for _, l := range e.dryLoops {
 				if containsIndex(n.Intra, l.Index) {
-					mul *= float64(l.Range) / float64(min64(l.Tile, l.Range))
+					mul *= float64(l.Range) / float64(min(l.Tile, l.Range))
 				} else {
 					mul *= float64((l.Range + l.Tile - 1) / l.Tile)
 				}

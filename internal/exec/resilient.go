@@ -304,6 +304,21 @@ func RunResilient(ctx context.Context, p *codegen.Plan, be disk.Backend, inputs 
 // pre-heal index. On success cp holds the (possibly rolled back) resume
 // point.
 func healIntegrity(p *codegen.Plan, be disk.Backend, inputs map[string]*tensor.Tensor, ie *disk.IntegrityError, cp *Checkpoint, dryRun bool) (HealAction, error) {
+	// Repair-before-recompute: a replicated backend (ring.Store) first
+	// tries to restore the rotten copies from a healthy replica — the
+	// data already exists, no rollback or re-staging needed. Only when
+	// some block has no healthy replica left does the single-backend
+	// bless-then-regenerate path below take over.
+	if h := disk.AsReplicaHealer(be); h != nil {
+		if _, unhealed, err := h.HealArray(ie.Array); err == nil && unhealed == 0 {
+			if err := disk.SyncBackend(be); err != nil {
+				return HealAction{}, fmt.Errorf("sync healed replicas: %w", err)
+			}
+			return HealAction{Array: ie.Array, Method: "replica-copy", Resume: *cp}, nil
+		}
+		// Heal error or unhealed blocks: whatever copies did converge
+		// stay converged; the rest needs the regeneration path below.
+	}
 	st := disk.AsIntegrityStore(be)
 	if st == nil {
 		return HealAction{}, fmt.Errorf("backend keeps no integrity metadata")

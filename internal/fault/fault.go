@@ -79,6 +79,18 @@ type Config struct {
 	// persist, while the whole write is acknowledged and indexed.
 	// Requires disk.SilentWriter.
 	SilentTornRate float64
+	// Shard restricts the schedule to one shard of a replicated data
+	// plane. The zero value targets every shard; a positive value K+1
+	// targets only shard index K (the spec syntax "shard=K" is 0-based,
+	// the +1 offset keeps the zero Config untargeted). Backends that are
+	// not sharded ignore the field.
+	Shard int
+}
+
+// TargetsShard reports whether the schedule applies to shard index i
+// (0-based). An untargeted schedule applies everywhere.
+func (c Config) TargetsShard(i int) bool {
+	return c.Shard == 0 || c.Shard == i+1
 }
 
 func (c Config) maxConsecutive() int {
@@ -118,6 +130,9 @@ func (c Config) String() string {
 	}
 	if c.SilentTornRate > 0 {
 		s += fmt.Sprintf(",silenttorn=%g", c.SilentTornRate)
+	}
+	if c.Shard > 0 {
+		s += fmt.Sprintf(",shard=%d", c.Shard-1)
 	}
 	return s
 }

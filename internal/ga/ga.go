@@ -13,6 +13,7 @@
 package ga
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,7 +24,7 @@ import (
 // Cluster is a simulated P-process machine with per-process local disks.
 type Cluster struct {
 	p      int
-	locals []*disk.Sim
+	locals []disk.Backend
 	arrays map[string]*clusterArray
 }
 
@@ -113,16 +114,17 @@ func (c *Cluster) ResetStats() {
 	}
 }
 
-// Close releases all local disks.
+// Close releases all local disks. Every local is closed even when some
+// fail; the returned error aggregates all failures.
 func (c *Cluster) Close() error {
-	var first error
-	for _, l := range c.locals {
-		if err := l.Close(); err != nil && first == nil {
-			first = err
+	errs := make([]error, 0, len(c.locals))
+	for i, l := range c.locals {
+		if err := l.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("ga: proc %d: %w", i, err))
 		}
 	}
 	c.arrays = nil
-	return first
+	return errors.Join(errs...)
 }
 
 func (a *clusterArray) Name() string  { return a.name }
@@ -176,8 +178,8 @@ func (a *clusterArray) collective(lo, shape []int64, buf []float64, read bool) e
 	for k := 0; k < a.c.p; k++ {
 		ownLo := d * int64(k) / int64(a.c.p)
 		ownHi := d * int64(k+1) / int64(a.c.p)
-		rlo := max64(lo[0], ownLo)
-		rhi := min64(lo[0]+shape[0], ownHi)
+		rlo := max(lo[0], ownLo)
+		rhi := min(lo[0]+shape[0], ownHi)
 		if rhi <= rlo {
 			continue // no overlap: this process idles for the operation
 		}
@@ -206,18 +208,4 @@ func (a *clusterArray) collective(lo, shape []int64, buf []float64, read bool) e
 		}
 	}
 	return nil
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

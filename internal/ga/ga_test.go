@@ -1,9 +1,13 @@
 package ga
 
 import (
+	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/codegen"
+	"repro/internal/disk"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/loops"
@@ -130,6 +134,149 @@ func TestScalarArrayHandledByProcZero(t *testing.T) {
 	}
 	if c.ProcStats(1).WriteOps != 0 {
 		t.Fatal("proc 1 should idle on scalar ops")
+	}
+}
+
+func TestUnevenBlockDistribution(t *testing.T) {
+	// P=7 does not divide 10 rows: ownership boundaries d·k/P land at
+	// 0,1,2,4,5,7,8,10, so processes own 1 or 2 rows each. Round-trip
+	// correctness and per-process byte counts must both respect the
+	// uneven split.
+	c, err := NewCluster(7, testDisk(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, _ := c.Create("X", []int64{10, 3})
+	buf := make([]float64, 30)
+	for i := range buf {
+		buf[i] = float64(i) * 1.5
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{10, 3}, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 30)
+	if err := a.ReadSection([]int64{0, 0}, []int64{10, 3}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], buf[i])
+		}
+	}
+	for k := 0; k < 7; k++ {
+		ownLo, ownHi := int64(10*k)/7, int64(10*(k+1))/7
+		want := (ownHi - ownLo) * 3 * 8
+		if st := c.ProcStats(k); st.BytesRead != want {
+			t.Fatalf("proc %d read %d bytes, want %d", k, st.BytesRead, want)
+		}
+	}
+}
+
+func TestMoreProcsThanRows(t *testing.T) {
+	// P=5 over 3 rows: boundaries 0,0,1,1,2,3 leave processes 0 and 2
+	// owning nothing — they must idle, not fault, and the data must
+	// still round-trip through the owners.
+	c, err := NewCluster(5, testDisk(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, _ := c.Create("X", []int64{3, 2})
+	buf := []float64{1, 2, 3, 4, 5, 6}
+	if err := a.WriteSection([]int64{0, 0}, []int64{3, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 6)
+	if err := a.ReadSection([]int64{0, 0}, []int64{3, 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], buf[i])
+		}
+	}
+	for _, k := range []int{0, 2} {
+		if st := c.ProcStats(k); st.ReadOps != 0 || st.WriteOps != 0 {
+			t.Fatalf("proc %d owns no rows but has stats %+v", k, st)
+		}
+	}
+}
+
+func TestConcurrentCollectiveReads(t *testing.T) {
+	// Overlapping collective reads race across the same local disks; run
+	// under -race this pins down that the cluster's fan-out and the
+	// backing stores tolerate concurrent collectives.
+	c, err := NewCluster(3, testDisk(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, _ := c.Create("X", []int64{12, 4})
+	buf := make([]float64, 48)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{12, 4}, buf); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lo := int64(g % 5)
+			got := make([]float64, 7*4)
+			if err := a.ReadSection([]int64{lo, 0}, []int64{7, 4}, got); err != nil {
+				errs[g] = err
+				return
+			}
+			for i, v := range got {
+				if want := float64(int(lo)*4 + i); v != want {
+					errs[g] = fmt.Errorf("goroutine %d: element %d = %v, want %v", g, i, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// failCloseBackend is a Backend whose Close always fails, for testing
+// Close error aggregation.
+type failCloseBackend struct {
+	disk.Backend
+	id int
+}
+
+func (f failCloseBackend) Close() error { return fmt.Errorf("disk %d stuck", f.id) }
+
+func TestCloseAggregatesErrors(t *testing.T) {
+	// Every local must be closed even when earlier ones fail, and the
+	// aggregate error must mention each failure, not just the first.
+	c := &Cluster{p: 3, arrays: map[string]*clusterArray{}}
+	for i := 0; i < 3; i++ {
+		var be disk.Backend = disk.NewSim(testDisk(), false)
+		if i != 1 {
+			be = failCloseBackend{Backend: be, id: i}
+		}
+		c.locals = append(c.locals, be)
+	}
+	err := c.Close()
+	if err == nil {
+		t.Fatal("Close must report the stuck disks")
+	}
+	msg := err.Error()
+	for _, want := range []string{"ga: proc 0: disk 0 stuck", "ga: proc 2: disk 2 stuck"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("aggregated error %q missing %q", msg, want)
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 var Analyzers = []*Analyzer{
 	DiskStats, CtxField, ErrPrefix, ObsNew, IOErr, ObsLog,
 	WallTime, MapOrder, RngSeed, GoLeak, LabelCard, DeprecatedUse,
+	MinMax,
 }
 
 // statsFields are the exported counters of disk.Stats.

@@ -310,3 +310,32 @@ func fatal(err error) {
 }
 `), "obslog")
 }
+
+func TestMinMax(t *testing.T) {
+	diags := check(t, "internal/exec", `package exec
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+`)
+	wantDiag(t, diags, "minmax", "reimplements a builtin")
+
+	// Shadowing the builtin by name is just as banned.
+	wantDiag(t, check(t, "internal/ga", `package ga
+func max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+`), "minmax", "reimplements a builtin")
+
+	// Methods and unrelated helpers are fine.
+	wantNone(t, check(t, "internal/exec", `package exec
+type clamp struct{}
+func (clamp) min64(a, b int64) int64 { return a }
+func minimize(a, b int64) int64 { return min(a, b) }
+`), "minmax")
+}

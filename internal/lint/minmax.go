@@ -1,0 +1,39 @@
+package lint
+
+import "go/ast"
+
+// minMaxNames are the historical scalar min/max helper spellings. Four
+// copies of min64/max64 once lived in exec, ga, placement, and verify;
+// they were consolidated onto the Go 1.21 min/max builtins, and this
+// check keeps new copies from reappearing under the usual names.
+var minMaxNames = map[string]bool{
+	"min64": true, "max64": true,
+	"min32": true, "max32": true,
+	"minInt": true, "maxInt": true,
+	"minInt64": true, "maxInt64": true,
+	"minFloat64": true, "maxFloat64": true,
+}
+
+// MinMax flags reimplementations of the min/max builtins.
+var MinMax = &Analyzer{
+	Name: "minmax",
+	Doc:  "use the Go 1.21 min/max builtins instead of hand-rolled scalar helpers",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil {
+					continue
+				}
+				name := fd.Name.Name
+				// A package-level func named min/max shadows the builtin
+				// for the whole package; the historical names are just as
+				// banned.
+				if minMaxNames[name] || name == "min" || name == "max" {
+					p.Reportf(f, fd.Name.Pos(),
+						"scalar %s helper reimplements a builtin; use min/max directly", name)
+				}
+			}
+		}
+	},
+}

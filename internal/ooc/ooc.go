@@ -80,6 +80,12 @@ type Options struct {
 	// contraction — callers inspect the report. Requires a backend with
 	// integrity metadata (FileStore or Sim, possibly wrapped).
 	Scrub bool
+	// ScrubRepair makes the post-run scrub heal defective blocks: on a
+	// replicated backend (ring.Store) a defective copy is first rebuilt
+	// from a healthy replica (ScrubReport.HealedFromReplica counts
+	// these); only copies with no healthy peer fall back to rebuilding
+	// the checksum index. Implies Scrub.
+	ScrubRepair bool
 }
 
 // Result reports a contraction run.
@@ -177,8 +183,8 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	}
 	out := &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline,
 		Retry: res.Retry, Recovery: res.Recovery}
-	if opt.Scrub {
-		rep, err := disk.Scrub(be, disk.ScrubOptions{Metrics: opt.Metrics, Log: opt.Log})
+	if opt.Scrub || opt.ScrubRepair {
+		rep, err := disk.Scrub(be, disk.ScrubOptions{Repair: opt.ScrubRepair, Metrics: opt.Metrics, Log: opt.Log})
 		if err != nil {
 			return nil, fmt.Errorf("ooc: post-run scrub: %w", err)
 		}

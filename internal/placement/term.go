@@ -102,7 +102,7 @@ func (t Term) LowerBound(ranges map[string]int64) float64 {
 	}
 	tiles := multiset(t.Tiles)
 	for x, n := range multiset(t.Trips) {
-		for i := 0; i < min64(n, tiles[x]); i++ {
+		for i := 0; i < min(n, tiles[x]); i++ {
 			v *= float64(ranges[x])
 		}
 	}
@@ -152,12 +152,12 @@ func DividesLE(a, b Term) bool {
 	cancel(ac, bc)
 	// a's leftover tiles/trips may cancel against b's leftover fulls.
 	for x, n := range at {
-		take := min64(n, bf[x])
+		take := min(n, bf[x])
 		at[x] -= take
 		bf[x] -= take
 	}
 	for x, n := range ac {
-		take := min64(n, bf[x])
+		take := min(n, bf[x])
 		ac[x] -= take
 		bf[x] -= take
 	}
@@ -179,7 +179,7 @@ func multiset(xs []string) map[string]int {
 
 func cancel(a, b map[string]int) {
 	for x, n := range a {
-		take := min64(n, b[x])
+		take := min(n, b[x])
 		a[x] -= take
 		b[x] -= take
 	}
@@ -191,11 +191,4 @@ func total(m map[string]int) int {
 		n += v
 	}
 	return n
-}
-
-func min64(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

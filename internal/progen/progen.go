@@ -175,10 +175,3 @@ func InputTensors(p *loops.Program, rng *rand.Rand) map[string]*tensor.Tensor {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,636 @@
+package ring
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+func testDisk() machine.Disk {
+	return machine.Disk{SeekTime: 0.005, ReadBandwidth: 1e6, WriteBandwidth: 8e5}
+}
+
+// newTestStore builds a data-mode ring over simulator shards.
+func newTestStore(t *testing.T, shards, replicas int, opt Options) *Store {
+	t.Helper()
+	opt.Shards = shards
+	opt.Replicas = replicas
+	opt.Disk = testDisk()
+	opt.WithData = true
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// baseArray opens shard id's local copy beneath any injector.
+func baseArray(t *testing.T, s *Store, id int, name string) disk.Array {
+	t.Helper()
+	arr, err := baseBackend(s.ShardBackend(id)).Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestNewValidates(t *testing.T) {
+	for _, opt := range []Options{
+		{Shards: 0, Replicas: 1},
+		{Shards: 3, Replicas: 0},
+		{Shards: 3, Replicas: 4},
+	} {
+		if _, err := New(opt); err == nil {
+			t.Fatalf("options %+v must be rejected", opt)
+		}
+	}
+}
+
+func TestRoundTripAcrossBlocks(t *testing.T) {
+	s := newTestStore(t, 4, 2, Options{BlockRows: 3})
+	a, err := s.Create("X", []int64{20, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 100)
+	for i := range buf {
+		buf[i] = float64(i) + 0.5
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{20, 5}, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Sections crossing placement-block boundaries with offsets in both
+	// dimensions must come back exactly.
+	got := make([]float64, 7*3)
+	if err := a.ReadSection([]int64{2, 1}, []int64{7, 3}, got); err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 7; r++ {
+		for c := int64(0); c < 3; c++ {
+			want := float64((2+r)*5+(1+c)) + 0.5
+			if got[r*3+c] != want {
+				t.Fatalf("element (%d,%d) = %v, want %v", r, c, got[r*3+c], want)
+			}
+		}
+	}
+	// Every block has R distinct replicas within the shard range.
+	ra := a.(*Array)
+	for b := int64(0); b < ra.blocks; b++ {
+		cands := ra.candidates(b)
+		if len(cands) != 2 {
+			t.Fatalf("block %d has %d replicas, want 2", b, len(cands))
+		}
+		if cands[0] == cands[1] || cands[0] < 0 || cands[0] >= 4 || cands[1] < 0 || cands[1] >= 4 {
+			t.Fatalf("block %d replicas %v invalid", b, cands)
+		}
+	}
+	// Out-of-bounds sections are typed errors.
+	if err := a.ReadSection([]int64{18, 0}, []int64{5, 5}, got); err == nil {
+		t.Fatal("out-of-bounds read must fail")
+	}
+}
+
+func TestScalarArray(t *testing.T) {
+	s := newTestStore(t, 3, 2, Options{})
+	a, err := s.Create("s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteSection(nil, nil, []float64{2.25}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 1)
+	if err := a.ReadSection(nil, nil, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2.25 {
+		t.Fatalf("scalar round trip = %v", got[0])
+	}
+}
+
+func TestFrontDoorSingleDiskEquivalent(t *testing.T) {
+	// The front door charges exactly one single-disk-equivalent op per
+	// section call — regardless of replication factor or how many shard
+	// sub-operations served it — while the aggregate accounting carries
+	// the replicated cost.
+	s := newTestStore(t, 4, 3, Options{BlockRows: 2})
+	a, _ := s.Create("X", []int64{16, 4})
+	buf := make([]float64, 64)
+	if err := a.WriteSection([]int64{0, 0}, []int64{16, 4}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReadSection([]int64{0, 0}, []int64{16, 4}, buf); err != nil {
+		t.Fatal(err)
+	}
+	front := s.Stats()
+	d := testDisk()
+	if front.WriteOps != 1 || front.ReadOps != 1 {
+		t.Fatalf("front door ops %+v, want exactly one read and one write", front)
+	}
+	if front.BytesWritten != 64*8 || front.BytesRead != 64*8 {
+		t.Fatalf("front door bytes %+v", front)
+	}
+	if front.WriteTime != d.WriteTime(64*8, 1) || front.ReadTime != d.ReadTime(64*8, 1) {
+		t.Fatalf("front door time %+v is not the single-disk figure", front)
+	}
+	// R=3 writes fan out threefold.
+	agg := s.AggregateStats()
+	if agg.BytesWritten != 3*64*8 {
+		t.Fatalf("aggregate wrote %d bytes, want %d", agg.BytesWritten, 3*64*8)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.ReadOps != 0 || st.BytesWritten != 0 {
+		t.Fatalf("ResetStats left front door %+v", st)
+	}
+	if st := s.AggregateStats(); st.ReadOps != 0 || st.WriteOps != 0 {
+		t.Fatalf("ResetStats left shards %+v", st)
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	mk := func(seed uint64) [][]int {
+		s := newTestStore(t, 5, 2, Options{Seed: seed, BlockRows: 1})
+		a, err := s.Create("X", []int64{40, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra := a.(*Array)
+		out := make([][]int, ra.blocks)
+		for b := int64(0); b < ra.blocks; b++ {
+			out[b] = append([]int(nil), ra.candidates(b)...)
+		}
+		return out
+	}
+	x, y := mk(7), mk(7)
+	for b := range x {
+		if !sameOrder(x[b], y[b]) {
+			t.Fatalf("same seed placed block %d at %v then %v", b, x[b], y[b])
+		}
+	}
+	z := mk(8)
+	differs := false
+	for b := range x {
+		if !sameOrder(x[b], z[b]) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 7 and 8 produced identical placements for every block")
+	}
+}
+
+func TestReadFailoverMasksIntegrity(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestStore(t, 3, 2, Options{BlockRows: 4, Metrics: reg})
+	a, _ := s.Create("X", []int64{12, 2})
+	buf := make([]float64, 24)
+	for i := range buf {
+		buf[i] = float64(i) + 1
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{12, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rot block 0's preferred replica beneath its checksums.
+	ra := a.(*Array)
+	pref := ra.candidates(0)[0]
+	barr := baseArray(t, s, pref, "X")
+	if err := barr.(disk.BitFlipper).FlipBit(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 24)
+	if err := a.ReadSection([]int64{0, 0}, []int64{12, 2}, got); err != nil {
+		t.Fatalf("read must fail over, got %v", err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v, want %v (failover served wrong data)", i, got[i], buf[i])
+		}
+	}
+	if n := reg.CounterVec(MetricFailover, "shard").With(s.shards[pref].name).Value(); n == 0 {
+		t.Fatal("failover counter for the rotten shard is zero")
+	}
+
+	// HealArray copies the block back from the healthy replica.
+	copied, unhealed, err := s.HealArray("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied == 0 || unhealed != 0 {
+		t.Fatalf("HealArray copied=%d unhealed=%d, want copied>0 unhealed=0", copied, unhealed)
+	}
+	if n := reg.Counter(MetricRepairCopied).Value(); n != copied {
+		t.Fatalf("repair.copied counter %d != copied %d", n, copied)
+	}
+	defects, _, err := s.VerifyArray("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defects) != 0 {
+		t.Fatalf("defects remain after heal: %v", defects)
+	}
+	// The previously rotten base copy now holds the true data again.
+	head := make([]float64, 8)
+	if err := barr.ReadSection([]int64{0, 0}, []int64{4, 2}, head); err != nil {
+		t.Fatalf("healed copy still fails verification: %v", err)
+	}
+	for i := range head {
+		if head[i] != buf[i] {
+			t.Fatalf("healed element %d = %v, want %v", i, head[i], buf[i])
+		}
+	}
+}
+
+func TestQuorumUnreachableTypedError(t *testing.T) {
+	s := newTestStore(t, 2, 1, Options{BlockRows: 4})
+	a, _ := s.Create("X", []int64{8, 2})
+	buf := make([]float64, 16)
+	if err := a.WriteSection([]int64{0, 0}, []int64{8, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	ra := a.(*Array)
+	only := ra.candidates(0)[0]
+	if err := baseArray(t, s, only, "X").(disk.BitFlipper).FlipBit(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	err := a.ReadSection([]int64{0, 0}, []int64{4, 2}, buf[:8])
+	if err == nil {
+		t.Fatal("R=1 read of a rotten block must fail")
+	}
+	var ioe *disk.IOError
+	if !errors.As(err, &ioe) {
+		t.Fatalf("error %v is not a *disk.IOError", err)
+	}
+	var be *BlockError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v carries no *BlockError", err)
+	}
+	if be.Array != "X" || len(be.Shards) != 1 || be.Shards[0] != only {
+		t.Fatalf("BlockError attribution wrong: %+v", be)
+	}
+	// The per-replica integrity cause is visible through Unwrap.
+	if !disk.IsIntegrity(err) {
+		t.Fatalf("integrity cause not classifiable through %v", err)
+	}
+	if disk.IsTransient(err) {
+		t.Fatal("an integrity fault must not be classified transient")
+	}
+}
+
+// failWrites wraps a shard's local array so every write fails with a
+// persistent typed fault.
+type failWrites struct {
+	disk.Array
+}
+
+func (f failWrites) WriteSection(lo, shape []int64, buf []float64) error {
+	return disk.NewIOError("write", f.Array.Name(), lo, shape, false, errors.New("shard down"))
+}
+
+func TestDegradedWriteMarksStaleAndRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestStore(t, 3, 2, Options{BlockRows: 2, Metrics: reg})
+	a, _ := s.Create("X", []int64{8, 2})
+	ra := a.(*Array)
+	victim := ra.candidates(0)[0]
+
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{8, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the victim's local copy: writes degrade instead of failing.
+	ra.amu.Lock()
+	good := ra.locals[victim]
+	ra.locals[victim] = failWrites{Array: good}
+	ra.amu.Unlock()
+
+	for i := range buf {
+		buf[i] = float64(i) + 100
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{8, 2}, buf); err != nil {
+		t.Fatalf("write with one broken replica must degrade, not fail: %v", err)
+	}
+	staleBlocks := 0
+	for b := int64(0); b < ra.blocks; b++ {
+		for _, id := range ra.candidates(b) {
+			if id == victim && ra.isStale(b, victim) {
+				staleBlocks++
+			}
+		}
+	}
+	if staleBlocks == 0 {
+		t.Fatal("degraded write left no stale flags on the broken replica")
+	}
+	if g := reg.Gauge(MetricDegradedBlocks).Value(); g != float64(staleBlocks) {
+		t.Fatalf("degraded gauge %g, want %d", g, staleBlocks)
+	}
+	// Stale copies move to the back of the read order; reads return the
+	// new data from the healthy replicas.
+	for b := int64(0); b < ra.blocks; b++ {
+		if !ra.isStale(b, victim) {
+			continue
+		}
+		ord := ra.readOrder(b)
+		if ord[len(ord)-1] != victim {
+			t.Fatalf("block %d read order %v does not demote stale shard %d", b, ord, victim)
+		}
+	}
+	got := make([]float64, 16)
+	if err := a.ReadSection([]int64{0, 0}, []int64{8, 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v, want %v (stale copy served)", i, got[i], buf[i])
+		}
+	}
+	// VerifyArray surfaces the stale copies as defects.
+	defects, _, err := s.VerifyArray("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defects) != staleBlocks {
+		t.Fatalf("%d stale defects reported, want %d", len(defects), staleBlocks)
+	}
+
+	// Shard recovers: a full-cover write clears the stale flags.
+	ra.amu.Lock()
+	ra.locals[victim] = good
+	ra.amu.Unlock()
+	if err := a.WriteSection([]int64{0, 0}, []int64{8, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	for b := int64(0); b < ra.blocks; b++ {
+		if ra.isStale(b, victim) {
+			t.Fatalf("block %d still stale after a full-cover write", b)
+		}
+	}
+	if g := reg.Gauge(MetricDegradedBlocks).Value(); g != 0 {
+		t.Fatalf("degraded gauge %g after recovery, want 0", g)
+	}
+}
+
+func TestHealArrayRepairsStaleCopies(t *testing.T) {
+	s := newTestStore(t, 3, 2, Options{BlockRows: 2})
+	a, _ := s.Create("X", []int64{8, 2})
+	ra := a.(*Array)
+	victim := ra.candidates(0)[0]
+
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = float64(i) + 7
+	}
+	ra.amu.Lock()
+	good := ra.locals[victim]
+	ra.locals[victim] = failWrites{Array: good}
+	ra.amu.Unlock()
+	if err := a.WriteSection([]int64{0, 0}, []int64{8, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	ra.amu.Lock()
+	ra.locals[victim] = good
+	ra.amu.Unlock()
+
+	copied, unhealed, err := s.HealArray("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied == 0 || unhealed != 0 {
+		t.Fatalf("HealArray copied=%d unhealed=%d", copied, unhealed)
+	}
+	// The victim's base copy now carries the missed write.
+	got := make([]float64, 4)
+	if err := baseArray(t, s, victim, "X").ReadSection([]int64{0, 0}, []int64{2, 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != buf[i] {
+			t.Fatalf("healed stale element %d = %v, want %v", i, got[i], buf[i])
+		}
+	}
+	if defects, _, _ := s.VerifyArray("X"); len(defects) != 0 {
+		t.Fatalf("defects remain: %v", defects)
+	}
+}
+
+func TestHealArrayUnhealedWithoutHealthyReplica(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestStore(t, 2, 2, Options{BlockRows: 4, Metrics: reg})
+	a, _ := s.Create("X", []int64{4, 2})
+	buf := make([]float64, 8)
+	if err := a.WriteSection([]int64{0, 0}, []int64{4, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the single block on both replicas: nothing can heal it.
+	for _, id := range a.(*Array).candidates(0) {
+		if err := baseArray(t, s, id, "X").(disk.BitFlipper).FlipBit(0, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copied, unhealed, err := s.HealArray("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != 0 || unhealed == 0 {
+		t.Fatalf("HealArray copied=%d unhealed=%d, want the block unhealed", copied, unhealed)
+	}
+	if n := reg.Counter(MetricRepairRecomputed).Value(); n == 0 {
+		t.Fatal("repair.recomputed counter is zero")
+	}
+}
+
+func TestRetryAbsorbsTransientFaults(t *testing.T) {
+	s := newTestStore(t, 3, 2, Options{
+		BlockRows: 2,
+		Faults:    &fault.Config{Seed: 3, Rate: 0.3, MaxConsecutive: 2},
+		Retry:     disk.DefaultRetryPolicy(),
+	})
+	a, _ := s.Create("X", []int64{12, 3})
+	buf := make([]float64, 36)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	for iter := 0; iter < 10; iter++ {
+		if err := a.WriteSection([]int64{0, 0}, []int64{12, 3}, buf); err != nil {
+			t.Fatalf("iter %d write: %v", iter, err)
+		}
+		got := make([]float64, 36)
+		if err := a.ReadSection([]int64{0, 0}, []int64{12, 3}, got); err != nil {
+			t.Fatalf("iter %d read: %v", iter, err)
+		}
+		for i := range buf {
+			if got[i] != buf[i] {
+				t.Fatalf("iter %d element %d = %v, want %v", iter, i, got[i], buf[i])
+			}
+		}
+	}
+	faulted := int64(0)
+	for i := 0; i < 3; i++ {
+		if inj, ok := s.ShardBackend(i).(*fault.Injector); ok {
+			faulted += inj.Counts().Faults()
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("schedule injected nothing")
+	}
+	if s.FailoverSeconds() <= 0 {
+		t.Fatal("transient retries charged no modelled backoff")
+	}
+	// Time() = slowest shard + the failover backoff account.
+	maxShard := 0.0
+	for i := 0; i < 3; i++ {
+		if st := s.ShardStats(i); st.Time() > maxShard {
+			maxShard = st.Time()
+		}
+	}
+	if got, want := s.Time(), maxShard+s.FailoverSeconds(); got != want {
+		t.Fatalf("Time() = %g, want max-shard %g + failover %g", got, maxShard, s.FailoverSeconds())
+	}
+}
+
+func TestRebalanceAddShard(t *testing.T) {
+	s := newTestStore(t, 3, 2, Options{BlockRows: 1})
+	a, _ := s.Create("X", []int64{48, 2})
+	buf := make([]float64, 96)
+	for i := range buf {
+		buf[i] = float64(i) * 2
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{48, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 4 {
+		t.Fatalf("live shards after add = %d, want 4", rep.Shards)
+	}
+	if rep.BlocksMoved == 0 || rep.Unmoved != 0 {
+		t.Fatalf("rebalance moved %d blocks (%d unmoved)", rep.BlocksMoved, rep.Unmoved)
+	}
+	blockBytes := int64(1 * 2 * 8)
+	if rep.BytesMoved != rep.BlocksMoved*blockBytes {
+		t.Fatalf("moved %d bytes for %d blocks", rep.BytesMoved, rep.BlocksMoved)
+	}
+	if rep.Seconds <= 0 {
+		t.Fatal("rebalance charged no modelled time")
+	}
+	// The new shard holds data and placements reference it.
+	ra := a.(*Array)
+	usesNew := false
+	for b := int64(0); b < ra.blocks; b++ {
+		for _, id := range ra.candidates(b) {
+			if id == 3 {
+				usesNew = true
+			}
+		}
+	}
+	if !usesNew {
+		t.Fatal("no block placed on the added shard")
+	}
+	got := make([]float64, 96)
+	if err := a.ReadSection([]int64{0, 0}, []int64{48, 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v, want %v after add", i, got[i], buf[i])
+		}
+	}
+	if defects, _, _ := s.VerifyArray("X"); len(defects) != 0 {
+		t.Fatalf("defects after add: %v", defects)
+	}
+}
+
+func TestRebalanceDrainShard(t *testing.T) {
+	s := newTestStore(t, 4, 2, Options{BlockRows: 1})
+	a, _ := s.Create("X", []int64{48, 2})
+	buf := make([]float64, 96)
+	for i := range buf {
+		buf[i] = float64(i) + 11
+	}
+	if err := a.WriteSection([]int64{0, 0}, []int64{48, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.DrainShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 3 {
+		t.Fatalf("live shards after drain = %d, want 3", rep.Shards)
+	}
+	if rep.BlocksMoved == 0 || rep.Unmoved != 0 {
+		t.Fatalf("drain moved %d blocks (%d unmoved)", rep.BlocksMoved, rep.Unmoved)
+	}
+	ra := a.(*Array)
+	for b := int64(0); b < ra.blocks; b++ {
+		cands := ra.candidates(b)
+		if len(cands) != 2 {
+			t.Fatalf("block %d has %d replicas after drain", b, len(cands))
+		}
+		for _, id := range cands {
+			if id == 1 {
+				t.Fatalf("block %d still placed on drained shard", b)
+			}
+		}
+	}
+	got := make([]float64, 96)
+	if err := a.ReadSection([]int64{0, 0}, []int64{48, 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v, want %v after drain", i, got[i], buf[i])
+		}
+	}
+	if defects, _, _ := s.VerifyArray("X"); len(defects) != 0 {
+		t.Fatalf("defects after drain: %v", defects)
+	}
+	// Draining again is refused (not live), and draining below the
+	// replication factor is refused.
+	if _, err := s.DrainShard(1); err == nil {
+		t.Fatal("draining a drained shard must fail")
+	}
+	if _, err := s.DrainShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DrainShard(2); err == nil {
+		t.Fatal("draining below the replication factor must fail")
+	}
+}
+
+func TestReopenKeepsData(t *testing.T) {
+	s := newTestStore(t, 3, 2, Options{
+		Faults: &fault.Config{Seed: 1, Rate: 0.01},
+		Retry:  disk.DefaultRetryPolicy(),
+	})
+	a, _ := s.Create("X", []int64{6, 2})
+	buf := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if err := a.WriteSection([]int64{0, 0}, []int64{6, 2}, buf); err != nil {
+		t.Fatal(err)
+	}
+	be, err := s.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be != disk.Backend(s) {
+		t.Fatal("Reopen must return the ring itself")
+	}
+	got := make([]float64, 12)
+	if err := a.ReadSection([]int64{0, 0}, []int64{6, 2}, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("element %d = %v after reopen, want %v", i, got[i], buf[i])
+		}
+	}
+}

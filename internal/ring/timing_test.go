@@ -1,0 +1,139 @@
+package ring
+
+// Satellite regression for the ring's two-tier cost accounting: the
+// execution engine's disk-track span total must still equal the
+// backend's Stats.Time() when the backend is a ring — in both engines,
+// and regardless of replica failover traffic. The front door charges
+// exactly one single-disk-equivalent operation per section call (the
+// figure exec's spans model); failed attempts, replication fan-out, and
+// failover backoff live only in the per-shard accounting.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/fault"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/nlp"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+	"repro/internal/tiling"
+)
+
+func closeRel(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+// twoIndexPlan builds the fused two-index transform with partial tiles.
+func twoIndexPlan(t *testing.T) (*codegen.Plan, map[string]*tensor.Tensor, machine.Config) {
+	t.Helper()
+	cfg := machine.Small(4 << 10)
+	prog := loops.TwoIndexFused(12, 16)
+	tree, err := tiling.Tile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := placement.Enumerate(tree, cfg, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nlp.Build(m)
+	plan, err := codegen.Generate(p, p.Encode(map[string]int64{"i": 3, "j": 4, "m": 5, "n": 6}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := expr.RandomInputs(expr.TwoIndexTransform(12, 16), 9)
+	return plan, inputs, cfg
+}
+
+// TestRingSpanStatsInvariant pins the obs acceptance invariant on a
+// ring backend: for the serial and the pipelined engine, with and
+// without a shard-targeted fault schedule forcing replica failovers,
+// the disk-track span total equals Result.Stats.Time(), and the
+// faulted run's front-door accounting is identical to the fault-free
+// one (failover costs never leak into the front door).
+func TestRingSpanStatsInvariant(t *testing.T) {
+	plan, inputs, cfg := twoIndexPlan(t)
+	faults := &fault.Config{Seed: 3, Rate: 0.05, BitFlipRate: 0.04, MaxConsecutive: 2, Shard: 2}
+
+	type key struct {
+		pipelined bool
+		faulted   bool
+	}
+	front := map[key]disk.Stats{}
+	for _, faulted := range []bool{false, true} {
+		for _, pipelined := range []bool{false, true} {
+			reg := obs.NewRegistry()
+			opt := Options{
+				Shards:   3,
+				Replicas: 2,
+				Seed:     1,
+				Disk:     cfg.Disk,
+				WithData: true,
+				Retry:    disk.DefaultRetryPolicy(),
+				Metrics:  reg,
+			}
+			if faulted {
+				opt.Faults = faults
+			}
+			st, err := New(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := obs.NewTracer()
+			res, err := exec.Run(plan, st, inputs, exec.Options{
+				Pipeline: pipelined,
+				NoFetch:  true,
+				Tracer:   tr,
+			})
+			if err != nil {
+				t.Fatalf("pipelined=%v faulted=%v: %v", pipelined, faulted, err)
+			}
+
+			// The invariant: disk-track spans == front-door modelled time.
+			if got, want := tr.TrackSeconds(obs.TrackDisk), res.Stats.Time(); !closeRel(got, want) {
+				t.Fatalf("pipelined=%v faulted=%v: disk-track %.12g != Stats.Time() %.12g",
+					pipelined, faulted, got, want)
+			}
+			front[key{pipelined, faulted}] = res.Stats
+
+			if faulted {
+				fo := int64(0)
+				fv := reg.CounterVec(MetricFailover, "shard")
+				for i := 0; i < 3; i++ {
+					fo += fv.With(st.shards[i].name).Value()
+				}
+				if fo == 0 {
+					t.Fatalf("pipelined=%v: fault schedule forced no failovers; invariant unexercised", pipelined)
+				}
+				// The per-shard tier owns the failover story: Time() is the
+				// slowest shard plus the modelled retry backoff.
+				maxShard := 0.0
+				for i := 0; i < 3; i++ {
+					if st.ShardStats(i).Time() > maxShard {
+						maxShard = st.ShardStats(i).Time()
+					}
+				}
+				if got, want := st.Time(), maxShard+st.FailoverSeconds(); !closeRel(got, want) {
+					t.Fatalf("pipelined=%v: ring Time() %.12g != max shard %.12g + failover %.12g",
+						pipelined, got, maxShard, st.FailoverSeconds())
+				}
+			}
+			st.Close()
+		}
+	}
+	// Both engines issue the same section stream, and failover never
+	// touches the front door: all four front-door accounts agree.
+	base := front[key{false, false}]
+	for k, st := range front {
+		if st != base {
+			t.Fatalf("front-door stats diverge: %+v = %+v, baseline %+v", k, st, base)
+		}
+	}
+}

@@ -56,8 +56,8 @@ func intersect(a, b sbox) (sbox, bool) {
 	lo := make([]int64, len(a.lo))
 	hi := make([]int64, len(a.lo))
 	for i := range a.lo {
-		lo[i] = max64(a.lo[i], b.lo[i])
-		hi[i] = min64(a.hi[i], b.hi[i])
+		lo[i] = max(a.lo[i], b.lo[i])
+		hi[i] = min(a.hi[i], b.hi[i])
 		if lo[i] >= hi[i] {
 			return sbox{}, false
 		}
@@ -148,20 +148,6 @@ func (r *region) covers(b sbox) bool {
 	return false
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // ioEvent is one concrete disk operation of the flattened schedule.
 type ioEvent struct {
 	box  sbox
@@ -212,7 +198,7 @@ func (s *scheduler) section(b *codegen.Buffer) sbox {
 		case placement.ExtTile:
 			base := s.base[d.Index]
 			lo[i] = base
-			shape[i] = min64(s.c.p.Tiles[d.Index], n-base)
+			shape[i] = min(s.c.p.Tiles[d.Index], n-base)
 		case placement.ExtFull:
 			lo[i] = 0
 			shape[i] = n
