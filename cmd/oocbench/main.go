@@ -12,6 +12,9 @@
 //	oocbench -ring -ring-out BENCH_ring.json
 //	                    # run the ring study (parallel I/O scaling, replication
 //	                    # overhead, rebalance cost) and save it as JSON
+//	oocbench -gray -gray-out BENCH_gray.json
+//	                    # run the gray-failure study (one-shard brownout:
+//	                    # unmitigated vs health-plane tail) and save it as JSON
 //
 // Table 2 compares code generation time between the uniform-sampling
 // baseline (full logarithmic grid, brute force) and the DCS approach;
@@ -51,6 +54,9 @@ func main() {
 
 		ringStudy = flag.Bool("ring", false, "also run the ring study: parallel I/O scaling, replication overhead, and rebalance cost on the replicated data plane at P=8..64")
 		ringOut   = flag.String("ring-out", "", "write the ring study report as JSON to this file")
+
+		grayStudy = flag.Bool("gray", false, "also run the gray-failure study: a one-shard brownout on the R=2 ring, fault-free vs unmitigated vs health-plane-mitigated experienced read tail")
+		grayOut   = flag.String("gray-out", "", "write the gray-failure study report as JSON to this file")
 
 		solver         = flag.Bool("solver", false, "also run the solver study: cold vs portfolio vs warm-started sweep")
 		solverOut      = flag.String("solver-out", "", "write the solver study rows as JSON to this file")
@@ -172,6 +178,24 @@ func main() {
 		}
 	}
 
+	runGray := func() {
+		rep, err := tables.GrayStudy(sizes[0], opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatGrayStudy(rep))
+		if *grayOut != "" {
+			raw, err := rep.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*grayOut, raw, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("gray-failure study saved to %s\n", *grayOut)
+		}
+	}
+
 	runSolver := func() {
 		rows, err := tables.SolverStudy(sizes, opt)
 		if err != nil {
@@ -253,6 +277,9 @@ func main() {
 	}
 	if *ringStudy || *ringOut != "" {
 		runRing()
+	}
+	if *grayStudy || *grayOut != "" {
+		runGray()
 	}
 	if *solver || *solverOut != "" || *solverBaseline != "" || *solverCurves != "" {
 		runSolver()

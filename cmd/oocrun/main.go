@@ -28,6 +28,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/machine"
 	"repro/internal/ooc"
 	"repro/internal/ring"
@@ -57,6 +58,7 @@ func main() {
 		recoverFlag = flag.Bool("recover", false, "retry transient disk faults with backoff and restart from the last checkpoint on persistent ones")
 		scrub       = flag.Bool("scrub", false, "verify every block checksum of every array against the stored data (after the run, or standalone without -spec/-plan); unrepaired defects exit 1")
 		scrubRepair = flag.Bool("scrub-repair", false, "like -scrub, but rebuild the checksum index of defective arrays to accept their current contents")
+		scrubEvery  = flag.Int("scrub-interval", 0, "spread one scrub pass across the run instead of sweeping afterwards: verify the most suspect uncovered array every N unit barriers (0: post-run sweep; combines with -scrub-repair)")
 	)
 	obsFlags := cliutil.RegisterObs()
 	showVersion := cliutil.VersionFlag()
@@ -125,6 +127,10 @@ func main() {
 		if *faults != "" {
 			ropt.Faults = &fcfg
 		}
+		// The shard-health plane is always on for ring runs: breakers and
+		// hedged reads run on the modelled clock, so they cost nothing in
+		// wall time and keep the run deterministic.
+		ropt.Health = &health.Config{}
 		rstore, err = ring.New(ropt)
 		if err != nil {
 			log.Fatal(err)
@@ -179,15 +185,31 @@ func main() {
 		}
 		fmt.Println("\n== ring ==")
 		for i := 0; i < rs.Shards; i++ {
+			tier := rstore.ShardReport(i)
 			line := fmt.Sprintf("  shard %d: %s", i, rstore.ShardStats(i))
 			if fi, ok := rstore.ShardBackend(i).(*fault.Injector); ok {
 				line += fmt.Sprintf("; injected: %s", fi.Counts())
+			}
+			line += fmt.Sprintf("; breaker %s (ratio %.2f, err %.2f)",
+				tier.Health.State, tier.Health.Ratio, tier.Health.ErrRate)
+			for _, d := range tier.Demotions {
+				line += fmt.Sprintf("; demoted %d× (%s)", d.Count, d.Reason)
 			}
 			fmt.Println(line)
 		}
 		fmt.Printf("  aggregate: %s\n", rstore.AggregateStats())
 		fmt.Printf("  parallel I/O time %.2f s = slowest shard + %.3f s failover backoff\n",
 			rstore.Time(), rstore.FailoverSeconds())
+		if issued, won, cancelled := rstore.HedgeCounts(); issued > 0 {
+			fmt.Printf("  hedged reads: %d issued, %d won, %d cancelled\n", issued, won, cancelled)
+		}
+		if opens, halfOpens, closes := rstore.BreakerTransitions(); opens > 0 {
+			fmt.Printf("  breaker transitions: %d open, %d half-open, %d closed\n", opens, halfOpens, closes)
+		}
+		if tail := rstore.TailReadSeconds(); tail > 0 {
+			fmt.Printf("  experienced front read %.2f s = charged + %.2f s tail (writes: %.2f s tail)\n",
+				rstore.FrontReadSeconds(), tail, rstore.TailWriteSeconds())
+		}
 	}
 
 	if *random != "" {
@@ -232,6 +254,17 @@ func main() {
 			Metrics: obsFlags.Registry(), Tracer: obsFlags.Tracer(), Retry: retry,
 			Log: elog,
 		}
+		var sched *health.ScrubScheduler
+		if *scrubEvery > 0 {
+			sched, err = health.NewScrubScheduler(store, health.SchedOptions{
+				Interval: *scrubEvery, Repair: *scrubRepair,
+				Metrics: obsFlags.Registry(), Log: elog,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			xopt.OnUnit = sched.Tick
+		}
 		obsFlags.SetPhase("execute")
 		var res *exec.Result
 		if recovery != nil {
@@ -248,7 +281,16 @@ func main() {
 		printResilience(res.Retry, res.Recovery)
 		printRing()
 		fmt.Print(trace.FormatSummary(trace.Summarize(rec.Ops())))
-		if *scrub || *scrubRepair {
+		if sched != nil {
+			if err := sched.Drain(); err != nil {
+				obsFlags.Fatal(err)
+			}
+			rep := sched.Report()
+			printScrub(rep)
+			if !rep.OK() && !*scrubRepair {
+				os.Exit(1)
+			}
+		} else if *scrub || *scrubRepair {
 			runScrub(store)
 		}
 		return
@@ -268,20 +310,21 @@ func main() {
 	rec := trace.NewWithDisk(store, cfg.Disk)
 	obsFlags.SetPhase("contract")
 	res, err := ooc.Contract(rec, *spec, ooc.Options{
-		Machine:     cfg,
-		Seed:        *seed,
-		Portfolio:   *portfolio,
-		Workers:     *workers,
-		MaxEvals:    0,
-		Pipeline:    *pipeline,
-		Metrics:     obsFlags.Registry(),
-		Tracer:      obsFlags.Tracer(),
-		Log:         elog,
-		Verify:      *verifyP,
-		Retry:       retry,
-		Recovery:    recovery,
-		Scrub:       *scrub && !*scrubRepair,
-		ScrubRepair: *scrubRepair,
+		Machine:       cfg,
+		Seed:          *seed,
+		Portfolio:     *portfolio,
+		Workers:       *workers,
+		MaxEvals:      0,
+		Pipeline:      *pipeline,
+		Metrics:       obsFlags.Registry(),
+		Tracer:        obsFlags.Tracer(),
+		Log:           elog,
+		Verify:        *verifyP,
+		Retry:         retry,
+		Recovery:      recovery,
+		Scrub:         *scrub && !*scrubRepair,
+		ScrubRepair:   *scrubRepair,
+		ScrubSchedule: *scrubEvery,
 	})
 	if err != nil {
 		obsFlags.Fatal(err)

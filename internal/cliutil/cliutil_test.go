@@ -223,6 +223,51 @@ func TestParseFaultSpecShard(t *testing.T) {
 	}
 }
 
+func TestParseFaultSpecBrownout(t *testing.T) {
+	cfg, err := ParseFaultSpec("seed=11,latsec=0.02,latwindow=60,latwindowops=80,shard=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fault.Config{
+		Seed: 11, LatencySeconds: 0.02,
+		BrownoutAfter: 60, BrownoutOps: 80, Shard: 2,
+	}
+	if cfg != want {
+		t.Fatalf("got %+v, want %+v", cfg, want)
+	}
+	// latsec renders without a latency rate when a brownout needs it,
+	// and the rendered form is a parse fixpoint.
+	s := cfg.String()
+	for _, frag := range []string{"latsec=0.02", "latwindow=60", "latwindowops=80"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered spec %q lacks %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "latency=") {
+		t.Fatalf("rendered spec %q has a latency rate", s)
+	}
+	back, err := ParseFaultSpec(s)
+	if err != nil || back != cfg {
+		t.Fatalf("round trip of %q: %+v, %v", s, back, err)
+	}
+	// Brownout stacked on a random spike schedule keeps both key sets.
+	both, err := ParseFaultSpec("seed=2,rate=0.01,latency=0.05,latsec=0.004,latwindow=10,latwindowops=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.LatencyRate != 0.05 || both.BrownoutAfter != 10 || both.BrownoutOps != 5 {
+		t.Fatalf("stacked spec parsed to %+v", both)
+	}
+	if s := both.String(); s != "seed=2,rate=0.01,latency=0.05,latsec=0.004,latwindow=10,latwindowops=5" {
+		t.Fatalf("stacked spec rendered %q", s)
+	}
+	for _, bad := range []string{"latwindow=-1", "latwindow=x", "latwindowops=-2", "latwindowops=1.5"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("spec %q did not fail", bad)
+		}
+	}
+}
+
 // TestParseFaultSpecFuzzRoundTrip drives randomized configs through
 // String -> ParseFaultSpec -> String and demands a fixed point: every
 // field combination the injector can express (silent-corruption rates
@@ -243,6 +288,14 @@ func TestParseFaultSpecFuzzRoundTrip(t *testing.T) {
 		if rng.Intn(2) == 1 {
 			cfg.PersistentAfter = rng.Int63n(500) + 1
 			cfg.PersistentOps = rng.Int63n(8) + 1
+		}
+		if rng.Intn(2) == 1 {
+			cfg.BrownoutAfter = rng.Int63n(500) + 1
+			cfg.BrownoutOps = rng.Int63n(100) + 1
+			if cfg.LatencyRate == 0 {
+				// A brownout without a latency rate still renders latsec.
+				cfg.LatencySeconds = rng.Float64() / 50
+			}
 		}
 		if rng.Intn(2) == 1 {
 			cfg.MaxConsecutive = rng.Intn(6) + 1

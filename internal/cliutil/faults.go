@@ -18,7 +18,10 @@ import (
 // parser); every key is optional, but the spec must not be empty. The
 // shard key is a 0-based shard index restricting the schedule to one
 // replica of a sharded data plane (ring.Store); without it the schedule
-// applies to every shard.
+// applies to every shard. The latwindow/latwindowops keys open a
+// persistent brownout window: every op with ordinal in
+// [latwindow, latwindow+latwindowops) pays latsec of modelled latency
+// without erroring — the injectable gray failure.
 func ParseFaultSpec(spec string) (fault.Config, error) {
 	var cfg fault.Config
 	spec = strings.TrimSpace(spec)
@@ -45,6 +48,19 @@ func ParseFaultSpec(spec string) (fault.Config, error) {
 			cfg.LatencySeconds, err = strconv.ParseFloat(v, 64)
 			if err == nil && (cfg.LatencySeconds < 0 || !isFinite(cfg.LatencySeconds)) {
 				err = fmt.Errorf("cliutil: latsec must be finite and >= 0")
+			}
+		case "latwindow":
+			// Brownout window start ordinal: every op in
+			// [latwindow, latwindow+latwindowops) pays latsec of modelled
+			// latency without erroring.
+			cfg.BrownoutAfter, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && cfg.BrownoutAfter < 0 {
+				err = fmt.Errorf("cliutil: latwindow must be >= 0")
+			}
+		case "latwindowops":
+			cfg.BrownoutOps, err = strconv.ParseInt(v, 10, 64)
+			if err == nil && cfg.BrownoutOps < 0 {
+				err = fmt.Errorf("cliutil: latwindowops must be >= 0")
 			}
 		case "maxconsec":
 			cfg.MaxConsecutive, err = strconv.Atoi(v)

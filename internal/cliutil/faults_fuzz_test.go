@@ -24,6 +24,10 @@ func FuzzParseFaultSpec(f *testing.F) {
 	f.Add("seed=3,rate=0.05,persistent=10,persistentops=4,shard=0")
 	f.Add("shard=-1")
 	f.Add("shard=9223372036854775807")
+	f.Add("seed=11,latsec=0.02,latwindow=60,latwindowops=80,shard=1")
+	f.Add("seed=2,rate=0.01,latency=0.05,latsec=0.004,latwindow=10,latwindowops=5")
+	f.Add("latwindow=-1")
+	f.Add("latwindowops=3")
 	f.Fuzz(func(t *testing.T, spec string) {
 		cfg, err := ParseFaultSpec(spec)
 		if err != nil {

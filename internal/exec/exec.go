@@ -85,6 +85,14 @@ type Options struct {
 	// without a Sync hook (e.g. the in-memory simulator chain) make it a
 	// no-op.
 	SyncUnits bool
+	// OnUnit, if non-nil, runs after every newly completed top-level
+	// work-unit boundary, once the unit's durability sync (SyncUnits)
+	// has happened and the checkpoint has advanced — the hook for
+	// background maintenance that must interleave at safe boundaries
+	// (the health scrub scheduler ticks here). Both engines call it; the
+	// pipelined engine drains its in-flight operations at the barrier
+	// first. An error aborts the run like an I/O failure.
+	OnUnit func() error
 	// Tracer, if non-nil, receives the run's modelled timeline as spans:
 	// disk operations on the obs "disk" track and compute blocks on the
 	// "compute" track, with instant events marking barriers and hazard
@@ -374,6 +382,11 @@ func (e *engine) noteUnit(cp Checkpoint) error {
 	}
 	e.lastCP = cp
 	e.cpTime = e.be.Stats().Time()
+	if e.opt.OnUnit != nil {
+		if err := e.opt.OnUnit(); err != nil {
+			return fmt.Errorf("exec: unit hook at {item %d, iter %d}: %w", cp.Item, cp.Iter, err)
+		}
+	}
 	return nil
 }
 

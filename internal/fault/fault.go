@@ -50,6 +50,17 @@ type Config struct {
 	LatencyRate float64
 	// LatencySeconds is the modelled size of one latency spike.
 	LatencySeconds float64
+	// BrownoutAfter, when > 0, opens a persistent brownout window:
+	// every operation with ordinal in [BrownoutAfter,
+	// BrownoutAfter+BrownoutOps) pays LatencySeconds of modelled
+	// latency without erroring — a slow-but-alive gray failure. Each
+	// ordinal is consumed once, so a restart that replays past the
+	// window heals after BrownoutOps slow operations, like the
+	// persistent-failure window.
+	BrownoutAfter int64
+	// BrownoutOps is the width of the brownout window; values < 1
+	// mean 1.
+	BrownoutOps int64
 	// MaxConsecutive caps how many transient/torn faults may be
 	// injected back to back, so a bounded retry policy is always
 	// sufficient to make progress. 0 means the default of 2.
@@ -107,6 +118,13 @@ func (c Config) persistentOps() int64 {
 	return c.PersistentOps
 }
 
+func (c Config) brownoutOps() int64 {
+	if c.BrownoutOps < 1 {
+		return 1
+	}
+	return c.BrownoutOps
+}
+
 // String renders the schedule in the -faults flag syntax.
 func (c Config) String() string {
 	s := fmt.Sprintf("seed=%d,rate=%g", c.Seed, c.Rate)
@@ -115,6 +133,12 @@ func (c Config) String() string {
 	}
 	if c.LatencyRate > 0 {
 		s += fmt.Sprintf(",latency=%g,latsec=%g", c.LatencyRate, c.LatencySeconds)
+	} else if c.BrownoutAfter > 0 && c.LatencySeconds > 0 {
+		// A brownout needs the spike size even without a latency rate.
+		s += fmt.Sprintf(",latsec=%g", c.LatencySeconds)
+	}
+	if c.BrownoutAfter > 0 {
+		s += fmt.Sprintf(",latwindow=%d,latwindowops=%d", c.BrownoutAfter, c.brownoutOps())
 	}
 	if c.PersistentAfter > 0 {
 		s += fmt.Sprintf(",persistent=%d,persistentops=%d", c.PersistentAfter, c.persistentOps())
@@ -193,6 +217,10 @@ type Injector struct {
 	vInjected *obs.CounterVec
 	// log receives one structured event per applied injection.
 	log *obs.Log
+	// latSink receives the modelled seconds of every injected latency
+	// spike (random draw or brownout window), so a data plane can
+	// attribute spikes to the operation that paid them.
+	latSink func(seconds float64)
 }
 
 // Wrap returns a fault-injecting view of be following cfg's schedule.
@@ -313,6 +341,18 @@ func (in *Injector) SetLog(l *obs.Log) {
 	in.mu.Unlock()
 }
 
+// SetLatencySink installs a callback invoked with the modelled seconds
+// of every injected latency spike — a random draw or a brownout-window
+// hit. It fires synchronously on the faulting operation's goroutine,
+// outside the injector's lock, before the operation reaches the
+// backend; the ring's health plane uses it to attribute spikes to the
+// shard and operation that paid them. nil disables.
+func (in *Injector) SetLatencySink(fn func(seconds float64)) {
+	in.mu.Lock()
+	in.latSink = fn
+	in.mu.Unlock()
+}
+
 // kindName returns the schedule kind's label ("" for fNone).
 func kindName(kind int) string {
 	switch kind {
@@ -393,7 +433,16 @@ const (
 // feed nor reset the consecutive-error streak.
 func (in *Injector) decide(write bool) (int, int64) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
+	kind, ord, spike := in.decideLocked(write)
+	sink := in.latSink
+	in.mu.Unlock()
+	if spike > 0 && sink != nil {
+		sink(spike)
+	}
+	return kind, ord
+}
+
+func (in *Injector) decideLocked(write bool) (int, int64, float64) {
 	ord := in.ord
 	in.ord++
 	in.counts.Ops++
@@ -406,33 +455,42 @@ func (in *Injector) decide(write bool) (int, int64) {
 		in.inc(in.mPersistent)
 		in.vinc(fPersistent)
 		in.streak = 0
-		return fPersistent, ord
+		return fPersistent, ord, 0
 	}
 
+	spike := 0.0
 	if in.cfg.LatencyRate > 0 && in.frac(ord, saltLatency) < in.cfg.LatencyRate {
+		spike += in.cfg.LatencySeconds
+	}
+	if in.cfg.BrownoutAfter > 0 &&
+		ord >= in.cfg.BrownoutAfter &&
+		ord < in.cfg.BrownoutAfter+in.cfg.brownoutOps() {
+		spike += in.cfg.LatencySeconds
+	}
+	if spike > 0 {
 		in.counts.LatencySpikes++
-		in.counts.LatencySeconds += in.cfg.LatencySeconds
+		in.counts.LatencySeconds += spike
 		in.inc(in.mSpikes)
 		if in.hLatency != nil {
-			in.hLatency.Observe(in.cfg.LatencySeconds)
+			in.hLatency.Observe(spike)
 		}
 		// A spike delays the operation but does not fail it; fall
 		// through so the same ordinal can still fault.
 	}
 
 	if !write && in.cfg.BitFlipRate > 0 && in.frac(ord, saltBitFlip) < in.cfg.BitFlipRate {
-		return fBitFlip, ord
+		return fBitFlip, ord, spike
 	}
 	if write && in.cfg.LostRate > 0 && in.frac(ord, saltLost) < in.cfg.LostRate {
-		return fLost, ord
+		return fLost, ord, spike
 	}
 	if write && in.cfg.SilentTornRate > 0 && in.frac(ord, saltSilentTorn) < in.cfg.SilentTornRate {
-		return fSilentTorn, ord
+		return fSilentTorn, ord, spike
 	}
 
 	if in.streak >= in.cfg.maxConsecutive() {
 		in.streak = 0
-		return fNone, ord
+		return fNone, ord, spike
 	}
 	if write && in.cfg.TornRate > 0 && in.frac(ord, saltTorn) < in.cfg.TornRate {
 		in.counts.Torn++
@@ -440,7 +498,7 @@ func (in *Injector) decide(write bool) (int, int64) {
 		in.inc(in.mTorn)
 		in.vinc(fTorn)
 		in.streak++
-		return fTorn, ord
+		return fTorn, ord, spike
 	}
 	if in.cfg.Rate > 0 && in.frac(ord, saltTransient) < in.cfg.Rate {
 		in.counts.Transient++
@@ -448,10 +506,10 @@ func (in *Injector) decide(write bool) (int, int64) {
 		in.inc(in.mTransient)
 		in.vinc(fTransient)
 		in.streak++
-		return fTransient, ord
+		return fTransient, ord, spike
 	}
 	in.streak = 0
-	return fNone, ord
+	return fNone, ord, spike
 }
 
 // recordSilent tallies an applied silent corruption against its array.

@@ -1,0 +1,292 @@
+package health
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// collect installs a transition recorder on t and returns the slice's
+// accessor.
+func collect(tr *Tracker) func() []Transition {
+	var mu sync.Mutex
+	var out []Transition
+	tr.OnTransition(func(t Transition) {
+		mu.Lock()
+		out = append(out, t)
+		mu.Unlock()
+	})
+	return func() []Transition {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Transition(nil), out...)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := Config{
+		Alpha:           0.5,
+		LatencyBudget:   3,
+		ErrorBudget:     0.5,
+		MinObservations: 4,
+		CooldownSeconds: 1,
+		ProbeSuccesses:  2,
+	}
+	type step struct {
+		// op: "obs" calls Observe, "state" calls State, "at" calls
+		// StateAt (no side effects).
+		op    string
+		now   float64
+		ratio float64
+		ok    bool
+		want  State
+	}
+	cases := []struct {
+		name        string
+		steps       []step
+		transitions int
+	}{
+		{
+			name: "healthy stays closed",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 1, ok: true},
+				{op: "obs", now: 1, ratio: 1.2, ok: true},
+				{op: "obs", now: 2, ratio: 1, ok: true},
+				{op: "obs", now: 3, ratio: 1.1, ok: true},
+				{op: "obs", now: 4, ratio: 1, ok: true},
+				{op: "state", now: 4, want: Closed},
+			},
+		},
+		{
+			name: "early spike below min observations cannot trip",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 100, ok: true},
+				{op: "obs", now: 1, ratio: 100, ok: true},
+				{op: "obs", now: 2, ratio: 100, ok: true},
+				{op: "state", now: 2, want: Closed},
+			},
+		},
+		{
+			name: "latency budget breach opens",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 1, ratio: 10, ok: true},
+				{op: "obs", now: 2, ratio: 10, ok: true},
+				{op: "obs", now: 3, ratio: 10, ok: true},
+				{op: "state", now: 3, want: Open},
+			},
+			transitions: 1,
+		},
+		{
+			name: "error budget breach opens",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 1, ok: false},
+				{op: "obs", now: 1, ratio: 1, ok: false},
+				{op: "obs", now: 2, ratio: 1, ok: false},
+				{op: "obs", now: 3, ratio: 1, ok: false},
+				{op: "state", now: 3, want: Open},
+			},
+			transitions: 1,
+		},
+		{
+			name: "open holds through cooldown then half-opens",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "state", now: 0.5, want: Open},
+				{op: "at", now: 2, want: HalfOpen}, // peek: no mutation
+				{op: "state", now: 0.9, want: Open},
+				{op: "state", now: 1.0, want: HalfOpen},
+			},
+			transitions: 2, // open, half-open
+		},
+		{
+			name: "half-open probes close and reset the score",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "state", now: 2, want: HalfOpen},
+				{op: "obs", now: 2, ratio: 1, ok: true},
+				{op: "state", now: 2, want: HalfOpen},
+				{op: "obs", now: 2.1, ratio: 1, ok: true},
+				{op: "state", now: 2.1, want: Closed},
+			},
+			transitions: 3, // open, half-open, closed
+		},
+		{
+			name: "half-open probe failure reopens",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "state", now: 2, want: HalfOpen},
+				{op: "obs", now: 2, ratio: 1, ok: false},
+				{op: "at", now: 2.5, want: Open},
+			},
+			transitions: 3, // open, half-open, open
+		},
+		{
+			name: "half-open slow probe reopens even when it succeeds",
+			steps: []step{
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "obs", now: 0, ratio: 10, ok: true},
+				{op: "state", now: 2, want: HalfOpen},
+				{op: "obs", now: 2, ratio: 5, ok: true},
+				{op: "at", now: 2.5, want: Open},
+			},
+			transitions: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTracker(cfg)
+			trs := collect(tr)
+			for i, st := range tc.steps {
+				switch st.op {
+				case "obs":
+					tr.Observe(0, st.now, st.ratio, st.ok)
+				case "state":
+					if got := tr.State(0, st.now); got != st.want {
+						t.Fatalf("step %d: State = %v, want %v", i, got, st.want)
+					}
+				case "at":
+					if got := tr.StateAt(0, st.now); got != st.want {
+						t.Fatalf("step %d: StateAt = %v, want %v", i, got, st.want)
+					}
+				}
+			}
+			if got := trs(); len(got) != tc.transitions {
+				t.Fatalf("saw %d transition(s) %v, want %d", len(got), got, tc.transitions)
+			}
+		})
+	}
+}
+
+func TestBreakerCloseResetsScore(t *testing.T) {
+	tr := NewTracker(Config{MinObservations: 4, CooldownSeconds: 1, ProbeSuccesses: 1})
+	for i := 0; i < 4; i++ {
+		tr.Observe(3, 0, 50, true)
+	}
+	if st := tr.State(3, 0); st != Open {
+		t.Fatalf("state after breach = %v, want open", st)
+	}
+	if tr.State(3, 2) != HalfOpen {
+		t.Fatal("no half-open after cooldown")
+	}
+	tr.Observe(3, 2, 1, true)
+	snap := tr.Snapshot(3)
+	if snap.State != Closed || snap.Observations != 0 || snap.Ratio != 1 || snap.ErrRate != 0 {
+		t.Fatalf("score not reset on close: %+v", snap)
+	}
+	if sc := tr.Score(3); sc != 0 {
+		t.Fatalf("score after close = %g, want 0", sc)
+	}
+}
+
+func TestTransitionsCarryModelledTime(t *testing.T) {
+	tr := NewTracker(Config{MinObservations: 2, CooldownSeconds: 1})
+	trs := collect(tr)
+	tr.Observe(1, 7, 50, true)
+	tr.Observe(1, 7.5, 50, true)
+	got := trs()
+	if len(got) != 1 {
+		t.Fatalf("transitions = %v", got)
+	}
+	want := Transition{Shard: 1, From: Closed, To: Open, Now: 7.5}
+	if got[0] != want {
+		t.Fatalf("transition = %+v, want %+v", got[0], want)
+	}
+}
+
+func TestForceState(t *testing.T) {
+	tr := NewTracker(Config{})
+	trs := collect(tr)
+	tr.ForceState(2, Open, 5)
+	if tr.StateAt(2, 5) != Open {
+		t.Fatal("force open did not stick")
+	}
+	tr.ForceState(2, Open, 6) // no-op: same state fires no callback
+	tr.ForceState(2, Closed, 7)
+	got := trs()
+	if len(got) != 2 || got[0].To != Open || got[1].To != Closed {
+		t.Fatalf("transitions = %v", got)
+	}
+}
+
+func TestScore(t *testing.T) {
+	tr := NewTracker(Config{Alpha: 1, LatencyBudget: 4})
+	if sc := tr.Score(0); sc != 0 {
+		t.Fatalf("fresh score = %g", sc)
+	}
+	tr.Observe(0, 0, 3, true) // ratio EWMA jumps to 3 with alpha 1
+	if sc := tr.Score(0); math.Abs(sc-0.5) > 1e-12 {
+		t.Fatalf("latency score = %g, want 0.5", sc)
+	}
+	tr.Observe(1, 0, 1, false) // err EWMA jumps to 1
+	if sc := tr.Score(1); math.Abs(sc-1) > 1e-12 {
+		t.Fatalf("error score = %g, want 1", sc)
+	}
+}
+
+func TestHedgeRatio(t *testing.T) {
+	tr := NewTracker(Config{})
+	if got := tr.HedgeRatio(); got != 2 {
+		t.Fatalf("empty-history threshold = %g, want MinHedgeRatio 2", got)
+	}
+	// A uniformly fast history stays on the floor: 1.5 × 1.25 < 2.
+	for i := 0; i < 100; i++ {
+		tr.Observe(0, 0, 1, true)
+	}
+	if got := tr.HedgeRatio(); got != 2 {
+		t.Fatalf("fast-history threshold = %g, want 2", got)
+	}
+	// Push the 0.9 quantile into the (8, 12] bucket: threshold becomes
+	// 1.5 × 12 = 18.
+	for i := 0; i < 2000; i++ {
+		tr.Observe(0, 0, 10, true)
+	}
+	if got := tr.HedgeRatio(); got != 18 {
+		t.Fatalf("slow-history threshold = %g, want 18", got)
+	}
+}
+
+func TestObserveClampsRatio(t *testing.T) {
+	tr := NewTracker(Config{Alpha: 1})
+	tr.Observe(0, 0, math.NaN(), true)
+	tr.Observe(0, 0, -5, true)
+	tr.Observe(0, 0, 0.25, true)
+	if snap := tr.Snapshot(0); snap.Ratio != 1 {
+		t.Fatalf("clamped ratio EWMA = %g, want 1", snap.Ratio)
+	}
+}
+
+// TestTrackerConcurrent exercises the tracker from many goroutines; run
+// under -race it proves the locking discipline.
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(Config{MinObservations: 4, CooldownSeconds: 0.01})
+	tr.OnTransition(func(Transition) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				now := float64(i) * 0.001
+				tr.Observe(g%3, now, float64(1+i%10), i%5 != 0)
+				tr.State(g%3, now)
+				tr.StateAt(g%3, now)
+				tr.Snapshot(g % 3)
+				tr.Score(g % 3)
+				tr.HedgeRatio()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/health"
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -86,6 +87,17 @@ type Options struct {
 	// these); only copies with no healthy peer fall back to rebuilding
 	// the checksum index. Implies Scrub.
 	ScrubRepair bool
+	// ScrubSchedule, when > 0, replaces the post-run sweep with
+	// background scrub scheduling: every ScrubSchedule unit barriers the
+	// most suspect not-yet-covered array is verified (and, with
+	// ScrubRepair, healed) mid-run, and the remainder is drained at run
+	// end — one full pass spread across the run, suspect arrays first
+	// (suspicion comes from the backend when it implements
+	// health.Prioritizer, e.g. ring.Store). Result.Scrub then reports
+	// the pass's coverage: each array is verified once, at its scheduled
+	// slice, so corruption landing after an array's slice is caught by
+	// the next run's pass rather than this one's.
+	ScrubSchedule int
 }
 
 // Result reports a contraction run.
@@ -172,6 +184,19 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 		Log:           opt.Log,
 		Retry:         opt.Retry,
 	}
+	var sched *health.ScrubScheduler
+	if opt.ScrubSchedule > 0 {
+		sched, err = health.NewScrubScheduler(be, health.SchedOptions{
+			Interval: opt.ScrubSchedule,
+			Repair:   opt.ScrubRepair,
+			Metrics:  opt.Metrics,
+			Log:      opt.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ooc: scrub schedule: %w", err)
+		}
+		xopt.OnUnit = sched.Tick
+	}
 	var res *exec.Result
 	if opt.Recovery != nil {
 		res, _, err = exec.RunResilient(context.Background(), s.Plan, be, nil, xopt, *opt.Recovery)
@@ -183,7 +208,13 @@ func Contract(be disk.Backend, spec string, opt Options) (*Result, error) {
 	}
 	out := &Result{Synthesis: s, Stats: res.Stats, Pipeline: res.Pipeline,
 		Retry: res.Retry, Recovery: res.Recovery}
-	if opt.Scrub || opt.ScrubRepair {
+	switch {
+	case sched != nil:
+		if err := sched.Drain(); err != nil {
+			return nil, fmt.Errorf("ooc: scheduled scrub drain: %w", err)
+		}
+		out.Scrub = sched.Report()
+	case opt.Scrub || opt.ScrubRepair:
 		rep, err := disk.Scrub(be, disk.ScrubOptions{Repair: opt.ScrubRepair, Metrics: opt.Metrics, Log: opt.Log})
 		if err != nil {
 			return nil, fmt.Errorf("ooc: post-run scrub: %w", err)

@@ -7,7 +7,9 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/tensor"
 )
@@ -390,3 +392,68 @@ func TestContractRingScrubRepair(t *testing.T) {
 		t.Fatalf("ring contraction differs from reference by %g", d)
 	}
 }
+
+// TestContractScrubSchedule replaces the post-run sweep with the
+// background scheduler: one full verification pass spread across unit
+// barriers, reported like a scrub. Every array on the backend —
+// operands, intermediates, output — must be covered exactly once and
+// verify clean, with the barrier ticks proving the slices ran mid-run.
+func TestContractScrubSchedule(t *testing.T) {
+	be := disk.NewSim(machine.Small(4<<10).Disk, true)
+	defer be.Close()
+	stage(t, be, "A", 12, 9)
+	stage(t, be, "B", 9, 11)
+
+	reg := obs.NewRegistry()
+	opt := smallOpt()
+	opt.ScrubSchedule = 1
+	opt.Metrics = reg
+	res, err := Contract(be, "C[i,j] = A[i,k] * B[k,j]", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scrub == nil {
+		t.Fatal("scheduled scrub did not attach a report")
+	}
+	if !res.Scrub.OK() {
+		t.Fatalf("scheduled scrub found defects on a clean run: %s", res.Scrub)
+	}
+	if want := len(be.ArrayNames()); res.Scrub.Arrays != want {
+		t.Fatalf("scheduled pass covered %d arrays, want all %d", res.Scrub.Arrays, want)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[health.MetricSchedTicks] == 0 {
+		t.Fatal("no unit-barrier ticks reached the scheduler")
+	}
+	if snap.Counters[health.MetricSchedArrays] != int64(res.Scrub.Arrays) {
+		t.Fatalf("scrub.sched.arrays = %d, report says %d",
+			snap.Counters[health.MetricSchedArrays], res.Scrub.Arrays)
+	}
+}
+
+// TestContractScrubScheduleRequiresIntegrity pins the error contract:
+// scheduling a scrub over a backend with no integrity metadata fails
+// up front instead of silently skipping the pass.
+func TestContractScrubScheduleRequiresIntegrity(t *testing.T) {
+	be := disk.NewSim(machine.Small(4<<10).Disk, true)
+	defer be.Close()
+	stage(t, be, "A", 6, 6)
+	stage(t, be, "B", 6, 6)
+	opt := smallOpt()
+	opt.ScrubSchedule = 2
+	if _, err := Contract(noIntegrity{be}, "C[i,j] = A[i,k] * B[k,j]", opt); err == nil {
+		t.Fatal("scheduled scrub accepted a backend without integrity metadata")
+	}
+}
+
+// noIntegrity hides the Sim's integrity surface while keeping it a
+// Backend.
+type noIntegrity struct{ be *disk.Sim }
+
+func (n noIntegrity) Create(name string, dims []int64) (disk.Array, error) {
+	return n.be.Create(name, dims)
+}
+func (n noIntegrity) Open(name string) (disk.Array, error) { return n.be.Open(name) }
+func (n noIntegrity) Stats() disk.Stats                    { return n.be.Stats() }
+func (n noIntegrity) ResetStats()                          { n.be.ResetStats() }
+func (n noIntegrity) Close() error                         { return nil }

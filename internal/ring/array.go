@@ -88,27 +88,83 @@ func (a *Array) candidates(b int64) []int {
 // order with stale copies moved out: healthy replicas first, stale ones
 // appended as a last resort (a block whose every copy is stale is served
 // best-effort rather than refused — the checksum layer still catches
-// rot, and the scrub path re-converges the copies).
+// rot, and the scrub path re-converges the copies). Every stale copy
+// that lost its position to a healthy one is tallied as a DemoteStale
+// demotion in the per-shard tier report.
 func (a *Array) readOrder(b int64) []int {
 	a.amu.Lock()
-	defer a.amu.Unlock()
 	cands := a.cands[b]
 	st := a.stale[b]
 	if len(st) == 0 {
+		a.amu.Unlock()
 		return cands
 	}
-	out := make([]int, 0, len(cands))
-	for _, id := range cands {
-		if !st[id] {
-			out = append(out, id)
-		}
-	}
+	healthy := make([]int, 0, len(cands))
+	var stl []int
 	for _, id := range cands {
 		if st[id] {
-			out = append(out, id)
+			stl = append(stl, id)
+		} else {
+			healthy = append(healthy, id)
 		}
 	}
-	return out
+	a.amu.Unlock()
+	if len(healthy) > 0 {
+		for _, id := range stl {
+			a.st.recordDemotion(id, DemoteStale)
+		}
+	}
+	return append(healthy, stl...)
+}
+
+// readOrderAt is readOrder with the health plane consulted: replicas
+// whose breaker is open at modelled time now are demoted behind the
+// healthy candidates but ahead of stale ones — an open shard is slow
+// yet its copy is current, a stale copy is not. Half-open shards keep
+// their natural position: their reads are the breaker's probes.
+func (a *Array) readOrderAt(b int64, now float64) []int {
+	hp := a.st.hp
+	if hp == nil {
+		return a.readOrder(b)
+	}
+	a.amu.Lock()
+	cands := a.cands[b]
+	st := a.stale[b]
+	var staleOf map[int]bool
+	if len(st) > 0 {
+		staleOf = make(map[int]bool, len(st))
+		for id := range st {
+			staleOf[id] = true
+		}
+	}
+	a.amu.Unlock()
+	healthy := make([]int, 0, len(cands))
+	var tripped, stl []int
+	for _, id := range cands {
+		switch {
+		case staleOf[id]:
+			stl = append(stl, id)
+		case hp.tripped(id, now):
+			tripped = append(tripped, id)
+		default:
+			healthy = append(healthy, id)
+		}
+	}
+	if len(tripped) == 0 && len(stl) == 0 {
+		return cands
+	}
+	if len(healthy) > 0 {
+		for _, id := range tripped {
+			a.st.recordDemotion(id, DemoteBreakerOpen)
+		}
+	}
+	if len(healthy)+len(tripped) > 0 {
+		for _, id := range stl {
+			a.st.recordDemotion(id, DemoteStale)
+		}
+	}
+	out := append(healthy, tripped...)
+	return append(out, stl...)
 }
 
 // markStale records that shard id's copy of block b missed a write.
@@ -266,7 +322,14 @@ func (a *Array) collective(lo, shape []int64, buf []float64, read bool) error {
 		lo0, n0 = lo[0], shape[0]
 	}
 	if read {
-		runs := a.sliceRuns(lo0, n0, a.readOrder)
+		ord := a.readOrder
+		if a.st.hp != nil {
+			// One modelled "now" per section keeps the replica order (and
+			// hence run coalescing) consistent across the section's blocks.
+			now := a.st.hp.now()
+			ord = func(b int64) []int { return a.readOrderAt(b, now) }
+		}
+		runs := a.sliceRuns(lo0, n0, ord)
 		return a.readRuns(lo, shape, buf, runs)
 	}
 	runs := a.sliceRuns(lo0, n0, a.candidates)
@@ -326,6 +389,7 @@ func (a *Array) readRuns(lo, shape []int64, buf []float64, runs []run) error {
 // per-replica retry budget.
 func (a *Array) readRun(lo, shape []int64, buf []float64, r run) error {
 	slo, sshape, sbuf := a.subSection(lo, shape, buf, r)
+	hp := a.st.hp
 	finals := make([]error, 0, len(r.order))
 	for ci, id := range r.order {
 		sh := a.shard(id)
@@ -338,10 +402,16 @@ func (a *Array) readRun(lo, shape []int64, buf []float64, r run) error {
 			finals = append(finals, fmt.Errorf("ring: shard %d holds no copy of %q", id, a.name))
 			continue
 		}
+		if hp != nil {
+			hp.drain(id) // shed spikes not attributable to this op
+		}
 		err := a.st.attempt(a.name, func() error {
 			return la.ReadSection(slo, sshape, sbuf)
 		})
 		if err == nil {
+			if hp != nil {
+				a.hedgeAfterRead(slo, sshape, sbuf, r, ci, id)
+			}
 			if ci > 0 && a.st.log.Enabled(obs.LevelInfo) {
 				a.st.log.Info("ring", "replica.recovered",
 					obs.F("array", a.name),
@@ -349,6 +419,10 @@ func (a *Array) readRun(lo, shape []int64, buf []float64, r run) error {
 					obs.F("shard", id))
 			}
 			return nil
+		}
+		if hp != nil {
+			hp.drain(id)
+			hp.observe(id, hp.now(), 1, false)
 		}
 		finals = append(finals, err)
 		a.st.noteFailover(sh, a.name, r.firstBlock, err)
@@ -400,6 +474,10 @@ func (a *Array) writeRuns(lo, shape []int64, buf []float64, runs []run) error {
 			fullRows = false
 		}
 	}
+	var wnow float64
+	if a.st.hp != nil {
+		wnow = a.st.hp.now()
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	degradedNew := false
@@ -420,6 +498,18 @@ func (a *Array) writeRuns(lo, shape []int64, buf []float64, runs []run) error {
 					err = a.st.attempt(a.name, func() error {
 						return la.WriteSection(slo, sshape, sbuf)
 					})
+				}
+				if hp := a.st.hp; hp != nil {
+					// Writes are observed (they feed scoring and heal the
+					// injector's windows) but never breaker-gated: a write
+					// always fans out to every replica for durability.
+					spikes := hp.drain(id)
+					n := int64(1)
+					for _, d := range sshape {
+						n *= d
+					}
+					hp.observe(id, wnow, ratioOf(a.st.opt.Disk.WriteTime(n*8, 1), spikes), err == nil)
+					hp.addTailWrite(spikes)
 				}
 				mu.Lock()
 				if err == nil {

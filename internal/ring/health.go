@@ -1,0 +1,540 @@
+package ring
+
+// The shard-health plane: EWMA latency/error scoring with per-shard
+// circuit breakers (internal/health) threaded through the read path,
+// plus hedged reads against slow-but-alive replicas.
+//
+// Everything here runs on the modelled clock — "now" is the front
+// door's accumulated modelled time, latency is the injector's modelled
+// spike seconds attributed through fault.Injector.SetLatencySink — so
+// breaker transitions and hedge decisions are pure functions of the
+// seeded op stream and stay bit-identical across same-seed runs.
+//
+// Cost accounting stays two-tier and honest: the front door still
+// charges exactly one single-disk-equivalent op per section (the span
+// model's invariant), hedge fan-out is charged by the shard that served
+// it in the per-shard tier, and the *experienced* extra wait (spikes a
+// read actually paid, minus what hedging rescued) accumulates in a
+// separate tail account, surfaced as TailReadSeconds/FrontReadSeconds.
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"repro/internal/disk"
+	"repro/internal/health"
+	"repro/internal/obs"
+)
+
+// Metric names of the shard-health plane.
+const (
+	// MetricBreakerState gauges each shard's breaker state, labeled by
+	// shard (0 closed, 1 half-open, 2 open).
+	MetricBreakerState = "ring.breaker.state"
+	// MetricHedgeIssued / Won / Cancelled count hedged reads: issued to
+	// a secondary replica, won by it (its modelled finish beat the
+	// preferred replica's), or cancelled (the preferred finish stood).
+	MetricHedgeIssued    = "ring.hedge.issued"
+	MetricHedgeWon       = "ring.hedge.won"
+	MetricHedgeCancelled = "ring.hedge.cancelled"
+)
+
+// DemotionReason says why a replica lost preferred position for a read.
+type DemotionReason int
+
+const (
+	// DemoteStale moves a replica that missed a write to the back of the
+	// read order.
+	DemoteStale DemotionReason = iota
+	// DemoteBreakerOpen moves a replica whose breaker is open behind the
+	// healthy candidates.
+	DemoteBreakerOpen
+	// DemoteHedgeLost records a preferred replica whose read was beaten
+	// by a hedge to the next replica (the order itself was not changed;
+	// the replica lost the race, not its position).
+	DemoteHedgeLost
+	numDemotionReasons
+)
+
+func (r DemotionReason) String() string {
+	switch r {
+	case DemoteStale:
+		return "stale"
+	case DemoteBreakerOpen:
+		return "breaker-open"
+	case DemoteHedgeLost:
+		return "hedge-lost"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the reason name, keeping tier reports readable.
+func (r DemotionReason) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// Demotion is one reason's tally of preference losses on a shard.
+type Demotion struct {
+	Reason DemotionReason `json:"reason"`
+	Count  int64          `json:"count"`
+}
+
+// TierReport is one shard's per-shard-tier story: its modelled I/O, its
+// health snapshot, and why reads demoted it out of preference.
+type TierReport struct {
+	Shard int        `json:"shard"`
+	Live  bool       `json:"live"`
+	Stats disk.Stats `json:"stats"`
+	// Health is the zero value when the store runs without a health
+	// plane (Options.Health nil).
+	Health    health.ShardHealth `json:"health"`
+	Demotions []Demotion         `json:"demotions,omitempty"`
+}
+
+// ShardReport returns shard i's tier report.
+func (s *Store) ShardReport(i int) TierReport {
+	s.mu.Lock()
+	sh := s.shards[i]
+	live := sh.live
+	st := sh.be.Stats()
+	s.mu.Unlock()
+	rep := TierReport{Shard: i, Live: live, Stats: st}
+	if s.hp != nil {
+		rep.Health = s.hp.tr.Snapshot(i)
+	} else {
+		rep.Health.Ratio = 1
+	}
+	s.dmu.Lock()
+	if counts := s.demotions[i]; counts != nil {
+		for r, n := range counts {
+			if n > 0 {
+				rep.Demotions = append(rep.Demotions, Demotion{Reason: DemotionReason(r), Count: n})
+			}
+		}
+	}
+	s.dmu.Unlock()
+	return rep
+}
+
+// DemotionCount returns how many reads demoted shard i for the reason.
+func (s *Store) DemotionCount(i int, reason DemotionReason) int64 {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	if counts := s.demotions[i]; counts != nil {
+		return counts[reason]
+	}
+	return 0
+}
+
+// recordDemotion tallies one preference loss. Always available, with or
+// without a health plane (stale demotions predate it).
+func (s *Store) recordDemotion(id int, reason DemotionReason) {
+	s.dmu.Lock()
+	counts := s.demotions[id]
+	if counts == nil {
+		counts = new([numDemotionReasons]int64)
+		s.demotions[id] = counts
+	}
+	counts[reason]++
+	s.dmu.Unlock()
+}
+
+// resetDemotions zeroes the demotion ledger (ResetStats).
+func (s *Store) resetDemotions() {
+	s.dmu.Lock()
+	s.demotions = map[int]*[numDemotionReasons]int64{}
+	s.dmu.Unlock()
+}
+
+// Health returns the health tracker, nil when Options.Health was nil.
+// Tests and operator tooling use it to inspect or force breaker state.
+func (s *Store) Health() *health.Tracker {
+	if s.hp == nil {
+		return nil
+	}
+	return s.hp.tr
+}
+
+// TailReadSeconds returns the experienced read tail: modelled seconds
+// reads actually waited beyond the front door's single-disk figure —
+// injected spikes paid by winning preferred reads, plus the hedge
+// detour cost when a hedge won. Zero without a health plane.
+func (s *Store) TailReadSeconds() float64 {
+	if s.hp == nil {
+		return 0
+	}
+	s.hp.mu.Lock()
+	defer s.hp.mu.Unlock()
+	return s.hp.tailRead
+}
+
+// TailWriteSeconds is the write-side tail account.
+func (s *Store) TailWriteSeconds() float64 {
+	if s.hp == nil {
+		return 0
+	}
+	s.hp.mu.Lock()
+	defer s.hp.mu.Unlock()
+	return s.hp.tailWrite
+}
+
+// FrontReadSeconds is the experienced front-door read time: the
+// modelled single-disk-equivalent read seconds plus the read tail. This
+// is the figure the gray-chaos bound (≤ 1.25× fault-free) is stated in.
+func (s *Store) FrontReadSeconds() float64 {
+	return s.front.snapshot().ReadTime + s.TailReadSeconds()
+}
+
+// HedgeCounts returns the hedged-read tallies since the last ResetStats.
+func (s *Store) HedgeCounts() (issued, won, cancelled int64) {
+	if s.hp == nil {
+		return 0, 0, 0
+	}
+	s.hp.mu.Lock()
+	defer s.hp.mu.Unlock()
+	return s.hp.hedgeIssued, s.hp.hedgeWon, s.hp.hedgeCancelled
+}
+
+// BreakerTransitions returns how many breaker transitions entered each
+// state since the store was built (opens, half-opens, closes). Breaker
+// state is health state, not accounting, so ResetStats keeps it.
+func (s *Store) BreakerTransitions() (opens, halfOpens, closes int64) {
+	if s.hp == nil {
+		return 0, 0, 0
+	}
+	s.hp.mu.Lock()
+	defer s.hp.mu.Unlock()
+	return s.hp.opens, s.hp.halfOpens, s.hp.closes
+}
+
+// Suspicion scores an array for the scrub scheduler
+// (health.Prioritizer): stale replica copies count directly, plus the
+// health scores of the shards its blocks live on, weighted by how many
+// of its blocks each shard carries.
+func (s *Store) Suspicion(name string) float64 {
+	s.mu.Lock()
+	a := s.arrays[name]
+	hp := s.hp
+	s.mu.Unlock()
+	if a == nil {
+		return 0
+	}
+	a.amu.Lock()
+	susp := 0.0
+	for _, set := range a.stale {
+		susp += float64(len(set))
+	}
+	var per map[int]int
+	blocks := float64(len(a.cands))
+	if hp != nil && blocks > 0 {
+		per = map[int]int{}
+		for _, order := range a.cands {
+			for _, id := range order {
+				per[id]++
+			}
+		}
+	}
+	a.amu.Unlock()
+	if per != nil {
+		// Sorted shard order keeps the float sum deterministic.
+		ids := make([]int, 0, len(per))
+		for id := range per {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			susp += hp.tr.Score(id) * float64(per[id]) / blocks
+		}
+	}
+	return susp
+}
+
+// healthPlane is the store's health-plane state, present only when
+// Options.Health is set.
+//
+// Lock discipline: hp.mu is a leaf — never held while calling into the
+// tracker (whose transition callback takes hp.mu) or the store.
+type healthPlane struct {
+	st *Store
+	tr *health.Tracker
+
+	mu    sync.Mutex
+	names map[int]string // shard id → bounded metric label (from newShard)
+	// pending accumulates injected spike seconds per shard between the
+	// injector's sink callback and the op-completion drain.
+	pending             map[int]float64
+	tailRead, tailWrite float64
+	hedgeIssued         int64
+	hedgeWon            int64
+	hedgeCancelled      int64
+	opens               int64
+	halfOpens           int64
+	closes              int64
+
+	gState     *obs.GaugeVec
+	cIssued    *obs.Counter
+	cWon       *obs.Counter
+	cCancelled *obs.Counter
+}
+
+func newHealthPlane(st *Store, cfg health.Config) *healthPlane {
+	hp := &healthPlane{
+		st:      st,
+		tr:      health.NewTracker(cfg),
+		names:   map[int]string{},
+		pending: map[int]float64{},
+	}
+	hp.tr.OnTransition(hp.noteTransition)
+	return hp
+}
+
+// noteTransition is the tracker's breaker-transition callback: it
+// updates the state gauge, tallies the traversal counters, and emits
+// one health event per transition.
+func (hp *healthPlane) noteTransition(tr health.Transition) {
+	hp.mu.Lock()
+	name := hp.names[tr.Shard]
+	g := hp.gState
+	switch tr.To {
+	case health.Open:
+		hp.opens++
+	case health.HalfOpen:
+		hp.halfOpens++
+	case health.Closed:
+		hp.closes++
+	}
+	hp.mu.Unlock()
+	if g != nil && name != "" {
+		g.With(name).Set(float64(tr.To))
+	}
+	if hp.st.log.Enabled(obs.LevelInfo) {
+		hp.st.log.Info("health", "breaker."+tr.To.String(),
+			obs.F("shard", tr.Shard),
+			obs.F("from", tr.From.String()),
+			obs.F("now", tr.Now))
+	}
+}
+
+// registerShard records the shard's bounded metric label and publishes
+// its initial breaker state.
+func (hp *healthPlane) registerShard(id int, name string) {
+	hp.mu.Lock()
+	hp.names[id] = name
+	g := hp.gState
+	hp.mu.Unlock()
+	if g != nil {
+		g.With(name).Set(float64(health.Closed))
+	}
+}
+
+func (hp *healthPlane) setMetrics(reg *obs.Registry) {
+	hp.mu.Lock()
+	if reg == nil {
+		hp.gState, hp.cIssued, hp.cWon, hp.cCancelled = nil, nil, nil, nil
+		hp.mu.Unlock()
+		return
+	}
+	hp.gState = reg.GaugeVec(MetricBreakerState, "shard")
+	hp.cIssued = reg.Counter(MetricHedgeIssued)
+	hp.cWon = reg.Counter(MetricHedgeWon)
+	hp.cCancelled = reg.Counter(MetricHedgeCancelled)
+	g := hp.gState
+	names := make([]string, 0, len(hp.names))
+	for _, n := range hp.names {
+		names = append(names, n)
+	}
+	hp.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		g.With(n).Set(float64(health.Closed))
+	}
+}
+
+// now is the modelled clock the health plane runs on: the front door's
+// accumulated modelled time. Deterministic for a given plan.
+func (hp *healthPlane) now() float64 {
+	return hp.st.front.snapshot().Time()
+}
+
+// addPending is the injector latency sink: spike seconds accumulate per
+// shard until the op that paid them drains its account.
+func (hp *healthPlane) addPending(id int, sec float64) {
+	hp.mu.Lock()
+	hp.pending[id] += sec
+	hp.mu.Unlock()
+}
+
+// drain takes the shard's accumulated spike seconds. The injector sink
+// fires synchronously on the op's goroutine, and each shard's ops run
+// serially within a collective, so draining right after an op yields
+// exactly that op's spikes (retried attempts lump together).
+func (hp *healthPlane) drain(id int) float64 {
+	hp.mu.Lock()
+	v := hp.pending[id]
+	if v != 0 {
+		hp.pending[id] = 0
+	}
+	hp.mu.Unlock()
+	return v
+}
+
+func (hp *healthPlane) resetAccounts() {
+	hp.mu.Lock()
+	hp.pending = map[int]float64{}
+	hp.tailRead, hp.tailWrite = 0, 0
+	hp.hedgeIssued, hp.hedgeWon, hp.hedgeCancelled = 0, 0, 0
+	hp.mu.Unlock()
+}
+
+// observe feeds one op into the tracker. ratio is observed/baseline
+// modelled seconds.
+func (hp *healthPlane) observe(id int, now, ratio float64, ok bool) {
+	hp.tr.Observe(id, now, ratio, ok)
+}
+
+// tripped reports whether the shard's breaker is open at modelled time
+// now (performing the lazy open → half-open transition).
+func (hp *healthPlane) tripped(id int, now float64) bool {
+	return hp.tr.State(id, now) == health.Open
+}
+
+func (hp *healthPlane) addTailRead(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	hp.mu.Lock()
+	hp.tailRead += sec
+	hp.mu.Unlock()
+}
+
+func (hp *healthPlane) addTailWrite(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	hp.mu.Lock()
+	hp.tailWrite += sec
+	hp.mu.Unlock()
+}
+
+// ratioOf converts an op's spike seconds into a latency ratio against
+// its baseline modelled cost.
+func ratioOf(base, spikes float64) float64 {
+	if base <= 0 || spikes <= 0 {
+		return 1
+	}
+	return 1 + spikes/base
+}
+
+func (hp *healthPlane) noteHedge(event, array string, block int64, from, to int, c *obs.Counter, n *int64) {
+	hp.mu.Lock()
+	*n++
+	hp.mu.Unlock()
+	if c != nil {
+		c.Inc()
+	}
+	if hp.st.log.Enabled(obs.LevelInfo) {
+		hp.st.log.Info("health", event,
+			obs.F("array", array),
+			obs.F("block", block),
+			obs.F("shard", from),
+			obs.F("hedge_shard", to))
+	}
+}
+
+func (hp *healthPlane) noteHedgeIssued(array string, block int64, from, to int) {
+	hp.mu.Lock()
+	c := hp.cIssued
+	hp.mu.Unlock()
+	hp.noteHedge("hedge.issued", array, block, from, to, c, &hp.hedgeIssued)
+}
+
+func (hp *healthPlane) noteHedgeWon(array string, block int64, from, to int) {
+	hp.mu.Lock()
+	c := hp.cWon
+	hp.mu.Unlock()
+	hp.noteHedge("hedge.won", array, block, from, to, c, &hp.hedgeWon)
+}
+
+func (hp *healthPlane) noteHedgeCancelled(array string, block int64, from, to int) {
+	hp.mu.Lock()
+	c := hp.cCancelled
+	hp.mu.Unlock()
+	hp.noteHedge("hedge.cancelled", array, block, from, to, c, &hp.hedgeCancelled)
+}
+
+// hedgeAfterRead scores a successful preferred-replica read and, when
+// its observed latency ratio crosses the tracker's hedge threshold,
+// races the same section read against the next usable replica, keeping
+// the modelled winner.
+//
+// The race is decided on modelled time: the preferred replica finishes
+// at base+spikes; the hedge launches once the wait passes thr×base and
+// takes one replica read (plus its own spikes) from there. Either way
+// the front door stays one single-disk-equivalent op — the hedge
+// sub-read is charged by the shard that served it, and the experienced
+// extra wait lands in the tail account.
+//
+// Determinism note: replicas of a block are bit-identical once staged
+// (stale copies are excluded from hedge targets by construction — a
+// stale shard is ordered last and a read served by it has no further
+// candidates), so taking the hedge copy never changes result bytes.
+func (a *Array) hedgeAfterRead(slo, sshape []int64, sbuf []float64, r run, ci, id int) {
+	hp := a.st.hp
+	spikes := hp.drain(id)
+	n := int64(1)
+	for _, d := range sshape {
+		n *= d
+	}
+	base := a.st.opt.Disk.ReadTime(n*8, 1)
+	now := hp.now()
+	hp.observe(id, now, ratioOf(base, spikes), true)
+	if spikes <= 0 {
+		return
+	}
+	ratio := ratioOf(base, spikes)
+	thr := hp.tr.HedgeRatio()
+	if ratio < thr {
+		hp.addTailRead(spikes)
+		return
+	}
+	// Hedge target: the next replica in preference order with a live
+	// shard and a local copy. Stale replicas never get here — they sort
+	// after every healthy candidate, and a read they served has no
+	// further candidates to hedge to.
+	hid := -1
+	var hla disk.Array
+	for _, cand := range r.order[ci+1:] {
+		if a.shard(cand) == nil {
+			continue
+		}
+		if la := a.local(cand); la != nil {
+			hid, hla = cand, la
+			break
+		}
+	}
+	if hid < 0 {
+		hp.addTailRead(spikes)
+		return
+	}
+	hp.noteHedgeIssued(a.name, r.firstBlock, id, hid)
+	// Hedge into a private buffer: a failed hedge read may poison its
+	// buffer (the injector performs, then fails), and sbuf already holds
+	// good data from the preferred replica.
+	var tmp []float64
+	if sbuf != nil {
+		tmp = make([]float64, len(sbuf))
+	}
+	herr := hla.ReadSection(slo, sshape, tmp)
+	hspikes := hp.drain(hid)
+	hp.observe(hid, now, ratioOf(base, hspikes), herr == nil)
+	lPref := base + spikes
+	lHedge := thr*base + base + hspikes
+	if herr == nil && lHedge < lPref {
+		copy(sbuf, tmp)
+		a.st.recordDemotion(id, DemoteHedgeLost)
+		hp.noteHedgeWon(a.name, r.firstBlock, id, hid)
+		hp.addTailRead(lHedge - base)
+	} else {
+		hp.noteHedgeCancelled(a.name, r.firstBlock, id, hid)
+		hp.addTailRead(spikes)
+	}
+}

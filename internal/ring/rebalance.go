@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/disk"
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -226,6 +227,16 @@ func (s *Store) moveArrayLocked(a *Array, oldC, newC [][]int, drainID int, rep *
 	if s.withData {
 		buf = make([]float64, a.blockRows*a.rowSize)
 	}
+	// Shards whose circuit breaker is open are not used as movement
+	// sources: their copies are current but the shard is gray-failing,
+	// and copying through it would serialize the rebalance behind it.
+	// StateAt has no side effects, so it is safe under s.mu; a shard past
+	// its cooldown reads half-open and is admitted as a probe.
+	openSrc := func(id int) bool { return false }
+	if s.hp != nil {
+		now := s.front.snapshot().Time()
+		openSrc = func(id int) bool { return s.hp.tr.StateAt(id, now) == health.Open }
+	}
 	for b := int64(0); b < a.blocks; b++ {
 		wasCand := map[int]bool{}
 		for _, id := range oldC[b] {
@@ -244,11 +255,11 @@ func (s *Store) moveArrayLocked(a *Array, oldC, newC [][]int, drainID int, rep *
 		// draining shard (still open) last.
 		var sources []int
 		for _, id := range oldC[b] {
-			if id != drainID && s.shards[id].live && !a.isStale(b, id) {
+			if id != drainID && s.shards[id].live && !a.isStale(b, id) && !openSrc(id) {
 				sources = append(sources, id)
 			}
 		}
-		if drainID >= 0 && wasCand[drainID] && !a.isStale(b, drainID) {
+		if drainID >= 0 && wasCand[drainID] && !a.isStale(b, drainID) && !openSrc(drainID) {
 			sources = append(sources, drainID)
 		}
 		blo, bshape := a.blockSection(b)

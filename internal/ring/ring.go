@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
@@ -95,6 +96,13 @@ type Options struct {
 	// which shards inject; each injecting shard gets its own injector
 	// seeded with Seed+index so schedules are independent.
 	Faults *fault.Config
+	// Health, if non-nil, enables the shard-health plane: per-shard EWMA
+	// latency/error scoring with circuit breakers that demote slow
+	// shards out of preferred read position, and hedged reads against
+	// replicas whose observed latency crosses the quantile-derived hedge
+	// threshold (see internal/health). The zero Config selects the
+	// defaults. nil keeps the pre-health read path bit-for-bit.
+	Health *health.Config
 	// Metrics, if non-nil, receives the ring health families and the
 	// front-door I/O counters.
 	Metrics *obs.Registry
@@ -136,6 +144,13 @@ type Store struct {
 
 	log *obs.Log
 
+	// hp is the shard-health plane, nil unless Options.Health is set.
+	hp *healthPlane
+	// dmu guards the demotion ledger, which exists with or without a
+	// health plane (stale demotions predate it).
+	dmu       sync.Mutex
+	demotions map[int]*[numDemotionReasons]int64
+
 	keyMu    sync.Mutex
 	retryKey uint64
 }
@@ -158,12 +173,16 @@ func New(opt Options) (*Store, error) {
 		opt.VNodes = DefaultVNodes
 	}
 	s := &Store{
-		opt:      opt,
-		withData: opt.WithData || opt.Open != nil,
-		arrays:   map[string]*Array{},
-		log:      opt.Log,
+		opt:       opt,
+		withData:  opt.WithData || opt.Open != nil,
+		arrays:    map[string]*Array{},
+		log:       opt.Log,
+		demotions: map[int]*[numDemotionReasons]int64{},
 	}
 	s.front.d = opt.Disk
+	if opt.Health != nil {
+		s.hp = newHealthPlane(s, *opt.Health)
+	}
 	for i := 0; i < opt.Shards; i++ {
 		sh, err := s.newShard(i)
 		if err != nil {
@@ -196,6 +215,15 @@ func (s *Store) newShard(i int) (*shard, error) {
 		c.Seed += uint64(i) // independent schedules per injecting shard
 		sh.inj = fault.Wrap(be, c)
 		sh.be = sh.inj
+	}
+	if s.hp != nil {
+		s.hp.registerShard(sh.id, sh.name)
+		if sh.inj != nil {
+			// Attribute injected latency spikes to the shard that pays
+			// them, so the health plane can score and hedge on them.
+			id := sh.id
+			sh.inj.SetLatencySink(func(sec float64) { s.hp.addPending(id, sec) })
+		}
 	}
 	return sh, nil
 }
@@ -415,6 +443,10 @@ func (s *Store) ResetStats() {
 	s.fmu.Lock()
 	s.failoverSeconds = 0
 	s.fmu.Unlock()
+	s.resetDemotions()
+	if s.hp != nil {
+		s.hp.resetAccounts()
+	}
 }
 
 // SetMetrics attaches reg (nil detaches): the front-door I/O counters
@@ -423,6 +455,9 @@ func (s *Store) ResetStats() {
 // ring.degraded.blocks).
 func (s *Store) SetMetrics(reg *obs.Registry) {
 	s.front.setMetrics(reg)
+	if s.hp != nil {
+		s.hp.setMetrics(reg)
+	}
 	s.fmu.Lock()
 	defer s.fmu.Unlock()
 	if reg == nil {

@@ -343,6 +343,24 @@ func TestDegradedWriteMarksStaleAndRecovers(t *testing.T) {
 			t.Fatalf("block %d read order %v does not demote stale shard %d", b, ord, victim)
 		}
 	}
+	// Each demotion lands in the typed ledger with its reason; nothing
+	// else demoted the victim (no health plane is running here).
+	if n := s.DemotionCount(victim, DemoteStale); n == 0 {
+		t.Fatal("stale demotions not recorded in the ledger")
+	}
+	if n := s.DemotionCount(victim, DemoteBreakerOpen); n != 0 {
+		t.Fatalf("%d breaker-open demotions without a health plane", n)
+	}
+	tier := s.ShardReport(victim)
+	foundStale := false
+	for _, d := range tier.Demotions {
+		if d.Reason == DemoteStale && d.Count > 0 {
+			foundStale = true
+		}
+	}
+	if !foundStale {
+		t.Fatalf("tier report demotions %+v missing the stale reason", tier.Demotions)
+	}
 	got := make([]float64, 16)
 	if err := a.ReadSection([]int64{0, 0}, []int64{8, 2}, got); err != nil {
 		t.Fatal(err)
